@@ -1,0 +1,122 @@
+// Command designer sizes a grounding grid automatically: it searches lattice
+// densities over a given area until the equivalent-resistance and
+// IEEE Std 80 safety targets are met, then emits the winning geometry (and
+// optionally a full HTML report).
+//
+// Examples:
+//
+//	designer -width 70 -height 70 -soil two-layer -gamma1 0.0067 -gamma2 0.025 -h1 1.5 \
+//	         -fault 25000 -fault-t 0.5 -rock-rho 2500 -max-req 1.0 > design.txt
+//	designer -width 40 -height 30 -soil uniform -gamma1 0.02 -max-req 0.8 -html design.html
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"earthing"
+	"earthing/internal/report"
+)
+
+func main() {
+	var (
+		width   = flag.Float64("width", 60, "plan width, m")
+		height  = flag.Float64("height", 60, "plan height, m")
+		depth   = flag.Float64("depth", 0.8, "burial depth, m")
+		radius  = flag.Float64("radius", 0.006, "conductor radius, m")
+		minN    = flag.Int("min-lines", 3, "minimum lattice lines per direction")
+		maxN    = flag.Int("max-lines", 12, "maximum lattice lines per direction")
+		rods    = flag.Int("rods", 0, "perimeter rods to add to every candidate")
+		rodLen  = flag.Float64("rod-len", 3, "rod length, m")
+		soilK   = flag.String("soil", "uniform", "soil model: uniform | two-layer")
+		gamma1  = flag.Float64("gamma1", 0.02, "layer 1 conductivity (ohm·m)^-1")
+		gamma2  = flag.Float64("gamma2", 0.02, "layer 2 conductivity (two-layer)")
+		h1      = flag.Float64("h1", 1.0, "layer 1 thickness, m")
+		maxReq  = flag.Float64("max-req", 0, "maximum equivalent resistance, ohm (0 = no limit)")
+		fault   = flag.Float64("fault", 0, "design fault current, A (enables safety checks)")
+		faultT  = flag.Float64("fault-t", 0.5, "fault clearing time, s")
+		rockRho = flag.Float64("rock-rho", 0, "crushed-rock resistivity, ohm·m (0 = none)")
+		rockH   = flag.Float64("rock-h", 0.1, "crushed-rock thickness, m")
+		html    = flag.String("html", "", "write the winning design's HTML report here")
+	)
+	flag.Parse()
+
+	var model earthing.SoilModel
+	switch *soilK {
+	case "uniform":
+		model = earthing.UniformSoil(*gamma1)
+	case "two-layer":
+		model = earthing.TwoLayerSoil(*gamma1, *gamma2, *h1)
+	default:
+		fmt.Fprintln(os.Stderr, "designer: unknown soil model", *soilK)
+		os.Exit(1)
+	}
+
+	space := earthing.DesignSpace{
+		Width: *width, Height: *height, Depth: *depth, Radius: *radius,
+		MinLines: *minN, MaxLines: *maxN,
+		PerimeterRods: *rods, RodLength: *rodLen,
+	}
+	tg := earthing.DesignTargets{MaxReq: *maxReq, FaultCurrent: *fault}
+	if *fault > 0 {
+		tg.Safety = earthing.SafetyCriteria{
+			FaultDuration:    *faultT,
+			SoilRho:          1 / *gamma1,
+			SurfaceRho:       *rockRho,
+			SurfaceThickness: *rockH,
+		}
+	}
+
+	best, trace, err := earthing.DesignSearch(space, model, tg, earthing.Config{})
+	for _, c := range trace {
+		status := "fail"
+		if c.Passes {
+			status = "PASS"
+		}
+		fmt.Fprintf(os.Stderr, "%2dx%-2d lattice: Req=%.4f ohm, %.0f m of conductor",
+			c.Lines, c.Lines, c.Result.Req, c.CostLength)
+		if tg.FaultCurrent > 0 {
+			fmt.Fprintf(os.Stderr, ", GPR=%.0f V, touch %.0f V, step %.0f V",
+				c.GPR, c.Voltages.MaxTouch, c.Voltages.MaxStep)
+		}
+		fmt.Fprintf(os.Stderr, " [%s]\n", status)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "designer:", err)
+		os.Exit(1)
+	}
+
+	fmt.Fprintf(os.Stderr, "\nselected: %dx%d lattice (%.0f m of electrode)\n",
+		best.Lines, best.Lines, best.CostLength)
+	if err := earthing.WriteGrid(os.Stdout, best.Grid); err != nil {
+		fmt.Fprintln(os.Stderr, "designer:", err)
+		os.Exit(1)
+	}
+
+	if *html != "" {
+		f, err := os.Create(*html)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "designer:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		opt := report.Options{Title: "Automated grounding design"}
+		reportRes := best.Result
+		if *fault > 0 {
+			opt.Criteria = tg.Safety
+			// Re-analyze at the design-fault GPR so the report's potentials
+			// and voltages are at fault scale.
+			reportRes, err = earthing.Analyze(best.Grid, model, earthing.Config{GPR: best.GPR})
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "designer:", err)
+				os.Exit(1)
+			}
+		}
+		if err := report.BuildHTML(f, reportRes, best.Grid, opt); err != nil {
+			fmt.Fprintln(os.Stderr, "designer:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintln(os.Stderr, "HTML report written to", *html)
+	}
+}

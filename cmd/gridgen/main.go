@@ -1,0 +1,72 @@
+// Command gridgen emits grounding-grid geometries in the text format of
+// package grid, and optionally draws the plan (Figures 5.1 / 5.3 of the
+// paper) as SVG.
+//
+// Examples:
+//
+//	gridgen -grid barbera > barbera.txt
+//	gridgen -grid balaidos -svg balaidos.svg
+//	gridgen -grid rect -nx 8 -ny 6 -width 80 -height 60 -depth 0.8
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"earthing"
+	"earthing/internal/experiments"
+	"earthing/internal/grid"
+)
+
+func main() {
+	var (
+		kind   = flag.String("grid", "rect", "grid: barbera | balaidos | rect | triangle")
+		nx     = flag.Int("nx", 6, "lattice lines along x (rect/triangle)")
+		ny     = flag.Int("ny", 6, "lattice lines along y (rect/triangle)")
+		width  = flag.Float64("width", 60, "plan width in m (rect; triangle leg x)")
+		height = flag.Float64("height", 60, "plan height in m (rect; triangle leg y)")
+		depth  = flag.Float64("depth", 0.8, "burial depth in m")
+		radius = flag.Float64("radius", 0.006, "conductor radius in m")
+		svg    = flag.String("svg", "", "also draw the plan as SVG to this file")
+	)
+	flag.Parse()
+
+	g, err := build(*kind, *nx, *ny, *width, *height, *depth, *radius)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gridgen:", err)
+		os.Exit(1)
+	}
+	if err := earthing.WriteGrid(os.Stdout, g); err != nil {
+		fmt.Fprintln(os.Stderr, "gridgen:", err)
+		os.Exit(1)
+	}
+	if *svg != "" {
+		f, err := os.Create(*svg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "gridgen:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := experiments.PlanSVG(f, g); err != nil {
+			fmt.Fprintln(os.Stderr, "gridgen:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintln(os.Stderr, "plan drawn to", *svg)
+	}
+}
+
+func build(kind string, nx, ny int, width, height, depth, radius float64) (*grid.Grid, error) {
+	switch kind {
+	case "barbera":
+		return grid.Barbera(), nil
+	case "balaidos":
+		return grid.Balaidos(), nil
+	case "rect":
+		return grid.RectMesh(0, 0, width, height, nx, ny, depth, radius), nil
+	case "triangle":
+		return grid.TriangleMesh(width, height, nx, ny, depth, radius), nil
+	default:
+		return nil, fmt.Errorf("unknown grid kind %q", kind)
+	}
+}

@@ -1,0 +1,212 @@
+// Command groundsim analyzes a grounding grid: it computes the equivalent
+// resistance, fault current, surface potentials and IEEE Std 80 safety
+// verdict for a grid described in the text format of package grid (or one of
+// the built-in paper grids), under a uniform, two-layer or N-layer soil
+// model.
+//
+// Examples:
+//
+//	groundsim -builtin barbera -soil two-layer -gamma1 0.005 -gamma2 0.016 -h1 1.0 -gpr 10000
+//	groundsim -grid mygrid.txt -soil uniform -gamma1 0.02 -surface out.csv
+//	groundsim -builtin balaidos -soil uniform -gamma1 0.02 -check -fault-t 0.5
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"earthing"
+	"earthing/internal/report"
+)
+
+func main() {
+	var (
+		gridFile = flag.String("grid", "", "grid file in text format (conductor/rod lines); - for stdin")
+		builtin  = flag.String("builtin", "", "built-in grid: barbera | balaidos")
+		soilKind = flag.String("soil", "uniform", "soil model: uniform | two-layer | multi")
+		gamma1   = flag.Float64("gamma1", 0.02, "layer 1 conductivity (ohm·m)^-1")
+		gamma2   = flag.Float64("gamma2", 0.02, "layer 2 conductivity (two-layer)")
+		h1       = flag.Float64("h1", 1.0, "layer 1 thickness in m (two-layer)")
+		multi    = flag.String("multi", "", "multi: comma list gamma1,h1,gamma2,h2,...,gammaN")
+		gpr      = flag.Float64("gpr", 10_000, "ground potential rise in volts")
+		maxLen   = flag.Float64("maxlen", 0, "max element length in m (0 = one element per conductor)")
+		workers  = flag.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
+		schedule = flag.String("schedule", "dynamic,1", "loop schedule: static|dynamic|guided[,chunk]")
+		surface  = flag.String("surface", "", "write surface potential raster CSV to this file")
+		ascii    = flag.Bool("ascii", false, "print an ASCII surface potential map")
+		jsonOut  = flag.Bool("json", false, "emit the analysis summary as JSON instead of text")
+		htmlOut  = flag.String("html", "", "write a full HTML design report to this file")
+		leakage  = flag.Int("leakage", 0, "print the top-N leaking elements")
+		check    = flag.Bool("check", false, "check IEEE Std 80 step/touch limits")
+		faultT   = flag.Float64("fault-t", 0.5, "fault clearing time in s (with -check)")
+		rockRho  = flag.Float64("rock-rho", 0, "surface layer resistivity in ohm·m (with -check; 0 = none)")
+		rockH    = flag.Float64("rock-h", 0.1, "surface layer thickness in m (with -check)")
+	)
+	flag.Parse()
+
+	if err := run(*gridFile, *builtin, *soilKind, *gamma1, *gamma2, *h1, *multi,
+		*gpr, *maxLen, *workers, *schedule, *surface, *htmlOut, *jsonOut, *ascii, *leakage, *check, *faultT, *rockRho, *rockH); err != nil {
+		fmt.Fprintln(os.Stderr, "groundsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(gridFile, builtin, soilKind string, gamma1, gamma2, h1 float64, multi string,
+	gpr, maxLen float64, workers int, schedule, surface, htmlOut string, jsonOut, ascii bool, leakage int, check bool,
+	faultT, rockRho, rockH float64) error {
+
+	g, err := loadGrid(gridFile, builtin)
+	if err != nil {
+		return err
+	}
+	model, err := buildSoil(soilKind, gamma1, gamma2, h1, multi)
+	if err != nil {
+		return err
+	}
+	sch, err := earthing.ParseSchedule(schedule)
+	if err != nil {
+		return err
+	}
+
+	res, err := earthing.Analyze(g, model, earthing.Config{
+		GPR:        gpr,
+		MaxElemLen: maxLen,
+		BEM:        earthing.BEMOptions{Workers: workers, Schedule: sch},
+	})
+	if err != nil {
+		return err
+	}
+	if jsonOut {
+		if err := res.WriteJSON(os.Stdout); err != nil {
+			return err
+		}
+	} else if err := res.WriteReport(os.Stdout); err != nil {
+		return err
+	}
+
+	if surface != "" || ascii {
+		r := earthing.SurfacePotential(res, earthing.SurfaceOptions{Workers: workers})
+		if ascii {
+			if err := earthing.WriteRasterASCII(os.Stdout, r); err != nil {
+				return err
+			}
+		}
+		if surface != "" {
+			f, err := os.Create(surface)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			if err := earthing.WriteRasterCSV(f, r); err != nil {
+				return err
+			}
+			fmt.Println("surface potential written to", surface)
+		}
+	}
+
+	if htmlOut != "" {
+		f, err := os.Create(htmlOut)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		opt := report.Options{}
+		if check {
+			opt.Criteria = earthing.SafetyCriteria{
+				FaultDuration:    faultT,
+				SoilRho:          1 / gamma1,
+				SurfaceRho:       rockRho,
+				SurfaceThickness: rockH,
+			}
+		}
+		if err := report.BuildHTML(f, res, g, opt); err != nil {
+			return err
+		}
+		fmt.Println("HTML report written to", htmlOut)
+	}
+
+	if leakage > 0 {
+		rep := earthing.ComputeLeakage(res)
+		if err := earthing.WriteLeakageSummary(os.Stdout, rep, leakage); err != nil {
+			return err
+		}
+	}
+
+	if check {
+		v := earthing.ComputeVoltages(res, 1)
+		crit := earthing.SafetyCriteria{
+			FaultDuration:    faultT,
+			SoilRho:          1 / gamma1,
+			SurfaceRho:       rockRho,
+			SurfaceThickness: rockH,
+		}
+		verdict, err := crit.Check(v.MaxStep, v.MaxTouch, v.MaxMesh)
+		if err != nil {
+			return err
+		}
+		fmt.Println("IEEE Std 80:", verdict)
+		if !verdict.Safe() {
+			fmt.Println("DESIGN NOT SAFE — increase conductor density, add rods, or improve the surface layer")
+		}
+	}
+	return nil
+}
+
+func loadGrid(gridFile, builtin string) (*earthing.Grid, error) {
+	switch {
+	case builtin != "" && gridFile != "":
+		return nil, fmt.Errorf("use either -grid or -builtin, not both")
+	case builtin == "barbera":
+		return earthing.Barbera(), nil
+	case builtin == "balaidos":
+		return earthing.Balaidos(), nil
+	case builtin != "":
+		return nil, fmt.Errorf("unknown builtin grid %q", builtin)
+	case gridFile == "-":
+		return earthing.ReadGrid(os.Stdin)
+	case gridFile != "":
+		f, err := os.Open(gridFile)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return earthing.ReadGrid(f)
+	default:
+		return nil, fmt.Errorf("specify -grid FILE or -builtin NAME")
+	}
+}
+
+func buildSoil(kind string, gamma1, gamma2, h1 float64, multi string) (earthing.SoilModel, error) {
+	switch kind {
+	case "uniform":
+		return earthing.UniformSoil(gamma1), nil
+	case "two-layer":
+		return earthing.TwoLayerSoil(gamma1, gamma2, h1), nil
+	case "multi":
+		if multi == "" {
+			return nil, fmt.Errorf("-soil multi requires -multi gamma1,h1,gamma2,...")
+		}
+		parts := strings.Split(multi, ",")
+		if len(parts)%2 != 1 {
+			return nil, fmt.Errorf("-multi needs an odd count: g1,h1,g2,h2,…,gN")
+		}
+		var gammas, hs []float64
+		for i, p := range parts {
+			v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+			if err != nil {
+				return nil, fmt.Errorf("bad -multi value %q", p)
+			}
+			if i%2 == 0 {
+				gammas = append(gammas, v)
+			} else {
+				hs = append(hs, v)
+			}
+		}
+		return earthing.MultiLayerSoil(gammas, hs)
+	default:
+		return nil, fmt.Errorf("unknown soil model %q", kind)
+	}
+}

@@ -1,0 +1,132 @@
+// Command paperbench regenerates every table and figure of the paper's
+// evaluation on the reproduced system and prints them side by side with the
+// published values. See EXPERIMENTS.md for the recorded comparison.
+//
+// Examples:
+//
+//	paperbench                  # everything, full fidelity (minutes)
+//	paperbench -quick           # everything, reduced series tolerance
+//	paperbench -exp table5.1    # a single experiment
+//	paperbench -exp fig5.2 -out figures/   # also write CSV + SVG artifacts
+//
+// Experiments: barbera, table5.1, table6.1, table6.2, table6.3, fig5.1,
+// fig5.2, fig5.3, fig5.4, fig6.1, ablation-assembly, ablation-tol,
+// ablation-solver, ablation-elements, ablation-threelayer, ablation-grading,
+// baseline-fdm, all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"earthing/internal/experiments"
+	"earthing/internal/grid"
+)
+
+func main() {
+	var (
+		exp     = flag.String("exp", "all", "experiment id (see doc comment)")
+		quick   = flag.Bool("quick", false, "reduced fidelity (series tol 1e-4)")
+		out     = flag.String("out", "", "directory for figure artifacts (CSV/SVG)")
+		procs   = flag.String("procs", "1,2,4,8", "worker counts for the parallel tables")
+		repeats = flag.Int("repeats", 1, "timing repetitions (paper used min of 4)")
+	)
+	flag.Parse()
+
+	q := experiments.Default()
+	if *quick {
+		q = experiments.Quick()
+	}
+	q.Repeats = *repeats
+
+	workers, err := parseProcs(*procs)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "paperbench:", err)
+		os.Exit(1)
+	}
+
+	if err := run(*exp, q, workers, *out); err != nil {
+		fmt.Fprintln(os.Stderr, "paperbench:", err)
+		os.Exit(1)
+	}
+}
+
+func parseProcs(s string) ([]int, error) {
+	var out []int
+	for _, p := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil || v < 1 {
+			return nil, fmt.Errorf("bad -procs entry %q", p)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func run(exp string, q experiments.Quality, workers []int, out string) error {
+	w := os.Stdout
+	all := exp == "all"
+	ran := false
+	do := func(id string, f func() error) error {
+		if !all && exp != id {
+			return nil
+		}
+		ran = true
+		return f()
+	}
+
+	steps := []struct {
+		id string
+		f  func() error
+	}{
+		{"fig5.1", func() error { return planFigure(out, "fig5.1-barbera.svg", grid.Barbera()) }},
+		{"fig5.3", func() error { return planFigure(out, "fig5.3-balaidos.svg", grid.Balaidos()) }},
+		{"barbera", func() error { return experiments.BarberaSummary(w, q, 0) }},
+		{"table5.1", func() error { return experiments.Table51(w, q, 0) }},
+		{"fig5.2", func() error { return experiments.Fig52(w, q, 0, out, 0, 0) }},
+		{"fig5.4", func() error { return experiments.Fig54(w, q, 0, out, 0, 0) }},
+		{"table6.1", func() error { return experiments.Table61(w, q) }},
+		{"fig6.1", func() error { return experiments.Fig61(w, q, workers) }},
+		{"table6.2", func() error { return experiments.Table62(w, q, workers) }},
+		{"table6.3", func() error { return experiments.Table63(w, q, workers) }},
+		{"ablation-assembly", func() error { return experiments.AblationAssembly(w, q, workers) }},
+		{"ablation-tol", func() error { return experiments.AblationSeriesTol(w, 0) }},
+		{"ablation-solver", func() error { return experiments.AblationSolver(w, q) }},
+		{"ablation-elements", func() error { return experiments.AblationElements(w) }},
+		{"ablation-threelayer", func() error { return experiments.AblationThreeLayer(w) }},
+		{"baseline-fdm", func() error { return experiments.BaselineFDM(w) }},
+		{"ablation-grading", func() error { return experiments.AblationGrading(w, q) }},
+	}
+	for _, s := range steps {
+		if err := do(s.id, s.f); err != nil {
+			return fmt.Errorf("%s: %w", s.id, err)
+		}
+	}
+	if !ran {
+		return fmt.Errorf("unknown experiment %q", exp)
+	}
+	return nil
+}
+
+// planFigure draws a grid plan SVG (Figures 5.1 and 5.3). Without -out it
+// just summarises the plan on stdout.
+func planFigure(dir, name string, g *grid.Grid) error {
+	fmt.Printf("\n== %s: %d conductors (%d rods), bounds %.0f x %.0f m ==\n",
+		name, len(g.Conductors), g.NumRods(), g.Bounds().Size().X, g.Bounds().Size().Y)
+	if dir == "" {
+		return nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	f, err := os.Create(filepath.Join(dir, name))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return experiments.PlanSVG(f, g)
+}

@@ -1,0 +1,31 @@
+package earthing
+
+import (
+	"earthing/internal/design"
+)
+
+// Design-search re-exports: automated grid sizing against resistance and
+// IEEE Std 80 safety targets.
+type (
+	// DesignTargets are the acceptance criteria of a design search.
+	DesignTargets = design.Targets
+	// DesignSpace is the lattice family searched.
+	DesignSpace = design.Space
+	// DesignCandidate is one evaluated layout.
+	DesignCandidate = design.Candidate
+)
+
+// ErrNoFeasibleDesign is returned when no layout in the space passes.
+var ErrNoFeasibleDesign = design.ErrNoFeasibleDesign
+
+// DesignSearch evaluates lattice densities in increasing cost order and
+// returns the cheapest candidate meeting every target, plus the trace of
+// all evaluated candidates.
+func DesignSearch(space DesignSpace, model SoilModel, tg DesignTargets, cfg Config) (*DesignCandidate, []DesignCandidate, error) {
+	return design.Search(space, model, tg, cfg)
+}
+
+// DesignEvaluate analyzes one grid against the targets.
+func DesignEvaluate(g *Grid, model SoilModel, tg DesignTargets, cfg Config) (*DesignCandidate, error) {
+	return design.Evaluate(g, model, tg, cfg)
+}

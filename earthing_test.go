@@ -1,0 +1,180 @@
+package earthing_test
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"testing"
+
+	"earthing"
+)
+
+func TestFacadeEndToEnd(t *testing.T) {
+	g := earthing.RectGrid(0, 0, 20, 20, 3, 3, 0.8, 0.006)
+	g.AddRod(10, 10, 0.8, 2, 0.007)
+	model := earthing.TwoLayerSoil(0.005, 0.016, 1.0)
+	res, err := earthing.Analyze(g, model, earthing.Config{GPR: 10_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Req <= 0 || res.Current <= 0 {
+		t.Fatalf("Req=%v I=%v", res.Req, res.Current)
+	}
+	if v := res.PotentialAt(earthing.V(10, 10, 0)); v <= 0 || v > 10_000 {
+		t.Errorf("potential over grid center = %v", v)
+	}
+
+	r := earthing.SurfacePotential(res, earthing.SurfaceOptions{NX: 12, NY: 12})
+	if len(r.V) != 144 {
+		t.Error("raster size wrong")
+	}
+	lines := earthing.Contours(r, earthing.ContourLevels(r, 4))
+	if len(lines) == 0 {
+		t.Error("no contour lines")
+	}
+	v := earthing.ComputeVoltages(res, 2)
+	if v.MaxTouch <= 0 {
+		t.Error("no touch voltage computed")
+	}
+	crit := earthing.SafetyCriteria{FaultDuration: 0.5, SoilRho: 200}
+	verdict, err := crit.Check(v.MaxStep, v.MaxTouch, v.MaxMesh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = verdict.Safe() // either outcome is legitimate for this toy grid
+}
+
+func TestFacadeGridIO(t *testing.T) {
+	g := earthing.Barbera()
+	var sb strings.Builder
+	if err := earthing.WriteGrid(&sb, g); err != nil {
+		t.Fatal(err)
+	}
+	back, err := earthing.ReadGrid(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Conductors) != 408 {
+		t.Errorf("round trip lost conductors: %d", len(back.Conductors))
+	}
+	m, err := earthing.Discretize(back, earthing.Linear, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NumDoF < 200 {
+		t.Errorf("DoF = %d", m.NumDoF)
+	}
+}
+
+func TestFacadeBuiltinsAndSoils(t *testing.T) {
+	if earthing.Balaidos().NumRods() != 67 {
+		t.Error("Balaidos rods wrong")
+	}
+	if earthing.TriangleGrid(10, 10, 3, 3, 0.8, 0.005).TotalLength() <= 0 {
+		t.Error("TriangleGrid empty")
+	}
+	ml, err := earthing.MultiLayerSoil([]float64{0.01, 0.02, 0.05}, []float64{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ml.NumLayers() != 3 {
+		t.Error("multilayer layers wrong")
+	}
+	if _, err := earthing.MultiLayerSoil([]float64{0.01}, []float64{1}); err == nil {
+		t.Error("bad multilayer accepted")
+	}
+	s, err := earthing.ParseSchedule("guided,4")
+	if err != nil || s.Kind != earthing.Guided || s.Chunk != 4 {
+		t.Errorf("ParseSchedule = %v, %v", s, err)
+	}
+}
+
+func TestFacadeSolverAndOptions(t *testing.T) {
+	g := earthing.RectGrid(0, 0, 15, 15, 2, 2, 0.8, 0.006)
+	model := earthing.UniformSoil(0.02)
+	a, err := earthing.Analyze(g, model, earthing.Config{Solver: earthing.Cholesky})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := earthing.Analyze(g, model, earthing.Config{
+		Solver: earthing.PCG,
+		BEM: earthing.BEMOptions{
+			Workers:  2,
+			Loop:     earthing.InnerLoop,
+			Assembly: earthing.MutexAssemble,
+			Schedule: earthing.Schedule{Kind: earthing.Guided, Chunk: 1},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(a.Req-b.Req) > 1e-8*(1+a.Req) {
+		t.Errorf("solver/parallel variants disagree: %v vs %v", a.Req, b.Req)
+	}
+}
+
+// ExampleAnalyze demonstrates the quickstart flow: build a grid, pick a soil
+// model, analyze, and read the design parameters.
+func ExampleAnalyze() {
+	g := earthing.RectGrid(0, 0, 40, 40, 5, 5, 0.8, 0.006)
+	model := earthing.UniformSoil(0.02) // 50 Ω·m soil
+	res, err := earthing.Analyze(g, model, earthing.Config{GPR: 10_000})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("Req is positive: %v\n", res.Req > 0)
+	fmt.Printf("I = GPR/Req: %v\n", math.Abs(res.Current-10_000/res.Req) < 1e-6)
+	// Output:
+	// Req is positive: true
+	// I = GPR/Req: true
+}
+
+// ExampleFitTwoLayerSoil shows the survey-to-model pipeline: synthesize a
+// Wenner sounding over a known soil and recover its parameters.
+func ExampleFitTwoLayerSoil() {
+	truth := earthing.TwoLayerSoil(1.0/200, 1.0/50, 2.0)
+	data := earthing.SimulateSurvey(truth, earthing.SurveySpacings(0.25, 60, 12), 0, nil)
+	fit, err := earthing.FitTwoLayerSoil(data, earthing.SurveyInvertOptions{})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("rho1 ≈ 200: %v\n", math.Abs(fit.Rho1-200) < 4)
+	fmt.Printf("rho2 ≈ 50: %v\n", math.Abs(fit.Rho2-50) < 1)
+	fmt.Printf("h ≈ 2.0: %v\n", math.Abs(fit.H-2.0) < 0.1)
+	// Output:
+	// rho1 ≈ 200: true
+	// rho2 ≈ 50: true
+	// h ≈ 2.0: true
+}
+
+// ExampleDesignSearch sizes a lattice automatically against a resistance
+// target.
+func ExampleDesignSearch() {
+	space := earthing.DesignSpace{Width: 40, Height: 40, MinLines: 3, MaxLines: 9}
+	best, trace, err := earthing.DesignSearch(space, earthing.UniformSoil(0.02),
+		earthing.DesignTargets{MaxReq: 0.62}, earthing.Config{})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("winner meets target: %v\n", best.Result.Req <= 0.62)
+	fmt.Printf("cheaper candidates all failed: %v\n", !trace[0].Passes)
+	// Output:
+	// winner meets target: true
+	// cheaper candidates all failed: true
+}
+
+// ExamplePotentialProfile samples the surface potential along a walking
+// line — the quantity behind step-voltage checks.
+func ExamplePotentialProfile() {
+	g := earthing.RectGrid(0, 0, 30, 30, 4, 4, 0.8, 0.006)
+	res, err := earthing.Analyze(g, earthing.UniformSoil(0.02), earthing.Config{GPR: 10_000})
+	if err != nil {
+		panic(err)
+	}
+	s, v := earthing.PotentialProfile(res, 15, 15, 120, 15, 40)
+	fmt.Printf("%d samples from %.0f to %.0f m\n", len(s), s[0], s[len(s)-1])
+	fmt.Printf("potential decays away from the grid: %v\n", v[0] > v[len(v)-1])
+	// Output:
+	// 40 samples from 0 to 105 m
+	// potential decays away from the grid: true
+}

@@ -1,0 +1,48 @@
+// Quickstart: analyze a small rectangular grounding grid in a two-layer
+// soil, print the design parameters, and sketch the surface potential.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"earthing"
+)
+
+func main() {
+	// A 60 × 60 m grid of 7 × 7 lattice lines (bare copper, 12 mm diameter)
+	// buried at 0.8 m, with four 3 m rods at the corners.
+	g := earthing.RectGrid(0, 0, 60, 60, 7, 7, 0.8, 0.006)
+	for _, c := range [][2]float64{{0, 0}, {60, 0}, {0, 60}, {60, 60}} {
+		g.AddRod(c[0], c[1], 0.8, 3.0, 0.007)
+	}
+
+	// Soil from a Wenner survey: 200 Ω·m top metre over 50 Ω·m.
+	model := earthing.TwoLayerSoil(1.0/200, 1.0/50, 1.0)
+
+	// Fault condition: 10 kV ground potential rise.
+	res, err := earthing.Analyze(g, model, earthing.Config{GPR: 10_000})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("soil: %s\n", model.Describe())
+	fmt.Printf("equivalent resistance: %.4f ohm\n", res.Req)
+	fmt.Printf("fault current at 10 kV GPR: %.2f kA\n", res.Current/1000)
+	fmt.Printf("matrix generation: %v, solve: %v (%d CG iterations)\n",
+		res.Timings.MatrixGen, res.Timings.Solve, res.CG.Iterations)
+
+	// Potential at a point 5 m outside the fence.
+	p := res.PotentialAt(earthing.V(65, 30, 0))
+	fmt.Printf("surface potential 5 m outside the grid: %.0f V (%.1f%% of GPR)\n",
+		p, 100*p/10_000)
+
+	// ASCII heat map of the earth surface potential.
+	raster := earthing.SurfacePotential(res, earthing.SurfaceOptions{NX: 60, NY: 30, Margin: 20})
+	if err := earthing.WriteRasterASCII(os.Stdout, raster); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,3 @@
+module earthing
+
+go 1.22

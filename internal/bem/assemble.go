@@ -1,0 +1,524 @@
+package bem
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+	"time"
+
+	"earthing/internal/geom"
+	"earthing/internal/grid"
+	"earthing/internal/linalg"
+	"earthing/internal/quad"
+	"earthing/internal/sched"
+	"earthing/internal/soil"
+)
+
+// Assembler holds the precomputed state of a (mesh, soil model)
+// discretization and generates the Galerkin system. Create one with New,
+// then call Matrix (and RHS) — or reuse it for repeated assemblies in
+// benchmarks.
+type Assembler struct {
+	mesh   *grid.Mesh
+	model  soil.Model
+	opt    Options
+	linear bool
+	k      int // DoF per element
+
+	// Per-element outer (test) integration data (far-field order).
+	gpPos   [][]geom.Vec3 // Gauss point positions on each element axis
+	gpW     []float64     // reference Gauss weights ×½ (apply ×length)
+	gpShape [][2]float64  // shape function values at each reference point
+	gpT     []float64     // reference coordinates t ∈ (0,1)
+
+	// Refined outer integration for near pairs (self/touching/adjacent);
+	// aliases the far-field data when NearGaussOrder == GaussOrder.
+	gpPosN   [][]geom.Vec3
+	gpWN     []float64
+	gpShapeN [][2]float64
+
+	elemLayer []int // soil layer of each element
+
+	// lastBusy and lastPairs record per-worker busy time and element-pair
+	// counts of the most recent Matrix() call, for load-balance analysis
+	// (see WorkerBusy and WorkerPairs).
+	lastBusy  []time.Duration
+	lastPairs []int64
+
+	// Image expansions per (src, obs) layer pair, grouped by series index.
+	// Pairs without a closed image form are absent and fall back to
+	// quadrature of Model.PointPotential, so a model may mix fast image
+	// kernels (e.g. the top layer of an N-layer soil) with slow exact ones.
+	groups map[[2]int][][]soil.Image
+	// images reports whether every layer pair has an image expansion (the
+	// analytic-gradient fast path requires all of them).
+	images bool
+}
+
+// New prepares an assembler. It validates that no element spans a layer
+// interface (the kernels assume each source element lies wholly inside one
+// layer; use Grid.SplitAtDepths before discretizing).
+func New(m *grid.Mesh, model soil.Model, opt Options) (*Assembler, error) {
+	if m == nil || len(m.Elements) == 0 {
+		return nil, fmt.Errorf("bem: empty mesh")
+	}
+	opt = opt.withDefaults()
+	a := &Assembler{
+		mesh:   m,
+		model:  model,
+		opt:    opt,
+		linear: m.Kind == grid.Linear,
+		k:      m.DoFCount(),
+	}
+
+	buildSet := func(order int) (pos [][]geom.Vec3, w []float64, shape [][2]float64, ts []float64) {
+		rule := quad.GaussLegendre(order)
+		w = make([]float64, rule.Len())
+		shape = make([][2]float64, rule.Len())
+		ts = make([]float64, rule.Len())
+		for g, xg := range rule.X {
+			t := 0.5 * (xg + 1)
+			ts[g] = t
+			w[g] = 0.5 * rule.W[g]
+			if a.linear {
+				shape[g] = [2]float64{1 - t, t}
+			} else {
+				shape[g] = [2]float64{1, 0}
+			}
+		}
+		pos = make([][]geom.Vec3, len(m.Elements))
+		for e, el := range m.Elements {
+			pts := make([]geom.Vec3, rule.Len())
+			for g, t := range ts {
+				pts[g] = el.Seg.Point(t)
+			}
+			pos[e] = pts
+		}
+		return pos, w, shape, ts
+	}
+	a.gpPos, a.gpW, a.gpShape, a.gpT = buildSet(opt.GaussOrder)
+	if opt.NearGaussOrder == opt.GaussOrder {
+		a.gpPosN, a.gpWN, a.gpShapeN = a.gpPos, a.gpW, a.gpShape
+	} else {
+		a.gpPosN, a.gpWN, a.gpShapeN, _ = buildSet(opt.NearGaussOrder)
+	}
+
+	a.elemLayer = make([]int, len(m.Elements))
+	for e, el := range m.Elements {
+		layer := model.LayerOf(el.Seg.Midpoint().Z)
+		for _, t := range []float64{0.125, 0.375, 0.625, 0.875} {
+			if l := model.LayerOf(el.Seg.Point(t).Z); l != layer {
+				return nil, fmt.Errorf(
+					"bem: element %d (%v) spans soil layers %d and %d; split conductors at the interfaces first",
+					e, el.Seg, layer, l)
+			}
+		}
+		a.elemLayer[e] = layer
+	}
+
+	a.groups = map[[2]int][][]soil.Image{}
+	a.images = true
+	nl := model.NumLayers()
+	for src := 1; src <= nl; src++ {
+		for obs := 1; obs <= nl; obs++ {
+			imgs, ok := model.ImageExpansion(src, obs, opt.MaxGroups)
+			if !ok {
+				a.images = false
+				continue
+			}
+			var grouped [][]soil.Image
+			for _, im := range imgs {
+				for im.Group >= len(grouped) {
+					grouped = append(grouped, nil)
+				}
+				grouped[im.Group] = append(grouped[im.Group], im)
+			}
+			a.groups[[2]int{src, obs}] = grouped
+		}
+	}
+	return a, nil
+}
+
+// WorkerBusy returns the per-worker busy durations of the most recent
+// Matrix call. On a host with one free core per worker, Σbusy/max(busy)
+// approximates the achievable wall-clock speed-up; on oversubscribed hosts
+// the intervals include descheduled time, so prefer WorkerPairs there.
+func (a *Assembler) WorkerBusy() []time.Duration { return a.lastBusy }
+
+// WorkerPairs returns the number of element pairs each worker computed in
+// the most recent Matrix call. Because every pair costs a near-identical
+// kernel-series evaluation, Σpairs/max(pairs) is a host-independent
+// prediction of the wall-clock speed-up a schedule achieves on a machine
+// with one core per worker — the load-balance quantity behind Table 6.2
+// (the paper's "static" row, for instance, is exactly the triangular-
+// imbalance arithmetic this ratio computes; see EXPERIMENTS.md).
+func (a *Assembler) WorkerPairs() []int64 { return a.lastPairs }
+
+// PredictedSpeedup returns Σpairs/max(pairs) of the most recent Matrix call.
+func (a *Assembler) PredictedSpeedup() float64 {
+	var total, max int64
+	for _, n := range a.lastPairs {
+		total += n
+		if n > max {
+			max = n
+		}
+	}
+	if max == 0 {
+		return 1
+	}
+	return float64(total) / float64(max)
+}
+
+// NumPairs returns the number of element pairs M(M+1)/2 of the triangle.
+func (a *Assembler) NumPairs() int {
+	m := len(a.mesh.Elements)
+	return m * (m + 1) / 2
+}
+
+// Matrix generates the Galerkin system matrix (eq. 4.4–4.5) using the
+// configured loop strategy, schedule and assembly mode. The returned
+// statistics describe how the parallel loop distributed its work.
+func (a *Assembler) Matrix() (*linalg.SymMatrix, sched.Stats, error) {
+	m := len(a.mesh.Elements)
+	k := a.k
+	r := linalg.NewSymMatrix(a.mesh.NumDoF)
+
+	switch a.opt.Assembly {
+	case StoreThenAssemble:
+		// The paper's transformation: compute all elemental matrices into
+		// flat storage inside the parallel loop, assemble sequentially after.
+		store := make([]float64, a.NumPairs()*k*k)
+		stats := a.runPairLoop(func(beta, alpha int, scratch *pairScratch) {
+			idx := (beta*(beta+1)/2 + alpha) * k * k
+			a.pairMatrix(beta, alpha, store[idx:idx+k*k], scratch)
+		})
+		for beta := 0; beta < m; beta++ {
+			for alpha := 0; alpha <= beta; alpha++ {
+				idx := (beta*(beta+1)/2 + alpha) * k * k
+				a.assemblePair(r, beta, alpha, store[idx:idx+k*k])
+			}
+		}
+		return r, stats, nil
+
+	case MutexAssemble:
+		var mu sync.Mutex
+		stats := a.runPairLoop(func(beta, alpha int, scratch *pairScratch) {
+			buf := scratch.elemental
+			a.pairMatrix(beta, alpha, buf, scratch)
+			mu.Lock()
+			a.assemblePair(r, beta, alpha, buf)
+			mu.Unlock()
+		})
+		return r, stats, nil
+
+	default:
+		return nil, sched.Stats{}, fmt.Errorf("bem: unknown assembly mode %v", a.opt.Assembly)
+	}
+}
+
+// pairScratch holds per-worker scratch buffers so the hot loop does not
+// allocate.
+type pairScratch struct {
+	elemental []float64 // k×k
+	group     []float64 // k×k per-series-group accumulator
+	inner     []float64 // k inner shape integrals
+}
+
+func (a *Assembler) newScratch() *pairScratch {
+	kk := a.k * a.k
+	return &pairScratch{
+		elemental: make([]float64, kk),
+		group:     make([]float64, kk),
+		inner:     make([]float64, a.k),
+	}
+}
+
+// runPairLoop executes body over every pair (β, α ≤ β) under the configured
+// loop strategy and schedule, giving each worker its own scratch.
+func (a *Assembler) runPairLoop(body func(beta, alpha int, scratch *pairScratch)) sched.Stats {
+	m := len(a.mesh.Elements)
+	p := a.opt.Workers
+	if p <= 0 {
+		p = 0 // sched resolves to GOMAXPROCS
+	}
+	maxW := p
+	if maxW <= 0 {
+		maxW = runtime.GOMAXPROCS(0)
+	}
+	scratches := make([]*pairScratch, maxW+1)
+	getScratch := func(w int) *pairScratch {
+		if w >= len(scratches) {
+			w = len(scratches) - 1
+		}
+		if scratches[w] == nil {
+			scratches[w] = a.newScratch()
+		}
+		return scratches[w]
+	}
+
+	busy := make([]time.Duration, maxW+1)
+	pairs := make([]int64, maxW+1)
+	defer func() {
+		a.lastBusy = busy
+		a.lastPairs = pairs
+	}()
+
+	switch a.opt.Loop {
+	case OuterLoop:
+		// One cycle per column β of the element-pair triangle; column β has
+		// β+1 rows, so cycle sizes decrease linearly — exactly the
+		// granularity situation of §6.2. Columns are iterated largest first
+		// (i = 0 → β = M−1) so late chunks are small.
+		return sched.ForStats(m, p, a.opt.Schedule, func(i, w int) {
+			beta := m - 1 - i
+			s := getScratch(w)
+			start := time.Now()
+			for alpha := 0; alpha <= beta; alpha++ {
+				body(beta, alpha, s)
+			}
+			wi := w
+			if wi >= len(busy) {
+				wi = len(busy) - 1
+			}
+			busy[wi] += time.Since(start)
+			pairs[wi] += int64(beta + 1)
+		})
+	case InnerLoop:
+		// The rows of each column are distributed among workers; the program
+		// moves to the next column only when the previous one is finished —
+		// one synchronization barrier per column.
+		var agg sched.Stats
+		for beta := m - 1; beta >= 0; beta-- {
+			st := sched.ForStats(beta+1, p, a.opt.Schedule, func(alpha, w int) {
+				start := time.Now()
+				body(beta, alpha, getScratch(w))
+				wi := w
+				if wi >= len(busy) {
+					wi = len(busy) - 1
+				}
+				busy[wi] += time.Since(start)
+				pairs[wi]++
+			})
+			agg.Iterations += st.Iterations
+			if st.Workers > agg.Workers {
+				agg.Workers = st.Workers
+				agg.PerWorker = make([]int, st.Workers)
+				agg.ChunksPerWorker = make([]int, st.Workers)
+			}
+			for i := 0; i < st.Workers && i < agg.Workers; i++ {
+				agg.PerWorker[i] += st.PerWorker[i]
+				agg.ChunksPerWorker[i] += st.ChunksPerWorker[i]
+			}
+		}
+		return agg
+	default:
+		panic(fmt.Sprintf("bem: unknown loop strategy %v", a.opt.Loop))
+	}
+}
+
+// pairMatrix computes the elemental matrix of the (β, α) pair into out
+// (row-major k×k, out[j·k+i] = ∫_β w_j ∫_α N_i G dΓ_α dΓ_β): the double
+// integral of eq. (4.5) with the kernel series truncated group by group
+// "until a tolerance is fulfilled or an upper limit of summands is achieved"
+// (§4.3).
+func (a *Assembler) pairMatrix(beta, alpha int, out []float64, s *pairScratch) {
+	for i := range out {
+		out[i] = 0
+	}
+	if _, ok := a.groups[[2]int{a.elemLayer[alpha], a.elemLayer[beta]}]; ok {
+		a.pairMatrixImages(beta, alpha, out, s)
+	} else {
+		a.pairMatrixQuadrature(beta, alpha, out, s)
+	}
+}
+
+func (a *Assembler) pairMatrixImages(beta, alpha int, out []float64, s *pairScratch) {
+	k := a.k
+	elA := &a.mesh.Elements[alpha]
+	elB := &a.mesh.Elements[beta]
+	srcLayer := a.elemLayer[alpha]
+	obsLayer := a.elemLayer[beta]
+	groups := a.groups[[2]int{srcLayer, obsLayer}]
+	pref := 1 / (4 * math.Pi * a.model.Conductivity(srcLayer))
+	lenB := elB.Seg.Length()
+
+	// Near pairs (self, touching, adjacent) get the refined outer rule: the
+	// inner analytic integral varies sharply along the test element there.
+	gpPos, gpW, gpShape := a.gpPos[beta], a.gpW, a.gpShape
+	if beta == alpha ||
+		elB.Seg.DistToSegment(elA.Seg) < 0.5*(lenB+elA.Seg.Length()) {
+		gpPos, gpW, gpShape = a.gpPosN[beta], a.gpWN, a.gpShapeN
+	}
+
+	maxAccum := 0.0
+	smallGroups := 0
+	for _, grp := range groups {
+		for i := range s.group {
+			s.group[i] = 0
+		}
+		for _, im := range grp {
+			segI := im.ApplySegment(elA.Seg)
+			for g, chi := range gpPos {
+				shapeIntegrals(chi, segI.A, segI.B, elA.Radius, a.linear, s.inner)
+				wg := gpW[g] * lenB * im.Weight
+				for j := 0; j < k; j++ {
+					wj := wg * gpShape[g][j]
+					for i := 0; i < k; i++ {
+						s.group[j*k+i] += wj * s.inner[i]
+					}
+				}
+			}
+		}
+		gmax := 0.0
+		for i, v := range s.group {
+			out[i] += v
+			if av := math.Abs(v); av > gmax {
+				gmax = av
+			}
+			if av := math.Abs(out[i]); av > maxAccum {
+				maxAccum = av
+			}
+		}
+		if gmax <= a.opt.SeriesTol*maxAccum {
+			smallGroups++
+			if smallGroups >= 2 {
+				break
+			}
+		} else {
+			smallGroups = 0
+		}
+	}
+	for i := range out {
+		out[i] *= pref
+	}
+}
+
+// pairMatrixQuadrature is the fallback for models without an image
+// expansion (N ≥ 3 layers): the primary 1/r part is still integrated
+// analytically; the smooth secondary part is integrated by Gauss quadrature
+// of Model.PointPotential minus the primary term.
+func (a *Assembler) pairMatrixQuadrature(beta, alpha int, out []float64, s *pairScratch) {
+	k := a.k
+	elA := &a.mesh.Elements[alpha]
+	elB := &a.mesh.Elements[beta]
+	srcLayer := a.elemLayer[alpha]
+	pref := 1 / (4 * math.Pi * a.model.Conductivity(srcLayer))
+	lenA := elA.Seg.Length()
+	lenB := elB.Seg.Length()
+
+	for g, chiAxis := range a.gpPos[beta] {
+		// Field points live on the conductor surface: offset horizontally
+		// so the secondary kernel sees the correct depth.
+		chi := surfacePoint(chiAxis, elB)
+		// Analytic primary.
+		shapeIntegrals(chi, elA.Seg.A, elA.Seg.B, elA.Radius, a.linear, s.inner)
+		wg := a.gpW[g] * lenB
+		for j := 0; j < k; j++ {
+			wj := wg * a.gpShape[g][j] * pref
+			for i := 0; i < k; i++ {
+				out[j*k+i] += wj * s.inner[i]
+			}
+		}
+		// Quadrature of the secondary (total − primary) kernel.
+		for h, th := range a.gpT {
+			xi := elA.Seg.Point(th)
+			rTrue := chi.Dist(xi)
+			if rTrue < elA.Radius {
+				rTrue = elA.Radius
+			}
+			sec := a.model.PointPotential(chi, xi) - pref/rTrue
+			wh := a.gpW[h] * lenA * wg
+			for j := 0; j < k; j++ {
+				wj := wh * a.gpShape[g][j] * sec
+				for i := 0; i < k; i++ {
+					var ni float64
+					if a.linear {
+						ni = a.gpShape[h][i]
+					} else {
+						ni = 1
+					}
+					out[j*k+i] += wj * ni
+				}
+			}
+		}
+	}
+}
+
+// surfacePoint offsets an axis point of element el to the conductor surface
+// along a horizontal direction perpendicular to the element axis (keeping
+// the depth, and therefore the soil layer, unchanged).
+func surfacePoint(p geom.Vec3, el *grid.Element) geom.Vec3 {
+	dir := el.Seg.Dir()
+	perp := dir.Cross(geom.V(0, 0, 1))
+	if perp.Norm() < 1e-12 { // vertical element: any horizontal direction
+		perp = geom.V(1, 0, 0)
+	} else {
+		perp = perp.Unit()
+	}
+	return p.Add(perp.Scale(el.Radius))
+}
+
+// assemblePair scatters one elemental matrix into the global symmetric
+// matrix. For β ≠ α the mirrored ordered pair (α, β) is accounted for by
+// symmetry: off-diagonal global entries receive the value once (packed
+// storage represents both (J, I) and (I, J)), while global diagonal hits
+// J = I receive it twice (once from each ordered pair). Self pairs (β = α)
+// symmetrize the elemental off-diagonal to compensate quadrature asymmetry.
+func (a *Assembler) assemblePair(r *linalg.SymMatrix, beta, alpha int, c []float64) {
+	k := a.k
+	db := a.mesh.Elements[beta].DoF
+	da := a.mesh.Elements[alpha].DoF
+	if beta == alpha {
+		for j := 0; j < k; j++ {
+			r.Add(db[j], db[j], c[j*k+j])
+			for i := 0; i < j; i++ {
+				r.Add(db[j], da[i], 0.5*(c[j*k+i]+c[i*k+j]))
+			}
+		}
+		return
+	}
+	for j := 0; j < k; j++ {
+		for i := 0; i < k; i++ {
+			v := c[j*k+i]
+			if db[j] == da[i] {
+				r.Add(db[j], da[i], 2*v)
+			} else {
+				r.Add(db[j], da[i], v)
+			}
+		}
+	}
+}
+
+// RHS builds the load vector ν of eq. (4.6) for the unit GPR boundary
+// condition V = 1 on Γ: ν_j = ∫ w_j dΓ, which is exactly L/2 per linear
+// shape function and L per constant element.
+func RHS(m *grid.Mesh) []float64 {
+	nu := make([]float64, m.NumDoF)
+	for _, el := range m.Elements {
+		l := el.Seg.Length()
+		if m.Kind == grid.Linear {
+			nu[el.DoF[0]] += l / 2
+			nu[el.DoF[1]] += l / 2
+		} else {
+			nu[el.DoF[0]] += l
+		}
+	}
+	return nu
+}
+
+// TotalCurrent integrates the solved leakage density over the electrode:
+// IΓ = Σ_i σ_i ∫ N_i dΓ (eq. 2.2). sigma is the DoF vector in A/m for a
+// unit GPR.
+func TotalCurrent(m *grid.Mesh, sigma []float64) float64 {
+	var total float64
+	for _, el := range m.Elements {
+		l := el.Seg.Length()
+		if m.Kind == grid.Linear {
+			total += l / 2 * (sigma[el.DoF[0]] + sigma[el.DoF[1]])
+		} else {
+			total += l * sigma[el.DoF[0]]
+		}
+	}
+	return total
+}

@@ -1,0 +1,65 @@
+// Package bem implements the approximated 1-D Galerkin boundary element
+// formulation of §4 of the paper: linear (or constant) leakage-current
+// elements on the electrode axes, closed-form inner integrals of the 1/r
+// image kernels, Gauss outer integration, symmetric matrix generation over
+// the M(M+1)/2 element-pair triangle, and potential evaluation (eq. 4.2).
+package bem
+
+import (
+	"math"
+
+	"earthing/internal/geom"
+)
+
+// segmentIntegrals returns the closed-form line integrals over the segment
+// [A, B] of the thin-wire kernel 1/r against the constant and linear shape
+// functions:
+//
+//	i0 = ∫₀^L     ds / r(x, P(s))
+//	i1 = ∫₀^L s/L ds / r(x, P(s))
+//
+// where P(s) = A + s·t̂. With p the axial coordinate of x, ρ its distance to
+// the segment axis and R(s) = √(ρ² + (s−p)²):
+//
+//	i0 = asinh((L−p)/ρ) + asinh(p/ρ)
+//	i1 = ( R(L) − R(0) + p·i0 ) / L
+//
+// The thin-wire (circumferential uniformity) hypothesis of §4.2 enters
+// through minRho: the radial distance is clamped from below by the conductor
+// radius, which places field points that fall on or inside the conductor
+// onto its surface. These are the "highly efficient analytical integration
+// techniques" referenced by the paper [4, 5, 6].
+func segmentIntegrals(x geom.Vec3, a, b geom.Vec3, minRho float64) (i0, i1 float64) {
+	ab := b.Sub(a)
+	l := ab.Norm()
+	if l == 0 {
+		return 0, 0
+	}
+	t := ab.Scale(1 / l)
+	xa := x.Sub(a)
+	p := xa.Dot(t)
+	rho2 := xa.Norm2() - p*p
+	if rho2 < minRho*minRho {
+		rho2 = minRho * minRho
+	}
+	rho := math.Sqrt(rho2)
+	i0 = math.Asinh((l-p)/rho) + math.Asinh(p/rho)
+	r0 := math.Sqrt(rho2 + p*p)
+	r1 := math.Sqrt(rho2 + (l-p)*(l-p))
+	i1 = (r1 - r0 + p*i0) / l
+	return i0, i1
+}
+
+// shapeIntegrals returns the inner integrals of every shape function of the
+// element over the (possibly image) segment [a, b]: for linear elements
+// out = [∫N_A/r, ∫N_B/r] with N_A = 1−s/L and N_B = s/L; for constant
+// elements out = [∫1/r].
+func shapeIntegrals(x geom.Vec3, a, b geom.Vec3, minRho float64, linear bool, out []float64) {
+	i0, i1 := segmentIntegrals(x, a, b, minRho)
+	if linear {
+		out[0] = i0 - i1
+		out[1] = i1
+	} else {
+		out[0] = i0
+	}
+}

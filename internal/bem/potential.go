@@ -1,0 +1,103 @@
+package bem
+
+import (
+	"math"
+
+	"earthing/internal/geom"
+	"earthing/internal/soil"
+)
+
+// Potential evaluates the earth potential V(x) = Σ_i σ_i·V_i(x) of
+// eq. (4.2)–(4.3) at an arbitrary point from the solved DoF vector sigma
+// (leakage line density per unit GPR, scaled by the caller if GPR ≠ 1).
+//
+// x may be anywhere in the ground or on its surface. Cost is O(M·p) series
+// evaluations per point (§4.3), so computing dense potential contours is the
+// second parallelizable hot spot of the paper; package post distributes
+// batches of points over workers.
+func (a *Assembler) Potential(x geom.Vec3, sigma []float64) float64 {
+	obsLayer := a.model.LayerOf(math.Max(x.Z, 0))
+	k := a.k
+	inner := make([]float64, k)
+	var total float64
+	for e := range a.mesh.Elements {
+		el := &a.mesh.Elements[e]
+		srcLayer := a.elemLayer[e]
+		groups, ok := a.groups[[2]int{srcLayer, obsLayer}]
+		if !ok {
+			total += a.elementPotentialQuadrature(e, x, sigma)
+			continue
+		}
+		pref := 1 / (4 * math.Pi * a.model.Conductivity(srcLayer))
+
+		// Nodal weights of this element's contribution.
+		var s0, s1 float64
+		s0 = sigma[el.DoF[0]]
+		if a.linear {
+			s1 = sigma[el.DoF[1]]
+		}
+
+		var accum float64
+		maxAccum := 0.0
+		smallGroups := 0
+		for _, grp := range groups {
+			var gsum float64
+			for _, im := range grp {
+				segI := im.ApplySegment(el.Seg)
+				shapeIntegrals(x, segI.A, segI.B, el.Radius, a.linear, inner)
+				if a.linear {
+					gsum += im.Weight * (inner[0]*s0 + inner[1]*s1)
+				} else {
+					gsum += im.Weight * inner[0] * s0
+				}
+			}
+			accum += gsum
+			if av := math.Abs(accum); av > maxAccum {
+				maxAccum = av
+			}
+			if math.Abs(gsum) <= a.opt.SeriesTol*maxAccum {
+				smallGroups++
+				if smallGroups >= 2 {
+					break
+				}
+			} else {
+				smallGroups = 0
+			}
+		}
+		total += pref * accum
+	}
+	return total
+}
+
+// elementPotentialQuadrature integrates one element's contribution to V(x)
+// by Gauss quadrature of the exact point kernel (used for layer pairs with
+// no image expansion).
+func (a *Assembler) elementPotentialQuadrature(e int, x geom.Vec3, sigma []float64) float64 {
+	el := &a.mesh.Elements[e]
+	l := el.Seg.Length()
+	var total float64
+	for h, th := range a.gpT {
+		xi := el.Seg.Point(th)
+		var dens float64
+		if a.linear {
+			dens = a.gpShape[h][0]*sigma[el.DoF[0]] + a.gpShape[h][1]*sigma[el.DoF[1]]
+		} else {
+			dens = sigma[el.DoF[0]]
+		}
+		total += a.gpW[h] * l * dens * a.model.PointPotential(x, xi)
+	}
+	return total
+}
+
+// LeakageDensity returns the leakage line density σ(t) at parametric
+// position t ∈ [0, 1] along element e (eq. 4.1), in A/m per unit GPR.
+func (a *Assembler) LeakageDensity(e int, t float64, sigma []float64) float64 {
+	el := &a.mesh.Elements[e]
+	if a.linear {
+		return (1-t)*sigma[el.DoF[0]] + t*sigma[el.DoF[1]]
+	}
+	return sigma[el.DoF[0]]
+}
+
+// Model returns the soil model the assembler was built with.
+func (a *Assembler) Model() soil.Model { return a.model }

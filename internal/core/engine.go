@@ -1,0 +1,274 @@
+// Package core implements the grounding-analysis engine: the five-stage
+// pipeline whose per-stage CPU times the paper reports in Table 6.1 —
+// data input, data preprocessing, matrix generation, linear system solving
+// and results storage — wired over the substrate packages (grid, soil, bem,
+// linalg, sched).
+package core
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"time"
+
+	"earthing/internal/bem"
+	"earthing/internal/geom"
+	"earthing/internal/grid"
+	"earthing/internal/linalg"
+	"earthing/internal/sched"
+	"earthing/internal/soil"
+)
+
+// SolverKind selects the linear solver for system (4.4).
+type SolverKind int
+
+const (
+	// PCG is the diagonal preconditioned conjugate gradient solver the
+	// paper recommends for large systems (§4.3). Default.
+	PCG SolverKind = iota
+	// Cholesky is the direct O(N³/3) solver, preferable only for small
+	// systems or as a reference.
+	Cholesky
+)
+
+// String implements fmt.Stringer.
+func (s SolverKind) String() string {
+	switch s {
+	case PCG:
+		return "pcg"
+	case Cholesky:
+		return "cholesky"
+	default:
+		return fmt.Sprintf("SolverKind(%d)", int(s))
+	}
+}
+
+// Config configures an analysis. The zero value analyzes with a unit GPR,
+// one linear element per conductor (the paper's discretization), PCG solve
+// and default BEM options.
+type Config struct {
+	// GPR is the Ground Potential Rise in volts (default 1; the potential
+	// and current outputs scale linearly with it, §2).
+	GPR float64
+	// ElementKind selects linear (default) or constant elements.
+	ElementKind grid.ElementKind
+	// MaxElemLen subdivides conductors into elements no longer than this;
+	// ≤ 0 keeps one element per conductor.
+	MaxElemLen float64
+	// RodElements, when > 0, forces vertical conductors that were not split
+	// at an interface to that many elements (the Balaidos discretization
+	// uses 2).
+	RodElements int
+	// BEM configures matrix generation (schedules, loop strategy, series
+	// tolerance, workers).
+	BEM bem.Options
+	// Solver selects PCG (default) or Cholesky.
+	Solver SolverKind
+	// CGTol is the PCG relative-residual target (default 1e-10).
+	CGTol float64
+}
+
+// StageTimings records wall-clock time per pipeline stage (Table 6.1 rows).
+type StageTimings struct {
+	Input      time.Duration
+	Preprocess time.Duration
+	MatrixGen  time.Duration
+	Solve      time.Duration
+	Results    time.Duration
+}
+
+// Total sums all stages.
+func (t StageTimings) Total() time.Duration {
+	return t.Input + t.Preprocess + t.MatrixGen + t.Solve + t.Results
+}
+
+// Result is the outcome of a grounding analysis.
+type Result struct {
+	Mesh  *grid.Mesh
+	Model soil.Model
+	// Sigma is the solved leakage line density per DoF for a unit GPR
+	// (multiply by GPR for physical A/m).
+	Sigma []float64
+	// GPR echoes the configured ground potential rise in volts.
+	GPR float64
+	// Req is the equivalent grounding resistance in ohms (eq. 2.2).
+	Req float64
+	// Current is the total fault current IΓ in amperes at the configured
+	// GPR.
+	Current float64
+	// Timings holds the per-stage durations.
+	Timings StageTimings
+	// LoopStats describes how matrix generation distributed work.
+	LoopStats sched.Stats
+	// CG reports solver convergence (PCG only).
+	CG linalg.CGResult
+	// Warnings lists non-fatal modelling issues found during preprocessing
+	// (e.g. an electrically fragmented grid — the solver still imposes the
+	// equipotential condition on every conductor, but a floating electrode
+	// usually indicates a data-entry error).
+	Warnings []string
+
+	asm *bem.Assembler
+}
+
+// PotentialAt returns the earth potential in volts at x for the configured
+// GPR (eq. 4.2).
+func (r *Result) PotentialAt(x geom.Vec3) float64 {
+	return r.GPR * r.asm.Potential(x, r.Sigma)
+}
+
+// Assembler exposes the underlying BEM assembler (for batch post-processing).
+func (r *Result) Assembler() *bem.Assembler { return r.asm }
+
+// Analyze runs preprocessing, matrix generation, solve and results stages on
+// a grounding grid. The grid is split at the soil-model interfaces
+// automatically.
+func Analyze(g *grid.Grid, model soil.Model, cfg Config) (*Result, error) {
+	return analyze(g, nil, model, cfg, 0)
+}
+
+// AnalyzeMesh runs the pipeline on an explicitly discretized mesh, e.g. the
+// paper-exact discretizations grid.BarberaMesh and grid.BalaidosMesh. The
+// mesh must already respect the model's layer interfaces.
+func AnalyzeMesh(m *grid.Mesh, model soil.Model, cfg Config) (*Result, error) {
+	return analyze(nil, m, model, cfg, 0)
+}
+
+// AnalyzeReader parses a grid from r (grid text format) and analyzes it,
+// populating the Data Input stage timing.
+func AnalyzeReader(rd io.Reader, model soil.Model, cfg Config) (*Result, error) {
+	start := time.Now()
+	g, err := grid.Read(rd)
+	if err != nil {
+		return nil, fmt.Errorf("core: data input: %w", err)
+	}
+	return analyze(g, nil, model, cfg, time.Since(start))
+}
+
+// interfaceDepths extracts the layer interface depths of a model.
+func interfaceDepths(model soil.Model) []float64 {
+	var depths []float64
+	// Interfaces are where LayerOf changes; models expose layer count, and
+	// the two concrete layered models both mark the interface as belonging
+	// to the upper layer. Probe with bisection over a generous depth range.
+	n := model.NumLayers()
+	if n <= 1 {
+		return nil
+	}
+	const maxDepth = 1 << 20
+	lo := 0.0
+	for layer := 1; layer < n; layer++ {
+		a, b := lo, float64(maxDepth)
+		// Invariant: LayerOf(a) ≤ layer, LayerOf(b) ≥ layer+1.
+		for i := 0; i < 200 && b-a > 1e-12*(1+b); i++ {
+			mid := 0.5 * (a + b)
+			if model.LayerOf(mid) <= layer {
+				a = mid
+			} else {
+				b = mid
+			}
+		}
+		depths = append(depths, a)
+		lo = a
+	}
+	return depths
+}
+
+func analyze(g *grid.Grid, mesh *grid.Mesh, model soil.Model, cfg Config, inputTime time.Duration) (*Result, error) {
+	if cfg.GPR == 0 {
+		cfg.GPR = 1
+	}
+	if cfg.GPR < 0 || math.IsNaN(cfg.GPR) {
+		return nil, fmt.Errorf("core: invalid GPR %g", cfg.GPR)
+	}
+	res := &Result{Model: model, GPR: cfg.GPR}
+	res.Timings.Input = inputTime
+
+	// Stage: data preprocessing — interface splitting, discretization, DoF
+	// numbering, assembler setup (element Gauss data, kernel expansions).
+	start := time.Now()
+	if mesh == nil {
+		if err := g.CheckBonding(); err != nil {
+			res.Warnings = append(res.Warnings, err.Error())
+		}
+		split := g.SplitAtDepths(interfaceDepths(model)...)
+		var err error
+		mesh, err = grid.DiscretizeN(split, cfg.ElementKind, func(c grid.Conductor) int {
+			n := 1
+			if cfg.MaxElemLen > 0 {
+				n = int(math.Ceil(c.Length() / cfg.MaxElemLen))
+			}
+			if cfg.RodElements > 0 && c.Seg.IsVertical(1e-9) && n < cfg.RodElements {
+				n = cfg.RodElements
+			}
+			if n < 1 {
+				n = 1
+			}
+			return n
+		})
+		if err != nil {
+			return nil, fmt.Errorf("core: preprocess: %w", err)
+		}
+	}
+	res.Mesh = mesh
+	asm, err := bem.New(mesh, model, cfg.BEM)
+	if err != nil {
+		return nil, fmt.Errorf("core: preprocess: %w", err)
+	}
+	res.asm = asm
+	res.Timings.Preprocess = time.Since(start)
+
+	// Stage: matrix generation — the dominant cost for layered soils
+	// (Table 6.1) and the parallelized loop (§6.2).
+	start = time.Now()
+	r, stats, err := asm.Matrix()
+	if err != nil {
+		return nil, fmt.Errorf("core: matrix generation: %w", err)
+	}
+	res.LoopStats = stats
+	res.Timings.MatrixGen = time.Since(start)
+
+	// Stage: linear system solving.
+	start = time.Now()
+	nu := bem.RHS(mesh)
+	switch cfg.Solver {
+	case PCG:
+		tol := cfg.CGTol
+		if tol <= 0 {
+			tol = 1e-10
+		}
+		cg, err := linalg.SolveCGParallel(r, nu, linalg.CGOptions{Tol: tol}, cfg.BEM.Workers)
+		if err != nil {
+			return nil, fmt.Errorf("core: solve: %w", err)
+		}
+		if !cg.Converged {
+			return nil, fmt.Errorf("core: solve: PCG stalled at residual %g", cg.Residual)
+		}
+		res.CG = cg
+		res.Sigma = cg.X
+	case Cholesky:
+		ch, err := linalg.NewCholeskyParallel(r, cfg.BEM.Workers)
+		if err != nil {
+			return nil, fmt.Errorf("core: solve: %w", err)
+		}
+		x, err := ch.Solve(nu)
+		if err != nil {
+			return nil, fmt.Errorf("core: solve: %w", err)
+		}
+		res.Sigma = x
+	default:
+		return nil, fmt.Errorf("core: unknown solver %v", cfg.Solver)
+	}
+	res.Timings.Solve = time.Since(start)
+
+	// Stage: results — design parameters from the solved density (eq. 2.2).
+	start = time.Now()
+	unitCurrent := bem.TotalCurrent(mesh, res.Sigma)
+	if unitCurrent <= 0 || math.IsNaN(unitCurrent) {
+		return nil, fmt.Errorf("core: results: non-physical total current %g", unitCurrent)
+	}
+	res.Req = 1 / unitCurrent
+	res.Current = cfg.GPR * unitCurrent
+	res.Timings.Results = time.Since(start)
+	return res, nil
+}

@@ -1,0 +1,77 @@
+package core
+
+import (
+	"encoding/json"
+	"io"
+	"time"
+)
+
+// JSONReport is the machine-readable form of an analysis result, for
+// integration with external design tools and CI pipelines.
+type JSONReport struct {
+	Soil        string  `json:"soil"`
+	Elements    int     `json:"elements"`
+	DoF         int     `json:"dof"`
+	ElementKind string  `json:"elementKind"`
+	TotalLength float64 `json:"totalLengthM"`
+
+	GPRVolts     float64 `json:"gprVolts"`
+	ReqOhms      float64 `json:"reqOhms"`
+	CurrentAmps  float64 `json:"currentAmps"`
+	CGIterations int     `json:"cgIterations,omitempty"`
+	CGResidual   float64 `json:"cgResidual,omitempty"`
+
+	Timings JSONTimings `json:"timings"`
+
+	Workers          int     `json:"workers,omitempty"`
+	PredictedSpeedup float64 `json:"predictedSpeedup,omitempty"`
+}
+
+// JSONTimings carries the Table 6.1 stage breakdown in nanoseconds.
+type JSONTimings struct {
+	InputNS      int64 `json:"inputNs"`
+	PreprocessNS int64 `json:"preprocessNs"`
+	MatrixGenNS  int64 `json:"matrixGenNs"`
+	SolveNS      int64 `json:"solveNs"`
+	ResultsNS    int64 `json:"resultsNs"`
+	TotalNS      int64 `json:"totalNs"`
+}
+
+// Report builds the machine-readable summary of the result.
+func (r *Result) Report() JSONReport {
+	st := r.Mesh.Stats()
+	rep := JSONReport{
+		Soil:        r.Model.Describe(),
+		Elements:    st.Elements,
+		DoF:         st.DoF,
+		ElementKind: r.Mesh.Kind.String(),
+		TotalLength: st.TotalLength,
+		GPRVolts:    r.GPR,
+		ReqOhms:     r.Req,
+		CurrentAmps: r.Current,
+		Timings: JSONTimings{
+			InputNS:      int64(r.Timings.Input / time.Nanosecond),
+			PreprocessNS: int64(r.Timings.Preprocess / time.Nanosecond),
+			MatrixGenNS:  int64(r.Timings.MatrixGen / time.Nanosecond),
+			SolveNS:      int64(r.Timings.Solve / time.Nanosecond),
+			ResultsNS:    int64(r.Timings.Results / time.Nanosecond),
+			TotalNS:      int64(r.Timings.Total() / time.Nanosecond),
+		},
+	}
+	if r.CG.Iterations > 0 || r.CG.Converged {
+		rep.CGIterations = r.CG.Iterations
+		rep.CGResidual = r.CG.Residual
+	}
+	if r.LoopStats.Workers > 1 {
+		rep.Workers = r.LoopStats.Workers
+		rep.PredictedSpeedup = r.PredictedSpeedup()
+	}
+	return rep
+}
+
+// WriteJSON emits the report as indented JSON.
+func (r *Result) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r.Report())
+}

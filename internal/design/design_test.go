@@ -1,0 +1,134 @@
+package design
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"earthing/internal/core"
+	"earthing/internal/safety"
+	"earthing/internal/soil"
+)
+
+func TestSearchMeetsReqTarget(t *testing.T) {
+	space := Space{Width: 40, Height: 40, MinLines: 3, MaxLines: 8}
+	model := soil.NewUniform(0.02) // 50 Ω·m
+	best, trace, err := Search(space, model, Targets{MaxReq: 0.62}, core.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best == nil || !best.Passes {
+		t.Fatal("no passing candidate")
+	}
+	if best.Result.Req > 0.62 {
+		t.Errorf("best Req = %v exceeds target", best.Result.Req)
+	}
+	// The search returns the cheapest passing layout: all earlier trace
+	// entries must have failed.
+	for _, c := range trace[:len(trace)-1] {
+		if c.Passes {
+			t.Errorf("earlier candidate %dx%d already passed", c.Lines, c.Lines)
+		}
+	}
+	// Denser lattices reduce Req monotonically (with minor numerical slack).
+	for i := 1; i < len(trace); i++ {
+		if trace[i].Result.Req > trace[i-1].Result.Req*1.001 {
+			t.Errorf("Req not decreasing with density: %v -> %v",
+				trace[i-1].Result.Req, trace[i].Result.Req)
+		}
+	}
+}
+
+func TestSearchInfeasible(t *testing.T) {
+	space := Space{Width: 10, Height: 10, MinLines: 2, MaxLines: 3}
+	model := soil.NewUniform(0.001) // 1000 Ω·m: tiny grid cannot reach 0.1 Ω
+	_, trace, err := Search(space, model, Targets{MaxReq: 0.1}, core.Config{})
+	if !errors.Is(err, ErrNoFeasibleDesign) {
+		t.Fatalf("err = %v, want ErrNoFeasibleDesign", err)
+	}
+	if len(trace) != 2 {
+		t.Errorf("trace length %d", len(trace))
+	}
+}
+
+func TestSearchWithSafety(t *testing.T) {
+	space := Space{Width: 50, Height: 50, MinLines: 3, MaxLines: 9, PerimeterRods: 8}
+	model := soil.NewTwoLayer(1.0/150, 1.0/40, 1.5)
+	tg := Targets{
+		FaultCurrent: 1_500,
+		Safety: safety.Criteria{
+			FaultDuration:    0.5,
+			SoilRho:          150,
+			SurfaceRho:       2500,
+			SurfaceThickness: 0.1,
+		},
+		VoltageRes: 2.5, // coarse sampling keeps the test fast
+	}
+	best, trace, err := Search(space, model, tg, core.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !best.Verdict.Safe() {
+		t.Errorf("winning design not safe: %v", best.Verdict)
+	}
+	if best.GPR <= 0 || best.Voltages.MaxTouch <= 0 {
+		t.Errorf("candidate fields unset: %+v", best)
+	}
+	if len(trace) == 0 || trace[len(trace)-1].Lines != best.Lines {
+		t.Error("trace does not end at the winner")
+	}
+}
+
+func TestSearchValidation(t *testing.T) {
+	model := soil.NewUniform(0.02)
+	if _, _, err := Search(Space{}, model, Targets{MaxReq: 1}, core.Config{}); err == nil {
+		t.Error("empty space accepted")
+	}
+	if _, _, err := Search(Space{Width: 10, Height: 10}, model, Targets{}, core.Config{}); err == nil {
+		t.Error("no targets accepted")
+	}
+	if _, _, err := Search(Space{Width: 10, Height: 10}, model,
+		Targets{Safety: safety.Criteria{FaultDuration: 0.5, SoilRho: 50}}, core.Config{}); err == nil {
+		t.Error("safety without fault current accepted")
+	}
+}
+
+func TestRodsReduceReq(t *testing.T) {
+	model := soil.NewUniform(0.02)
+	noRods := Space{Width: 30, Height: 30, Depth: 0.8, Radius: 0.006, MinLines: 4, MaxLines: 4}
+	withRods := noRods
+	withRods.PerimeterRods = 12
+	withRods.RodLength = 4
+	withRods.RodRadius = 0.007
+
+	a, err := Evaluate(noRods.buildCandidate(4), model, Targets{MaxReq: 1e9}, core.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Evaluate(withRods.buildCandidate(4), model, Targets{MaxReq: 1e9}, core.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Result.Req >= a.Result.Req {
+		t.Errorf("rods did not reduce Req: %v vs %v", b.Result.Req, a.Result.Req)
+	}
+	if b.CostLength <= a.CostLength {
+		t.Error("rods should increase cost length")
+	}
+}
+
+func TestPerimeterPointWraps(t *testing.T) {
+	x, y := perimeterPoint(10, 6, 0)
+	if x != 0 || y != 0 {
+		t.Errorf("start = %v,%v", x, y)
+	}
+	x, y = perimeterPoint(10, 6, 13)
+	if math.Abs(x-10) > 1e-12 || math.Abs(y-3) > 1e-12 {
+		t.Errorf("s=13 = %v,%v", x, y)
+	}
+	// s = 29 lies on the west edge, 3 m down from the top-left corner.
+	x, y = perimeterPoint(10, 6, 29)
+	if math.Abs(x) > 1e-12 || math.Abs(y-3) > 1e-12 {
+		t.Errorf("s=29 = %v,%v", x, y)
+	}
+}

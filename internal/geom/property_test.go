@@ -1,0 +1,92 @@
+package geom
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// rotateZ rotates a vector about the z axis (the only rigid rotation that
+// preserves the horizontal-layer structure of the solver).
+func rotateZ(v Vec3, theta float64) Vec3 {
+	c, s := math.Cos(theta), math.Sin(theta)
+	return Vec3{c*v.X - s*v.Y, s*v.X + c*v.Y, v.Z}
+}
+
+// TestQuickDistancesInvariantUnderRigidMotion: segment-point and
+// segment-segment distances are invariant under z-rotations and
+// translations.
+func TestQuickDistancesInvariantUnderRigidMotion(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		s := Seg(randVec(r), randVec(r))
+		u := Seg(randVec(r), randVec(r))
+		p := randVec(r)
+		theta := r.Float64() * 2 * math.Pi
+		d := V(r.NormFloat64()*5, r.NormFloat64()*5, r.NormFloat64()*5)
+
+		move := func(v Vec3) Vec3 { return rotateZ(v, theta).Add(d) }
+		s2 := Seg(move(s.A), move(s.B))
+		u2 := Seg(move(u.A), move(u.B))
+		p2 := move(p)
+
+		tol := 1e-9 * (1 + s.DistToPoint(p))
+		if math.Abs(s.DistToPoint(p)-s2.DistToPoint(p2)) > tol {
+			return false
+		}
+		tol = 1e-9 * (1 + s.DistToSegment(u))
+		return math.Abs(s.DistToSegment(u)-s2.DistToSegment(u2)) <= tol
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickDistToSegmentBounds: the distance is bounded below by the
+// distance of supporting-line projections and above by midpoint distance.
+func TestQuickDistToSegmentBounds(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		s := Seg(randVec(r), randVec(r))
+		u := Seg(randVec(r), randVec(r))
+		d := s.DistToSegment(u)
+		if d < 0 {
+			return false
+		}
+		if d > s.Midpoint().Dist(u.Midpoint())+1e-9 {
+			return false
+		}
+		// Sampling both segments never produces a smaller distance.
+		for i := 0; i <= 8; i++ {
+			for j := 0; j <= 8; j++ {
+				p := s.Point(float64(i) / 8)
+				q := u.Point(float64(j) / 8)
+				if p.Dist(q) < d-1e-9 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickAxialVsEuclidean: the axial (infinite-line) distance never
+// exceeds the segment distance.
+func TestQuickAxialVsEuclidean(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		s := Seg(randVec(r), randVec(r))
+		if s.Length() < 1e-9 {
+			return true
+		}
+		p := randVec(r)
+		return s.AxialDistToPoint(p) <= s.DistToPoint(p)+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,168 @@
+package geom
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestSegmentLengthDir(t *testing.T) {
+	s := Seg(V(0, 0, 0), V(3, 4, 0))
+	if !almostEq(s.Length(), 5, 1e-15) {
+		t.Errorf("Length = %v", s.Length())
+	}
+	d := s.Dir()
+	if !d.ApproxEqual(V(0.6, 0.8, 0), 1e-15) {
+		t.Errorf("Dir = %v", d)
+	}
+	if !s.Midpoint().ApproxEqual(V(1.5, 2, 0), 1e-15) {
+		t.Errorf("Midpoint = %v", s.Midpoint())
+	}
+}
+
+func TestSegmentMirrorPreservesLength(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for i := 0; i < 200; i++ {
+		s := Seg(randVec(r), randVec(r))
+		plane := r.NormFloat64() * 3
+		m := s.Mirror(plane)
+		if !almostEq(s.Length(), m.Length(), 1e-12*(1+s.Length())) {
+			t.Fatalf("mirror changed segment length")
+		}
+		// Images of horizontal segments stay horizontal.
+		h := Seg(V(0, 0, 2), V(5, 1, 2)).Mirror(plane)
+		if !h.IsHorizontal(1e-12) {
+			t.Fatal("mirror broke horizontality")
+		}
+	}
+}
+
+func TestDistToPoint(t *testing.T) {
+	s := Seg(V(0, 0, 0), V(10, 0, 0))
+	cases := []struct {
+		p    Vec3
+		want float64
+	}{
+		{V(5, 3, 0), 3},  // perpendicular interior
+		{V(-4, 3, 0), 5}, // beyond A
+		{V(13, 4, 0), 5}, // beyond B
+		{V(5, 0, 0), 0},  // on segment
+		{V(2, 0, 7), 7},  // above
+		{V(0, 0, 0), 0},  // endpoint
+	}
+	for _, c := range cases {
+		if got := s.DistToPoint(c.p); !almostEq(got, c.want, 1e-12) {
+			t.Errorf("DistToPoint(%v) = %v want %v", c.p, got, c.want)
+		}
+	}
+	// Degenerate segment behaves like a point.
+	d := Seg(V(1, 1, 1), V(1, 1, 1))
+	if got := d.DistToPoint(V(1, 1, 4)); !almostEq(got, 3, 1e-12) {
+		t.Errorf("degenerate DistToPoint = %v", got)
+	}
+}
+
+func TestAxialDistToPoint(t *testing.T) {
+	s := Seg(V(0, 0, 0), V(1, 0, 0))
+	// Axial distance ignores the segment extent: a point far beyond B but
+	// close to the supporting line has a small axial distance.
+	if got := s.AxialDistToPoint(V(100, 2, 0)); !almostEq(got, 2, 1e-9) {
+		t.Errorf("AxialDistToPoint = %v want 2", got)
+	}
+	if got := s.AxialDistToPoint(V(0.5, 0, 0)); !almostEq(got, 0, 1e-12) {
+		t.Errorf("on-axis AxialDistToPoint = %v want 0", got)
+	}
+}
+
+func TestDistToSegment(t *testing.T) {
+	cases := []struct {
+		s, u Segment
+		want float64
+	}{
+		// Crossing perpendicular segments separated vertically.
+		{Seg(V(-1, 0, 0), V(1, 0, 0)), Seg(V(0, -1, 2), V(0, 1, 2)), 2},
+		// Parallel segments.
+		{Seg(V(0, 0, 0), V(10, 0, 0)), Seg(V(0, 3, 0), V(10, 3, 0)), 3},
+		// Collinear, disjoint.
+		{Seg(V(0, 0, 0), V(1, 0, 0)), Seg(V(4, 0, 0), V(6, 0, 0)), 3},
+		// Touching at an endpoint.
+		{Seg(V(0, 0, 0), V(1, 0, 0)), Seg(V(1, 0, 0), V(1, 5, 0)), 0},
+		// Intersecting.
+		{Seg(V(-1, -1, 0), V(1, 1, 0)), Seg(V(-1, 1, 0), V(1, -1, 0)), 0},
+		// Endpoint-to-interior.
+		{Seg(V(0, 0, 0), V(10, 0, 0)), Seg(V(5, 2, 0), V(5, 9, 0)), 2},
+	}
+	for i, c := range cases {
+		if got := c.s.DistToSegment(c.u); !almostEq(got, c.want, 1e-9) {
+			t.Errorf("case %d: DistToSegment = %v want %v", i, got, c.want)
+		}
+		// Symmetry.
+		if got, rev := c.s.DistToSegment(c.u), c.u.DistToSegment(c.s); !almostEq(got, rev, 1e-9) {
+			t.Errorf("case %d: asymmetric distance %v vs %v", i, got, rev)
+		}
+	}
+}
+
+func TestDistToSegmentLowerBound(t *testing.T) {
+	// The segment-segment distance never exceeds any endpoint-to-segment
+	// distance, and is never negative.
+	r := rand.New(rand.NewSource(42))
+	for i := 0; i < 500; i++ {
+		s := Seg(randVec(r), randVec(r))
+		u := Seg(randVec(r), randVec(r))
+		d := s.DistToSegment(u)
+		if d < 0 {
+			t.Fatal("negative distance")
+		}
+		ub := math.Min(
+			math.Min(u.DistToPoint(s.A), u.DistToPoint(s.B)),
+			math.Min(s.DistToPoint(u.A), s.DistToPoint(u.B)),
+		)
+		if d > ub+1e-9 {
+			t.Fatalf("distance %v exceeds endpoint bound %v", d, ub)
+		}
+	}
+}
+
+func TestHorizontalVerticalClassification(t *testing.T) {
+	if !Seg(V(0, 0, 0.8), V(5, 3, 0.8)).IsHorizontal(1e-12) {
+		t.Error("horizontal segment misclassified")
+	}
+	if !Seg(V(2, 2, 0.8), V(2, 2, 2.3)).IsVertical(1e-12) {
+		t.Error("vertical segment misclassified")
+	}
+	if Seg(V(0, 0, 0), V(1, 0, 1)).IsHorizontal(1e-12) {
+		t.Error("slanted segment classified horizontal")
+	}
+}
+
+func TestAABB(t *testing.T) {
+	b := EmptyAABB()
+	if !b.IsEmpty() {
+		t.Fatal("EmptyAABB not empty")
+	}
+	b = b.ExtendSegment(Seg(V(1, 2, 3), V(-1, 5, 0)))
+	b = b.Extend(V(0, 0, 10))
+	if b.IsEmpty() {
+		t.Fatal("extended box still empty")
+	}
+	if b.Min != (Vec3{-1, 0, 0}) || b.Max != (Vec3{1, 5, 10}) {
+		t.Errorf("box = %+v", b)
+	}
+	if got := b.Size(); got != (Vec3{2, 5, 10}) {
+		t.Errorf("Size = %v", got)
+	}
+	if got := b.Center(); !got.ApproxEqual(V(0, 2.5, 5), 1e-15) {
+		t.Errorf("Center = %v", got)
+	}
+}
+
+func TestSegmentPointParam(t *testing.T) {
+	s := Seg(V(0, 0, 0), V(2, 4, 6))
+	if got := s.Point(0.25); !got.ApproxEqual(V(0.5, 1, 1.5), 1e-15) {
+		t.Errorf("Point(0.25) = %v", got)
+	}
+	if s.Reverse().A != s.B || s.Reverse().B != s.A {
+		t.Error("Reverse wrong")
+	}
+}

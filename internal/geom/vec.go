@@ -1,0 +1,101 @@
+// Package geom provides the small 3-D vector and segment kernel used by the
+// boundary-element grounding solver.
+//
+// The coordinate convention throughout the module is:
+//
+//   - x, y span the (horizontal) earth surface plane,
+//   - z is depth, positive downwards, with z = 0 on the earth surface.
+//
+// Horizontal layer interfaces are therefore planes of constant z, and the
+// "method of images" used by the layered-soil Green's functions reduces to
+// reflections across such planes (see Mirror and Segment.Mirror).
+package geom
+
+import "math"
+
+// Vec3 is a point or displacement in 3-D space. The zero value is the origin.
+type Vec3 struct {
+	X, Y, Z float64
+}
+
+// V constructs a Vec3. It exists to keep call sites short in numeric code.
+func V(x, y, z float64) Vec3 { return Vec3{x, y, z} }
+
+// Add returns v + w.
+func (v Vec3) Add(w Vec3) Vec3 { return Vec3{v.X + w.X, v.Y + w.Y, v.Z + w.Z} }
+
+// Sub returns v − w.
+func (v Vec3) Sub(w Vec3) Vec3 { return Vec3{v.X - w.X, v.Y - w.Y, v.Z - w.Z} }
+
+// Scale returns s·v.
+func (v Vec3) Scale(s float64) Vec3 { return Vec3{s * v.X, s * v.Y, s * v.Z} }
+
+// Dot returns the Euclidean inner product v·w.
+func (v Vec3) Dot(w Vec3) float64 { return v.X*w.X + v.Y*w.Y + v.Z*w.Z }
+
+// Cross returns the vector product v × w.
+func (v Vec3) Cross(w Vec3) Vec3 {
+	return Vec3{
+		v.Y*w.Z - v.Z*w.Y,
+		v.Z*w.X - v.X*w.Z,
+		v.X*w.Y - v.Y*w.X,
+	}
+}
+
+// Norm returns the Euclidean length |v|.
+func (v Vec3) Norm() float64 { return math.Sqrt(v.Dot(v)) }
+
+// Norm2 returns the squared Euclidean length v·v.
+func (v Vec3) Norm2() float64 { return v.Dot(v) }
+
+// Dist returns |v − w|.
+func (v Vec3) Dist(w Vec3) float64 { return v.Sub(w).Norm() }
+
+// Unit returns v/|v|. It returns the zero vector when |v| is exactly zero so
+// that degenerate inputs stay finite rather than producing NaNs.
+func (v Vec3) Unit() Vec3 {
+	n := v.Norm()
+	if n == 0 {
+		return Vec3{}
+	}
+	return v.Scale(1 / n)
+}
+
+// Lerp returns the affine interpolation (1−t)·v + t·w.
+func (v Vec3) Lerp(w Vec3, t float64) Vec3 {
+	return Vec3{
+		v.X + t*(w.X-v.X),
+		v.Y + t*(w.Y-v.Y),
+		v.Z + t*(w.Z-v.Z),
+	}
+}
+
+// Mirror returns the reflection of v across the horizontal plane z = planeZ.
+// This is the elementary operation of the method of images for horizontally
+// stratified soils: the image of a current source at depth z with respect to
+// the earth surface (planeZ = 0) or a layer interface (planeZ = h).
+func (v Vec3) Mirror(planeZ float64) Vec3 {
+	return Vec3{v.X, v.Y, 2*planeZ - v.Z}
+}
+
+// WithZ returns a copy of v with its depth coordinate replaced by z.
+func (v Vec3) WithZ(z float64) Vec3 { return Vec3{v.X, v.Y, z} }
+
+// HorizontalDist returns the distance between the projections of v and w on
+// the earth-surface plane.
+func (v Vec3) HorizontalDist(w Vec3) float64 {
+	dx, dy := v.X-w.X, v.Y-w.Y
+	return math.Hypot(dx, dy)
+}
+
+// ApproxEqual reports whether v and w agree within tol in every component.
+func (v Vec3) ApproxEqual(w Vec3, tol float64) bool {
+	return math.Abs(v.X-w.X) <= tol && math.Abs(v.Y-w.Y) <= tol && math.Abs(v.Z-w.Z) <= tol
+}
+
+// IsFinite reports whether all components are finite (no NaN, no ±Inf).
+func (v Vec3) IsFinite() bool {
+	return !math.IsNaN(v.X) && !math.IsInf(v.X, 0) &&
+		!math.IsNaN(v.Y) && !math.IsInf(v.Y, 0) &&
+		!math.IsNaN(v.Z) && !math.IsInf(v.Z, 0)
+}

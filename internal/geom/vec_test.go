@@ -1,0 +1,141 @@
+package geom
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func randVec(r *rand.Rand) Vec3 {
+	return Vec3{r.NormFloat64() * 10, r.NormFloat64() * 10, r.NormFloat64() * 10}
+}
+
+func TestVecBasicOps(t *testing.T) {
+	v := V(1, 2, 3)
+	w := V(4, -5, 6)
+	if got := v.Add(w); got != (Vec3{5, -3, 9}) {
+		t.Errorf("Add = %v", got)
+	}
+	if got := v.Sub(w); got != (Vec3{-3, 7, -3}) {
+		t.Errorf("Sub = %v", got)
+	}
+	if got := v.Scale(2); got != (Vec3{2, 4, 6}) {
+		t.Errorf("Scale = %v", got)
+	}
+	if got := v.Dot(w); got != 1*4+2*(-5)+3*6 {
+		t.Errorf("Dot = %v", got)
+	}
+	if got := v.Norm(); !almostEq(got, math.Sqrt(14), 1e-15) {
+		t.Errorf("Norm = %v", got)
+	}
+	if got := v.Norm2(); got != 14 {
+		t.Errorf("Norm2 = %v", got)
+	}
+}
+
+func TestCrossOrthogonality(t *testing.T) {
+	v := V(1, 2, 3)
+	w := V(-2, 0.5, 4)
+	c := v.Cross(w)
+	if !almostEq(c.Dot(v), 0, 1e-12) || !almostEq(c.Dot(w), 0, 1e-12) {
+		t.Errorf("cross product not orthogonal: %v", c)
+	}
+	// |v×w|² + (v·w)² = |v|²|w|² (Lagrange identity)
+	lhs := c.Norm2() + v.Dot(w)*v.Dot(w)
+	rhs := v.Norm2() * w.Norm2()
+	if !almostEq(lhs, rhs, 1e-9*rhs) {
+		t.Errorf("Lagrange identity violated: %v vs %v", lhs, rhs)
+	}
+}
+
+func TestUnitZeroSafe(t *testing.T) {
+	if got := (Vec3{}).Unit(); got != (Vec3{}) {
+		t.Errorf("Unit of zero vector = %v, want zero", got)
+	}
+	u := V(3, 4, 0).Unit()
+	if !almostEq(u.Norm(), 1, 1e-15) {
+		t.Errorf("|Unit| = %v", u.Norm())
+	}
+}
+
+func TestMirrorInvolution(t *testing.T) {
+	f := func(x, y, z, plane float64) bool {
+		// Map arbitrary float64 inputs into a physically sensible range so
+		// the identity is not defeated by overflow of 2*plane − z.
+		x, y, z, plane = math.Mod(x, 1e3), math.Mod(y, 1e3), math.Mod(z, 1e3), math.Mod(plane, 1e3)
+		if math.IsNaN(x) || math.IsNaN(y) || math.IsNaN(z) || math.IsNaN(plane) {
+			return true
+		}
+		v := Vec3{x, y, z}
+		m := v.Mirror(plane)
+		// Mirroring twice restores the point (up to roundoff); x,y unchanged;
+		// the midpoint of v and its image lies on the plane.
+		tol := 1e-9 * (1 + math.Abs(z) + math.Abs(plane))
+		return m.Mirror(plane).ApproxEqual(v, tol) &&
+			m.X == v.X && m.Y == v.Y &&
+			almostEq((m.Z+v.Z)/2, plane, tol)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMirrorPreservesDistances(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for i := 0; i < 200; i++ {
+		a, b := randVec(r), randVec(r)
+		plane := r.NormFloat64() * 5
+		d0 := a.Dist(b)
+		d1 := a.Mirror(plane).Dist(b.Mirror(plane))
+		if !almostEq(d0, d1, 1e-9*(1+d0)) {
+			t.Fatalf("mirror changed distance: %v vs %v", d0, d1)
+		}
+	}
+}
+
+func TestLerpEndpoints(t *testing.T) {
+	a, b := V(1, 2, 3), V(-4, 5, 9)
+	if a.Lerp(b, 0) != a || a.Lerp(b, 1) != b {
+		t.Error("Lerp endpoints wrong")
+	}
+	mid := a.Lerp(b, 0.5)
+	want := a.Add(b).Scale(0.5)
+	if !mid.ApproxEqual(want, 1e-15) {
+		t.Errorf("Lerp midpoint = %v want %v", mid, want)
+	}
+}
+
+func TestHorizontalDist(t *testing.T) {
+	a := V(0, 0, 100)
+	b := V(3, 4, -7)
+	if got := a.HorizontalDist(b); !almostEq(got, 5, 1e-15) {
+		t.Errorf("HorizontalDist = %v", got)
+	}
+}
+
+func TestIsFinite(t *testing.T) {
+	if !V(1, 2, 3).IsFinite() {
+		t.Error("finite vector reported non-finite")
+	}
+	if (Vec3{math.NaN(), 0, 0}).IsFinite() {
+		t.Error("NaN vector reported finite")
+	}
+	if (Vec3{0, math.Inf(1), 0}).IsFinite() {
+		t.Error("Inf vector reported finite")
+	}
+}
+
+func TestTriangleInequalityProperty(t *testing.T) {
+	f := func(ax, ay, az, bx, by, bz, cx, cy, cz float64) bool {
+		a := Vec3{ax, ay, az}
+		b := Vec3{bx, by, bz}
+		c := Vec3{cx, cy, cz}
+		return a.Dist(c) <= a.Dist(b)+b.Dist(c)+1e-9*(1+a.Dist(c))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,103 @@
+package grid
+
+import "fmt"
+
+// ConnectedComponents returns the number of electrically distinct conductor
+// groups in the grid, treating conductors whose endpoints coincide (within
+// the meshing node tolerance) as bonded.
+//
+// The BEM formulation imposes the same potential on every electrode (the
+// equipotential hypothesis of §2), which physically requires the grid to be
+// a single bonded network; a floating rod in a grid file is almost always a
+// data-entry error. Components > 1 is therefore worth a warning before an
+// analysis — see CheckBonding.
+func (g *Grid) ConnectedComponents() int {
+	n := len(g.Conductors)
+	if n == 0 {
+		return 0
+	}
+	// Union-find over conductor endpoints.
+	parent := make([]int, 2*n)
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	union := func(a, b int) {
+		ra, rb := find(a), find(b)
+		if ra != rb {
+			parent[ra] = rb
+		}
+	}
+	// Conductor i's endpoints are vertices 2i and 2i+1, always bonded.
+	nodes := map[nodeKey]int{}
+	vertex := func(i int, isB bool) int {
+		v := 2 * i
+		if isB {
+			v++
+		}
+		return v
+	}
+	for i, c := range g.Conductors {
+		union(vertex(i, false), vertex(i, true))
+		for _, end := range []struct {
+			key nodeKey
+			v   int
+		}{
+			{keyOf(c.Seg.A), vertex(i, false)},
+			{keyOf(c.Seg.B), vertex(i, true)},
+		} {
+			if first, ok := nodes[end.key]; ok {
+				union(first, end.v)
+			} else {
+				nodes[end.key] = end.v
+			}
+		}
+	}
+	// Endpoints landing mid-span of another conductor (e.g. rod tops welded
+	// to a perimeter conductor between its lattice nodes) also bond.
+	const tol = 1e-6
+	for i, c := range g.Conductors {
+		for j, d := range g.Conductors {
+			if i == j {
+				continue
+			}
+			if d.Seg.DistToPoint(c.Seg.A) <= tol {
+				union(vertex(i, false), vertex(j, false))
+			}
+			if d.Seg.DistToPoint(c.Seg.B) <= tol {
+				union(vertex(i, true), vertex(j, false))
+			}
+		}
+	}
+	roots := map[int]bool{}
+	for i := 0; i < n; i++ {
+		roots[find(vertex(i, false))] = true
+	}
+	return len(roots)
+}
+
+// CheckBonding returns nil when the grid is a single bonded network and a
+// descriptive error otherwise. It does not detect conductors that merely
+// cross mid-span (the meshers bond only shared endpoints); split such
+// conductors at their crossing points first.
+func (g *Grid) CheckBonding() error {
+	if n := g.ConnectedComponents(); n > 1 {
+		return &BondingError{Components: n}
+	}
+	return nil
+}
+
+// BondingError reports an electrically fragmented grid.
+type BondingError struct{ Components int }
+
+// Error implements error.
+func (e *BondingError) Error() string {
+	return fmt.Sprintf("grid: conductors form %d disconnected groups; the equipotential hypothesis assumes a single bonded network", e.Components)
+}

@@ -1,0 +1,76 @@
+package grid
+
+import (
+	"errors"
+	"testing"
+
+	"earthing/internal/geom"
+)
+
+func TestConnectedComponentsSingleNetwork(t *testing.T) {
+	g := RectMesh(0, 0, 20, 20, 3, 3, 0.8, 0.006)
+	if got := g.ConnectedComponents(); got != 1 {
+		t.Errorf("rect mesh components = %d", got)
+	}
+	if err := g.CheckBonding(); err != nil {
+		t.Errorf("bonded grid rejected: %v", err)
+	}
+	if (&Grid{}).ConnectedComponents() != 0 {
+		t.Error("empty grid components wrong")
+	}
+}
+
+func TestConnectedComponentsDetectsFloatingRod(t *testing.T) {
+	g := RectMesh(0, 0, 20, 20, 3, 3, 0.8, 0.006)
+	// Rod bonded to a lattice node.
+	g.AddRod(0, 0, 0.8, 2, 0.007)
+	if got := g.ConnectedComponents(); got != 1 {
+		t.Fatalf("bonded rod made %d components", got)
+	}
+	// Rod floating 5 m outside the grid.
+	g.AddRod(30, 30, 0.8, 2, 0.007)
+	if got := g.ConnectedComponents(); got != 2 {
+		t.Fatalf("floating rod not detected: %d components", got)
+	}
+	err := g.CheckBonding()
+	var be *BondingError
+	if !errors.As(err, &be) || be.Components != 2 {
+		t.Errorf("CheckBonding = %v", err)
+	}
+}
+
+func TestConnectedComponentsChains(t *testing.T) {
+	// Two chains sharing no nodes.
+	g := &Grid{}
+	g.AddConductor(geom.V(0, 0, 1), geom.V(5, 0, 1), 0.005)
+	g.AddConductor(geom.V(5, 0, 1), geom.V(10, 0, 1), 0.005)
+	g.AddConductor(geom.V(0, 10, 1), geom.V(5, 10, 1), 0.005)
+	if got := g.ConnectedComponents(); got != 2 {
+		t.Errorf("components = %d, want 2", got)
+	}
+	// Bridge them.
+	g.AddConductor(geom.V(10, 0, 1), geom.V(5, 10, 1), 0.005)
+	if got := g.ConnectedComponents(); got != 1 {
+		t.Errorf("bridged components = %d, want 1", got)
+	}
+}
+
+func TestPaperGridsAreBonded(t *testing.T) {
+	if err := Barbera().CheckBonding(); err != nil {
+		t.Errorf("Barberá: %v", err)
+	}
+	// Balaidos rods attach mid-span of perimeter conductors; the
+	// endpoint-on-span bonding pass must recognize them.
+	if err := Balaidos().CheckBonding(); err != nil {
+		t.Errorf("Balaidos: %v", err)
+	}
+}
+
+func TestMidSpanAttachmentBonds(t *testing.T) {
+	g := &Grid{}
+	g.AddConductor(geom.V(0, 0, 0.8), geom.V(10, 0, 0.8), 0.006)
+	g.AddRod(5, 0, 0.8, 2, 0.007) // top at mid-span of the conductor
+	if got := g.ConnectedComponents(); got != 1 {
+		t.Errorf("mid-span rod not bonded: %d components", got)
+	}
+}

@@ -1,0 +1,100 @@
+package grid
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"earthing/internal/geom"
+)
+
+// The grid text format is line oriented:
+//
+//	# comment (also after '#' anywhere on a line)
+//	name <grid name>
+//	conductor <x1> <y1> <z1> <x2> <y2> <z2> <radius>
+//	rod <x> <y> <top-depth> <length> <radius>
+//
+// Lengths are metres; z is depth, positive downwards. Blank lines are
+// ignored.
+
+// Write serializes the grid in the text format.
+func Write(w io.Writer, g *Grid) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "# grounding grid, %d conductors, total length %.2f m\n",
+		len(g.Conductors), g.TotalLength())
+	if g.Name != "" {
+		fmt.Fprintf(bw, "name %s\n", g.Name)
+	}
+	for _, c := range g.Conductors {
+		if c.Seg.IsVertical(1e-9) && c.Seg.B.Z > c.Seg.A.Z {
+			fmt.Fprintf(bw, "rod %.6g %.6g %.6g %.6g %.6g\n",
+				c.Seg.A.X, c.Seg.A.Y, c.Seg.A.Z, c.Seg.Length(), c.Radius)
+			continue
+		}
+		fmt.Fprintf(bw, "conductor %.6g %.6g %.6g %.6g %.6g %.6g %.6g\n",
+			c.Seg.A.X, c.Seg.A.Y, c.Seg.A.Z,
+			c.Seg.B.X, c.Seg.B.Y, c.Seg.B.Z, c.Radius)
+	}
+	return bw.Flush()
+}
+
+// Read parses a grid from the text format.
+func Read(r io.Reader) (*Grid, error) {
+	g := &Grid{}
+	sc := bufio.NewScanner(r)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		fields := strings.Fields(line)
+		if len(fields) == 0 {
+			continue
+		}
+		switch fields[0] {
+		case "name":
+			if len(fields) < 2 {
+				return nil, fmt.Errorf("grid: line %d: name requires a value", lineNo)
+			}
+			g.Name = strings.Join(fields[1:], " ")
+		case "conductor":
+			v, err := parseFloats(fields[1:], 7)
+			if err != nil {
+				return nil, fmt.Errorf("grid: line %d: conductor: %v", lineNo, err)
+			}
+			g.AddConductor(geom.V(v[0], v[1], v[2]), geom.V(v[3], v[4], v[5]), v[6])
+		case "rod":
+			v, err := parseFloats(fields[1:], 5)
+			if err != nil {
+				return nil, fmt.Errorf("grid: line %d: rod: %v", lineNo, err)
+			}
+			g.AddRod(v[0], v[1], v[2], v[3], v[4])
+		default:
+			return nil, fmt.Errorf("grid: line %d: unknown directive %q", lineNo, fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return g, g.Validate()
+}
+
+func parseFloats(fields []string, n int) ([]float64, error) {
+	if len(fields) != n {
+		return nil, fmt.Errorf("want %d values, got %d", n, len(fields))
+	}
+	out := make([]float64, n)
+	for i, f := range fields {
+		v, err := strconv.ParseFloat(f, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad number %q", f)
+		}
+		out[i] = v
+	}
+	return out, nil
+}

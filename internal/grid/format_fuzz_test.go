@@ -1,0 +1,97 @@
+package grid
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"earthing/internal/geom"
+)
+
+// TestReadNeverPanics feeds randomly corrupted inputs to the parser: it may
+// reject them, but must never panic.
+func TestReadNeverPanics(t *testing.T) {
+	tokens := []string{
+		"conductor", "rod", "name", "#", "\n", " ", "0", "-1", "1e308", "NaN",
+		"0.8", "10", "abc", "1e-12", "Inf", "-Inf", "conductor 0 0 0.8 10 0 0.8 0.006\n",
+	}
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		var sb strings.Builder
+		for i := 0; i < r.Intn(40); i++ {
+			sb.WriteString(tokens[r.Intn(len(tokens))])
+			if r.Intn(3) == 0 {
+				sb.WriteByte('\n')
+			} else {
+				sb.WriteByte(' ')
+			}
+		}
+		defer func() {
+			if p := recover(); p != nil {
+				t.Fatalf("Read panicked on %q: %v", sb.String(), p)
+			}
+		}()
+		_, _ = Read(strings.NewReader(sb.String()))
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestReadRejectsNonFiniteCoordinates ensures NaN/Inf coordinates are caught
+// by validation rather than propagating into the solver.
+func TestReadRejectsNonFiniteCoordinates(t *testing.T) {
+	cases := []string{
+		"conductor NaN 0 0.8 10 0 0.8 0.006",
+		"conductor 0 0 0.8 Inf 0 0.8 0.006",
+		"rod 0 0 0.8 +Inf 0.007",
+	}
+	for _, c := range cases {
+		if _, err := Read(strings.NewReader(c)); err == nil {
+			t.Errorf("input %q accepted", c)
+		}
+	}
+}
+
+// TestSplitAtDepthsProperties: splitting preserves total length and never
+// leaves a conductor crossing a split plane.
+func TestSplitAtDepthsProperties(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		g := &Grid{}
+		for i := 0; i < 1+r.Intn(8); i++ {
+			x, y := r.Float64()*50, r.Float64()*50
+			z1, z2 := r.Float64()*4, r.Float64()*4
+			if z1 == z2 {
+				z2 += 0.5
+			}
+			g.AddConductor(
+				geom.V(x, y, z1),
+				geom.V(x+0.5+r.Float64()*10, y+r.Float64()*10, z2),
+				0.005,
+			)
+		}
+		depths := []float64{0.5 + r.Float64()*1.5, 2 + r.Float64()}
+		s := g.SplitAtDepths(depths...)
+		if diff := s.TotalLength() - g.TotalLength(); diff > 1e-9 || diff < -1e-9 {
+			return false
+		}
+		for _, c := range s.Conductors {
+			lo, hi := c.Seg.A.Z, c.Seg.B.Z
+			if lo > hi {
+				lo, hi = hi, lo
+			}
+			for _, d := range depths {
+				if d > lo+1e-9 && d < hi-1e-9 {
+					return false // still crosses a plane
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,29 @@
+package grid
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"strings"
+	"testing"
+)
+
+// The built-in paper grids must be bit-stable: the reproduction quality of
+// EXPERIMENTS.md depends on these exact geometries. If a deliberate
+// generator change alters them, update the digests and re-run
+// cmd/paperbench to refresh the recorded numbers.
+func TestGoldenGeometries(t *testing.T) {
+	digest := func(g *Grid) string {
+		var sb strings.Builder
+		if err := Write(&sb, g); err != nil {
+			t.Fatal(err)
+		}
+		sum := sha256.Sum256([]byte(sb.String()))
+		return hex.EncodeToString(sum[:8])
+	}
+	if got := digest(Barbera()); got != "bf2b2741caaca1dd" {
+		t.Errorf("Barberá geometry changed: digest %s", got)
+	}
+	if got := digest(Balaidos()); got != "f177e5e56df4a46f" {
+		t.Errorf("Balaidos geometry changed: digest %s", got)
+	}
+}

@@ -1,0 +1,171 @@
+// Package grid models grounding grids — meshes of interconnected bare
+// cylindrical conductors, horizontally buried and supplemented by vertical
+// ground rods (§1 of the paper) — and their discretization into the 1-D
+// boundary elements used by the solver.
+//
+// It also provides generators for the two real grids of the paper's
+// evaluation: the Barberá right-triangle grid (Fig 5.1) and the Balaidos
+// grid with vertical rods (Fig 5.3), plus generic rectangular-mesh builders,
+// and a small text file format for grid exchange.
+package grid
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"earthing/internal/geom"
+)
+
+// Conductor is one straight bare cylindrical electrode: a segment of the
+// grid axis with a radius. The thin-wire BEM assumes Radius ≪ Length
+// (the paper quotes diameter/length ∼ 10⁻³).
+type Conductor struct {
+	Seg    geom.Segment
+	Radius float64 // m
+}
+
+// Length returns the conductor axis length.
+func (c Conductor) Length() float64 { return c.Seg.Length() }
+
+// Grid is a grounding grid: a named set of conductors, all expected to be
+// buried (z ≥ 0, z positive downwards).
+type Grid struct {
+	Name       string
+	Conductors []Conductor
+}
+
+// Validate checks the grid for modelling errors: empty grids, non-positive
+// radii, degenerate (zero-length) conductors, electrodes above the earth
+// surface, and radii too large for the thin-wire hypothesis.
+func (g *Grid) Validate() error {
+	if len(g.Conductors) == 0 {
+		return errors.New("grid: no conductors")
+	}
+	for i, c := range g.Conductors {
+		l := c.Length()
+		switch {
+		case !(c.Radius > 0):
+			return fmt.Errorf("grid: conductor %d has non-positive radius %g", i, c.Radius)
+		case l == 0:
+			return fmt.Errorf("grid: conductor %d has zero length", i)
+		case c.Seg.A.Z < 0 || c.Seg.B.Z < 0:
+			return fmt.Errorf("grid: conductor %d is above the earth surface (z < 0)", i)
+		case c.Radius >= l/2:
+			return fmt.Errorf("grid: conductor %d radius %g violates thin-wire assumption (length %g)",
+				i, c.Radius, l)
+		case !c.Seg.A.IsFinite() || !c.Seg.B.IsFinite():
+			return fmt.Errorf("grid: conductor %d has non-finite coordinates", i)
+		}
+	}
+	return nil
+}
+
+// TotalLength returns the summed axis length of all conductors.
+func (g *Grid) TotalLength() float64 {
+	var t float64
+	for _, c := range g.Conductors {
+		t += c.Length()
+	}
+	return t
+}
+
+// Bounds returns the axis-aligned bounding box of the grid.
+func (g *Grid) Bounds() geom.AABB {
+	b := geom.EmptyAABB()
+	for _, c := range g.Conductors {
+		b = b.ExtendSegment(c.Seg)
+	}
+	return b
+}
+
+// PlanArea returns the area of the bounding rectangle of the grid's
+// horizontal projection — a convenient scale for IEEE-style estimates (the
+// true protected area depends on the grid outline).
+func (g *Grid) PlanArea() float64 {
+	b := g.Bounds()
+	if b.IsEmpty() {
+		return 0
+	}
+	s := b.Size()
+	return s.X * s.Y
+}
+
+// DepthRange returns the minimum and maximum electrode depths.
+func (g *Grid) DepthRange() (min, max float64) {
+	min, max = math.Inf(1), math.Inf(-1)
+	for _, c := range g.Conductors {
+		min = math.Min(min, math.Min(c.Seg.A.Z, c.Seg.B.Z))
+		max = math.Max(max, math.Max(c.Seg.A.Z, c.Seg.B.Z))
+	}
+	return min, max
+}
+
+// NumRods counts vertical conductors (rods).
+func (g *Grid) NumRods() int {
+	n := 0
+	for _, c := range g.Conductors {
+		if c.Seg.IsVertical(1e-9) {
+			n++
+		}
+	}
+	return n
+}
+
+// AddConductor appends a conductor between two points.
+func (g *Grid) AddConductor(a, b geom.Vec3, radius float64) {
+	g.Conductors = append(g.Conductors, Conductor{Seg: geom.Seg(a, b), Radius: radius})
+}
+
+// AddRod appends a vertical rod with its top at (x, y, top) extending down
+// by length.
+func (g *Grid) AddRod(x, y, top, length, radius float64) {
+	g.AddConductor(geom.V(x, y, top), geom.V(x, y, top+length), radius)
+}
+
+// SplitAtDepths returns a copy of the grid in which every conductor that
+// crosses one of the given horizontal planes is split at the crossing
+// points. The BEM kernels require each source element to lie wholly within
+// one soil layer, so grids must be split at the layer interface depths
+// before discretization (e.g. the Balaidos model C rods, which straddle the
+// 1 m interface, §5.2).
+func (g *Grid) SplitAtDepths(depths ...float64) *Grid {
+	out := &Grid{Name: g.Name}
+	for _, c := range g.Conductors {
+		za, zb := c.Seg.A.Z, c.Seg.B.Z
+		lo, hi := math.Min(za, zb), math.Max(za, zb)
+		// Collect interior crossing parameters.
+		var ts []float64
+		for _, d := range depths {
+			if d <= lo || d >= hi {
+				continue
+			}
+			t := (d - za) / (zb - za)
+			if t > 1e-9 && t < 1-1e-9 {
+				ts = append(ts, t)
+			}
+		}
+		if len(ts) == 0 {
+			out.Conductors = append(out.Conductors, c)
+			continue
+		}
+		sortFloats(ts)
+		prev := 0.0
+		for _, t := range ts {
+			out.AddConductor(c.Seg.Point(prev), c.Seg.Point(t), c.Radius)
+			prev = t
+		}
+		out.AddConductor(c.Seg.Point(prev), c.Seg.B, c.Radius)
+	}
+	return out
+}
+
+// sortFloats sorts a tiny slice in place (insertion sort; crossing lists
+// rarely exceed two or three entries).
+func sortFloats(x []float64) {
+	for i := 1; i < len(x); i++ {
+		for j := i; j > 0 && x[j] < x[j-1]; j-- {
+			x[j], x[j-1] = x[j-1], x[j]
+		}
+	}
+}

@@ -1,0 +1,199 @@
+package grid
+
+import (
+	"fmt"
+	"math"
+
+	"earthing/internal/geom"
+)
+
+// ElementKind selects the trial/test function family of the discretization
+// (§4.1 of the paper: "for given sets of N trial functions…").
+type ElementKind int
+
+const (
+	// Linear elements carry two nodal degrees of freedom with hat shape
+	// functions; nodes shared between connected elements make the leakage
+	// density continuous across junctions. This is the discretization of the
+	// paper's examples (Barberá: 408 linear elements → 238 DoF).
+	Linear ElementKind = iota
+	// Constant elements carry one degree of freedom each (piecewise-constant
+	// leakage density).
+	Constant
+)
+
+// String implements fmt.Stringer.
+func (k ElementKind) String() string {
+	switch k {
+	case Linear:
+		return "linear"
+	case Constant:
+		return "constant"
+	default:
+		return fmt.Sprintf("ElementKind(%d)", int(k))
+	}
+}
+
+// Element is one 1-D boundary element on a conductor axis.
+type Element struct {
+	Seg    geom.Segment
+	Radius float64
+	// DoF holds the global degree-of-freedom indices: both entries for
+	// Linear (DoF[0] at Seg.A, DoF[1] at Seg.B), only DoF[0] for Constant.
+	DoF [2]int
+}
+
+// Mesh is a discretized grid: the elements plus the global DoF numbering.
+type Mesh struct {
+	Kind     ElementKind
+	Elements []Element
+	// NumDoF is the order N of the linear system (4.4).
+	NumDoF int
+	// NodePos[d] is the position of DoF d: the shared node for Linear
+	// meshes, the element midpoint for Constant meshes.
+	NodePos []geom.Vec3
+}
+
+// nodeKey quantizes a coordinate for node deduplication. Grid coordinates
+// are metres; 10 µm resolution is far below any construction tolerance.
+type nodeKey struct{ x, y, z int64 }
+
+func keyOf(p geom.Vec3) nodeKey {
+	const q = 1e5 // 10 µm
+	return nodeKey{
+		x: int64(math.Round(p.X * q)),
+		y: int64(math.Round(p.Y * q)),
+		z: int64(math.Round(p.Z * q)),
+	}
+}
+
+// Discretize builds a mesh from the grid. Each conductor is subdivided into
+// ceil(length/maxElemLen) equal elements; maxElemLen ≤ 0 keeps one element
+// per conductor (the paper's discretization). For Linear meshes, element
+// endpoints that coincide (within 10 µm) share a degree of freedom, which is
+// how the 408 Barberá elements collapse to 238 unknowns.
+func Discretize(g *Grid, kind ElementKind, maxElemLen float64) (*Mesh, error) {
+	return DiscretizeN(g, kind, func(c Conductor) int {
+		if maxElemLen <= 0 {
+			return 1
+		}
+		n := int(math.Ceil(c.Length() / maxElemLen))
+		if n < 1 {
+			n = 1
+		}
+		return n
+	})
+}
+
+// DiscretizeN is Discretize with an explicit per-conductor subdivision
+// count. It allows mixed discretizations such as the paper's Balaidos model
+// (one element per grid span, two per vertical rod → 241 elements).
+func DiscretizeN(g *Grid, kind ElementKind, nFor func(Conductor) int) (*Mesh, error) {
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	m := &Mesh{Kind: kind}
+	nodeIDs := map[nodeKey]int{}
+	nodeAt := func(p geom.Vec3) int {
+		k := keyOf(p)
+		if id, ok := nodeIDs[k]; ok {
+			return id
+		}
+		id := len(m.NodePos)
+		nodeIDs[k] = id
+		m.NodePos = append(m.NodePos, p)
+		return id
+	}
+
+	for _, c := range g.Conductors {
+		n := nFor(c)
+		if n < 1 {
+			n = 1
+		}
+		for i := 0; i < n; i++ {
+			a := c.Seg.Point(float64(i) / float64(n))
+			b := c.Seg.Point(float64(i+1) / float64(n))
+			el := Element{Seg: geom.Seg(a, b), Radius: c.Radius}
+			switch kind {
+			case Linear:
+				el.DoF[0] = nodeAt(a)
+				el.DoF[1] = nodeAt(b)
+				if el.DoF[0] == el.DoF[1] {
+					return nil, fmt.Errorf("grid: element shorter than node tolerance on conductor %v", c.Seg)
+				}
+			case Constant:
+				el.DoF[0] = len(m.Elements)
+			default:
+				return nil, fmt.Errorf("grid: unknown element kind %v", kind)
+			}
+			m.Elements = append(m.Elements, el)
+		}
+	}
+
+	switch kind {
+	case Linear:
+		m.NumDoF = len(m.NodePos)
+	case Constant:
+		m.NumDoF = len(m.Elements)
+		m.NodePos = make([]geom.Vec3, len(m.Elements))
+		for i, el := range m.Elements {
+			m.NodePos[i] = el.Seg.Midpoint()
+		}
+	}
+	return m, nil
+}
+
+// DoFCount returns the number of degrees of freedom per element for the
+// mesh's element kind (2 for Linear, 1 for Constant).
+func (m *Mesh) DoFCount() int {
+	if m.Kind == Linear {
+		return 2
+	}
+	return 1
+}
+
+// Bounds returns the axis-aligned bounding box of all elements.
+func (m *Mesh) Bounds() geom.AABB {
+	b := geom.EmptyAABB()
+	for _, e := range m.Elements {
+		b = b.ExtendSegment(e.Seg)
+	}
+	return b
+}
+
+// TotalLength returns the summed length of all elements.
+func (m *Mesh) TotalLength() float64 {
+	var t float64
+	for _, e := range m.Elements {
+		t += e.Seg.Length()
+	}
+	return t
+}
+
+// Stats summarises a mesh for reports.
+type Stats struct {
+	Elements, DoF      int
+	MinLen, MaxLen     float64
+	TotalLength        float64
+	MinDepth, MaxDepth float64
+}
+
+// Stats computes mesh statistics.
+func (m *Mesh) Stats() Stats {
+	s := Stats{
+		Elements: len(m.Elements),
+		DoF:      m.NumDoF,
+		MinLen:   math.Inf(1),
+		MinDepth: math.Inf(1),
+		MaxDepth: math.Inf(-1),
+	}
+	for _, e := range m.Elements {
+		l := e.Seg.Length()
+		s.TotalLength += l
+		s.MinLen = math.Min(s.MinLen, l)
+		s.MaxLen = math.Max(s.MaxLen, l)
+		s.MinDepth = math.Min(s.MinDepth, math.Min(e.Seg.A.Z, e.Seg.B.Z))
+		s.MaxDepth = math.Max(s.MaxDepth, math.Max(e.Seg.A.Z, e.Seg.B.Z))
+	}
+	return s
+}

@@ -1,0 +1,125 @@
+package linalg
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// CGResult reports the outcome of a conjugate-gradient solve.
+type CGResult struct {
+	X          []float64 // solution vector
+	Iterations int       // iterations performed
+	Residual   float64   // final relative residual ‖b−Ax‖/‖b‖
+	Converged  bool
+}
+
+// CGOptions configures SolveCG. The zero value selects sensible defaults.
+type CGOptions struct {
+	Tol     float64   // relative residual target (default 1e-10)
+	MaxIter int       // iteration cap (default 10·n)
+	X0      []float64 // initial guess (default zero vector)
+}
+
+// ErrCGBreakdown is returned when the preconditioned CG recurrence encounters
+// a zero or negative curvature direction, i.e. the matrix is not SPD.
+var ErrCGBreakdown = errors.New("linalg: conjugate gradient breakdown (matrix not SPD?)")
+
+// SolveCG solves A·x = b by conjugate gradients with Jacobi (diagonal)
+// preconditioning — the "diagonal preconditioned conjugate gradient algorithm
+// with assembly of the global matrix" that §4.3 reports as the best solver
+// for large grounding problems. A must be symmetric positive definite.
+func SolveCG(a *SymMatrix, b []float64, opt CGOptions) (CGResult, error) {
+	return solveCGWith(serialOperator{a}, a.Diag(), b, opt)
+}
+
+type serialOperator struct{ m *SymMatrix }
+
+func (s serialOperator) Order() int           { return s.m.Order() }
+func (s serialOperator) Apply(x, y []float64) { s.m.MulVec(x, y) }
+
+// solveCGWith is the preconditioned CG kernel over an abstract operator.
+// diag is consumed (overwritten with its reciprocals).
+func solveCGWith(a operator, diag, b []float64, opt CGOptions) (CGResult, error) {
+	n := a.Order()
+	if len(b) != n {
+		return CGResult{}, fmt.Errorf("linalg: rhs length %d, want %d", len(b), n)
+	}
+	if opt.Tol <= 0 {
+		opt.Tol = 1e-10
+	}
+	if opt.MaxIter <= 0 {
+		opt.MaxIter = 10 * n
+	}
+
+	// Jacobi preconditioner M = diag(A); guard against zero diagonals.
+	invD := diag
+	for i, d := range invD {
+		if d == 0 {
+			return CGResult{}, fmt.Errorf("%w: zero diagonal at %d", ErrCGBreakdown, i)
+		}
+		invD[i] = 1 / d
+	}
+
+	x := make([]float64, n)
+	if opt.X0 != nil {
+		if len(opt.X0) != n {
+			return CGResult{}, fmt.Errorf("linalg: x0 length %d, want %d", len(opt.X0), n)
+		}
+		copy(x, opt.X0)
+	}
+
+	r := make([]float64, n)  // residual b − A·x
+	z := make([]float64, n)  // preconditioned residual
+	p := make([]float64, n)  // search direction
+	ap := make([]float64, n) // A·p
+
+	a.Apply(x, ap)
+	for i := range r {
+		r[i] = b[i] - ap[i]
+	}
+	normB := Norm2(b)
+	if normB == 0 {
+		return CGResult{X: x, Converged: true}, nil
+	}
+
+	for i := range z {
+		z[i] = invD[i] * r[i]
+	}
+	copy(p, z)
+	rz := Dot(r, z)
+
+	res := CGResult{X: x}
+	for k := 0; k < opt.MaxIter; k++ {
+		normR := Norm2(r)
+		res.Iterations = k
+		res.Residual = normR / normB
+		if res.Residual <= opt.Tol {
+			res.Converged = true
+			return res, nil
+		}
+		a.Apply(p, ap)
+		pap := Dot(p, ap)
+		if pap <= 0 || math.IsNaN(pap) {
+			return res, fmt.Errorf("%w: pᵀAp = %g at iteration %d", ErrCGBreakdown, pap, k)
+		}
+		alpha := rz / pap
+		for i := range x {
+			x[i] += alpha * p[i]
+			r[i] -= alpha * ap[i]
+		}
+		for i := range z {
+			z[i] = invD[i] * r[i]
+		}
+		rzNew := Dot(r, z)
+		beta := rzNew / rz
+		rz = rzNew
+		for i := range p {
+			p[i] = z[i] + beta*p[i]
+		}
+	}
+	res.Residual = Norm2(r) / normB
+	res.Converged = res.Residual <= opt.Tol
+	res.Iterations = opt.MaxIter
+	return res, nil
+}

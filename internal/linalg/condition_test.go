@@ -1,0 +1,82 @@
+package linalg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestEstimateExtremeEigenvaluesDiagonal(t *testing.T) {
+	// Diagonal matrix with known spectrum {1, 2, …, 10}.
+	a := NewSymMatrix(10)
+	for i := 0; i < 10; i++ {
+		a.Set(i, i, float64(i+1))
+	}
+	min, max, err := EstimateExtremeEigenvalues(a, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(max-10) > 1e-6 || math.Abs(min-1) > 1e-6 {
+		t.Errorf("eigen estimates (%v, %v), want (1, 10)", min, max)
+	}
+	cond, err := ConditionEstimate(a, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(cond-10) > 1e-5 {
+		t.Errorf("condition = %v", cond)
+	}
+}
+
+func TestConditionOfIdentityIsOne(t *testing.T) {
+	a := NewSymMatrix(25)
+	for i := 0; i < 25; i++ {
+		a.Set(i, i, 3)
+	}
+	cond, err := ConditionEstimate(a, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(cond-1) > 1e-9 {
+		t.Errorf("condition of scaled identity = %v", cond)
+	}
+}
+
+func TestEigenEstimatesBracketRayleighQuotients(t *testing.T) {
+	r := rand.New(rand.NewSource(8))
+	a := randSPD(40, r)
+	min, max, err := EstimateExtremeEigenvalues(a, 120)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if min <= 0 || max < min {
+		t.Fatalf("estimates (%v, %v)", min, max)
+	}
+	// Any Rayleigh quotient must lie within [min, max] (allow the small
+	// slack of an unconverged iteration).
+	y := make([]float64, 40)
+	for trial := 0; trial < 20; trial++ {
+		x := randVector(40, r)
+		a.MulVec(x, y)
+		q := Dot(x, y) / Dot(x, x)
+		if q < min*0.99 || q > max*1.01 {
+			t.Fatalf("Rayleigh quotient %v outside [%v, %v]", q, min, max)
+		}
+	}
+}
+
+func TestConditionRejectsIndefinite(t *testing.T) {
+	a := NewSymMatrix(2)
+	a.Set(0, 0, 1)
+	a.Set(1, 1, -1)
+	if _, err := ConditionEstimate(a, 10); err == nil {
+		t.Error("indefinite matrix accepted")
+	}
+}
+
+func TestConditionEmptyMatrix(t *testing.T) {
+	min, max, err := EstimateExtremeEigenvalues(NewSymMatrix(0), 10)
+	if err != nil || min != 0 || max != 0 {
+		t.Errorf("empty: %v %v %v", min, max, err)
+	}
+}

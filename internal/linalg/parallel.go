@@ -1,0 +1,113 @@
+package linalg
+
+import (
+	"fmt"
+	"math"
+
+	"earthing/internal/sched"
+)
+
+// MulVecParallel computes y = A·x with rows distributed over workers.
+// Unlike MulVec's single sweep of the packed triangle (which scatters into
+// y and cannot run concurrently), each row is computed independently:
+// y_i = Σ_{j≤i} L[i,j]·x_j + Σ_{j>i} L[j,i]·x_j. That doubles the memory
+// traffic but removes all write sharing, so it scales with cores for the
+// large dense systems where the CG solve starts to matter.
+//
+// workers ≤ 1 falls back to the sequential MulVec.
+func (m *SymMatrix) MulVecParallel(x, y []float64, workers int) {
+	if len(x) != m.n || len(y) != m.n {
+		panic("linalg: MulVecParallel dimension mismatch")
+	}
+	if workers <= 1 || m.n < 64 {
+		m.MulVec(x, y)
+		return
+	}
+	// Dynamic chunks balance the triangular row costs.
+	s := sched.Schedule{Kind: sched.Dynamic, Chunk: 8}
+	sched.For(m.n, workers, s, func(i int) {
+		base := i * (i + 1) / 2
+		var sum float64
+		row := m.data[base : base+i+1]
+		for j, a := range row {
+			sum += a * x[j]
+		}
+		// Upper part via the transposed packed entries.
+		for j := i + 1; j < m.n; j++ {
+			sum += m.data[j*(j+1)/2+i] * x[j]
+		}
+		y[i] = sum
+	})
+}
+
+// SolveCGParallel is SolveCG with the matrix-vector products distributed
+// over the given number of workers. Results are identical to SolveCG up to
+// floating-point association in the row sums.
+func SolveCGParallel(a *SymMatrix, b []float64, opt CGOptions, workers int) (CGResult, error) {
+	if workers <= 1 {
+		return SolveCG(a, b, opt)
+	}
+	pa := &parallelOperator{m: a, workers: workers}
+	return solveCGWith(pa, a.Diag(), b, opt)
+}
+
+// NewCholeskyParallel factorizes an SPD matrix with the row updates of each
+// column distributed over workers (column-Cholesky: the pivot of column j is
+// computed serially, then every row i > j updates independently). The §4.3
+// observation that direct solves are "out of range" for large grounding
+// systems softens somewhat when the O(n³/3) factorization parallelizes; the
+// ablation benches quantify it.
+//
+// workers ≤ 1 falls back to the sequential NewCholesky.
+func NewCholeskyParallel(a *SymMatrix, workers int) (*Cholesky, error) {
+	n := a.Order()
+	if workers <= 1 || n < 128 {
+		return NewCholesky(a)
+	}
+	l := make([]float64, len(a.data))
+	copy(l, a.data)
+	idx := func(i, j int) int { return i*(i+1)/2 + j }
+	s := sched.Schedule{Kind: sched.Dynamic, Chunk: 16}
+	for j := 0; j < n; j++ {
+		d := l[idx(j, j)]
+		rowJ := l[idx(j, 0) : idx(j, 0)+j]
+		for _, v := range rowJ {
+			d -= v * v
+		}
+		if d <= 0 || math.IsNaN(d) {
+			return nil, fmt.Errorf("%w: pivot %d = %g", ErrNotPositiveDefinite, j, d)
+		}
+		dj := math.Sqrt(d)
+		l[idx(j, j)] = dj
+		inv := 1 / dj
+		rows := n - 1 - j
+		if rows <= 0 {
+			continue
+		}
+		sched.For(rows, workers, s, func(r int) {
+			i := j + 1 + r
+			base := idx(i, 0)
+			rowI := l[base : base+j]
+			sum := l[base+j]
+			for k, v := range rowJ {
+				sum -= rowI[k] * v
+			}
+			l[base+j] = sum * inv
+		})
+	}
+	return &Cholesky{n: n, l: l}, nil
+}
+
+// operator abstracts the matrix-vector product for the CG kernel.
+type operator interface {
+	Order() int
+	Apply(x, y []float64)
+}
+
+type parallelOperator struct {
+	m       *SymMatrix
+	workers int
+}
+
+func (p *parallelOperator) Order() int           { return p.m.Order() }
+func (p *parallelOperator) Apply(x, y []float64) { p.m.MulVecParallel(x, y, p.workers) }

@@ -1,0 +1,77 @@
+package linalg
+
+import "math"
+
+// Dot returns the inner product of x and y, which must have equal length.
+func Dot(x, y []float64) float64 {
+	if len(x) != len(y) {
+		panic("linalg: Dot length mismatch")
+	}
+	var s float64
+	for i, xi := range x {
+		s += xi * y[i]
+	}
+	return s
+}
+
+// Norm2 returns the Euclidean norm ‖x‖₂, computed with scaling to avoid
+// premature overflow/underflow.
+func Norm2(x []float64) float64 {
+	var scale, ssq float64 = 0, 1
+	for _, v := range x {
+		if v == 0 {
+			continue
+		}
+		a := math.Abs(v)
+		if scale < a {
+			r := scale / a
+			ssq = 1 + ssq*r*r
+			scale = a
+		} else {
+			r := a / scale
+			ssq += r * r
+		}
+	}
+	return scale * math.Sqrt(ssq)
+}
+
+// NormInf returns the max-norm ‖x‖∞.
+func NormInf(x []float64) float64 {
+	var m float64
+	for _, v := range x {
+		if a := math.Abs(v); a > m {
+			m = a
+		}
+	}
+	return m
+}
+
+// Axpy computes y ← a·x + y in place.
+func Axpy(a float64, x, y []float64) {
+	if len(x) != len(y) {
+		panic("linalg: Axpy length mismatch")
+	}
+	for i, xi := range x {
+		y[i] += a * xi
+	}
+}
+
+// Sum returns Σ x[i].
+func Sum(x []float64) float64 {
+	var s float64
+	for _, v := range x {
+		s += v
+	}
+	return s
+}
+
+// Residual returns ‖b − A·x‖₂.
+func Residual(a *SymMatrix, x, b []float64) float64 {
+	ax := make([]float64, len(x))
+	a.MulVec(x, ax)
+	r := make([]float64, len(x))
+	for i := range r {
+		r[i] = b[i] - ax[i]
+	}
+	return Norm2(r)
+}

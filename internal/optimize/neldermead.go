@@ -1,0 +1,242 @@
+// Package optimize provides the derivative-free minimization used by the
+// soil-parameter inversion (package wenner): a Nelder–Mead downhill simplex
+// with adaptive coefficients and restart support, plus simple bound
+// handling by coordinate transform.
+//
+// Layered-soil misfit surfaces are smooth but can be banana-shaped in
+// (γ1, γ2, h); Nelder–Mead with a couple of restarts is the standard tool
+// for this 2–5 parameter regime and needs no gradients of the forward
+// model.
+package optimize
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Options configures NelderMead. The zero value selects the defaults
+// documented per field.
+type Options struct {
+	// MaxIter bounds total function evaluations (default 2000·dim).
+	MaxIter int
+	// TolF stops when the simplex function-value spread falls below
+	// TolF·(1+|f_best|) (default 1e-10).
+	TolF float64
+	// TolX stops when the simplex diameter falls below TolX (default 1e-10).
+	TolX float64
+	// Scale is the initial simplex edge length per coordinate (default
+	// 0.1·(1+|x0_i|)).
+	Scale []float64
+	// Restarts re-seeds a fresh simplex at the incumbent best point this
+	// many times (default 1 restart).
+	Restarts int
+}
+
+// Result reports a minimization outcome.
+type Result struct {
+	X         []float64
+	F         float64
+	Evals     int
+	Converged bool
+}
+
+// ErrBadStart is returned when the objective is not finite at the start.
+var ErrBadStart = errors.New("optimize: objective not finite at start point")
+
+// NelderMead minimizes f starting from x0.
+func NelderMead(f func([]float64) float64, x0 []float64, opt Options) (Result, error) {
+	dim := len(x0)
+	if dim == 0 {
+		return Result{}, errors.New("optimize: empty start point")
+	}
+	if opt.MaxIter <= 0 {
+		opt.MaxIter = 2000 * dim
+	}
+	if opt.TolF <= 0 {
+		opt.TolF = 1e-10
+	}
+	if opt.TolX <= 0 {
+		opt.TolX = 1e-10
+	}
+	if opt.Restarts < 0 {
+		opt.Restarts = 0
+	} else if opt.Restarts == 0 {
+		opt.Restarts = 1
+	}
+
+	evals := 0
+	eval := func(x []float64) float64 {
+		evals++
+		return f(x)
+	}
+
+	best := append([]float64(nil), x0...)
+	fBest := eval(best)
+	if math.IsNaN(fBest) || math.IsInf(fBest, 0) {
+		return Result{}, fmt.Errorf("%w: f = %v", ErrBadStart, fBest)
+	}
+
+	converged := false
+	for attempt := 0; attempt <= opt.Restarts; attempt++ {
+		x, fx, ok := nmRun(eval, best, fBest, opt, &evals)
+		if fx < fBest {
+			best, fBest = x, fx
+		}
+		converged = ok
+		if evals >= opt.MaxIter {
+			break
+		}
+	}
+	return Result{X: best, F: fBest, Evals: evals, Converged: converged}, nil
+}
+
+// nmRun performs one simplex descent from (x0, f0).
+func nmRun(eval func([]float64) float64, x0 []float64, f0 float64, opt Options, evals *int) ([]float64, float64, bool) {
+	dim := len(x0)
+	// Adaptive coefficients (Gao & Han 2012) behave better in higher dims.
+	alpha := 1.0
+	beta := 1 + 2/float64(dim)
+	gamma := 0.75 - 1/(2*float64(dim))
+	delta := 1 - 1/float64(dim)
+
+	type vertex struct {
+		x []float64
+		f float64
+	}
+	simplex := make([]vertex, dim+1)
+	simplex[0] = vertex{append([]float64(nil), x0...), f0}
+	for i := 0; i < dim; i++ {
+		x := append([]float64(nil), x0...)
+		h := 0.1 * (1 + math.Abs(x0[i]))
+		if opt.Scale != nil && i < len(opt.Scale) && opt.Scale[i] > 0 {
+			h = opt.Scale[i]
+		}
+		x[i] += h
+		simplex[i+1] = vertex{x, eval(x)}
+	}
+
+	centroid := make([]float64, dim)
+	xr := make([]float64, dim)
+	xe := make([]float64, dim)
+	xc := make([]float64, dim)
+
+	for *evals < opt.MaxIter {
+		sort.Slice(simplex, func(a, b int) bool { return simplex[a].f < simplex[b].f })
+		fBest, fWorst := simplex[0].f, simplex[dim].f
+
+		// Convergence: function spread and simplex diameter.
+		if math.Abs(fWorst-fBest) <= opt.TolF*(1+math.Abs(fBest)) {
+			diam := 0.0
+			for i := 1; i <= dim; i++ {
+				for j := 0; j < dim; j++ {
+					diam = math.Max(diam, math.Abs(simplex[i].x[j]-simplex[0].x[j]))
+				}
+			}
+			if diam <= opt.TolX*(1+vecNorm(simplex[0].x)) {
+				return simplex[0].x, simplex[0].f, true
+			}
+		}
+
+		// Centroid of all but the worst vertex.
+		for j := range centroid {
+			centroid[j] = 0
+		}
+		for i := 0; i < dim; i++ {
+			for j := range centroid {
+				centroid[j] += simplex[i].x[j]
+			}
+		}
+		for j := range centroid {
+			centroid[j] /= float64(dim)
+		}
+
+		// Reflection.
+		for j := range xr {
+			xr[j] = centroid[j] + alpha*(centroid[j]-simplex[dim].x[j])
+		}
+		fr := eval(xr)
+		switch {
+		case fr < simplex[0].f:
+			// Expansion.
+			for j := range xe {
+				xe[j] = centroid[j] + beta*(xr[j]-centroid[j])
+			}
+			if fe := eval(xe); fe < fr {
+				copy(simplex[dim].x, xe)
+				simplex[dim].f = fe
+			} else {
+				copy(simplex[dim].x, xr)
+				simplex[dim].f = fr
+			}
+		case fr < simplex[dim-1].f:
+			copy(simplex[dim].x, xr)
+			simplex[dim].f = fr
+		default:
+			// Contraction (outside if the reflection improved on the worst,
+			// inside otherwise).
+			if fr < simplex[dim].f {
+				for j := range xc {
+					xc[j] = centroid[j] + gamma*(xr[j]-centroid[j])
+				}
+			} else {
+				for j := range xc {
+					xc[j] = centroid[j] - gamma*(centroid[j]-simplex[dim].x[j])
+				}
+			}
+			if fc := eval(xc); fc < math.Min(fr, simplex[dim].f) {
+				copy(simplex[dim].x, xc)
+				simplex[dim].f = fc
+			} else {
+				// Shrink towards the best vertex.
+				for i := 1; i <= dim; i++ {
+					for j := range simplex[i].x {
+						simplex[i].x[j] = simplex[0].x[j] + delta*(simplex[i].x[j]-simplex[0].x[j])
+					}
+					simplex[i].f = eval(simplex[i].x)
+				}
+			}
+		}
+	}
+	sort.Slice(simplex, func(a, b int) bool { return simplex[a].f < simplex[b].f })
+	return simplex[0].x, simplex[0].f, false
+}
+
+func vecNorm(x []float64) float64 {
+	var s float64
+	for _, v := range x {
+		s += v * v
+	}
+	return math.Sqrt(s)
+}
+
+// Bounded wraps an objective defined on box [lo, hi] into an unconstrained
+// one via the sin² transform x_i = lo_i + (hi_i − lo_i)·sin²(u_i): the
+// returned function accepts unconstrained u, and FromUnconstrained maps a
+// solution back into the box. This is how the soil inversion keeps
+// conductivities and thicknesses positive.
+func Bounded(f func([]float64) float64, lo, hi []float64) (wrapped func([]float64) float64, fromU func([]float64) []float64, toU func([]float64) []float64) {
+	if len(lo) != len(hi) {
+		panic("optimize: bound length mismatch")
+	}
+	fromU = func(u []float64) []float64 {
+		x := make([]float64, len(u))
+		for i := range u {
+			s := math.Sin(u[i])
+			x[i] = lo[i] + (hi[i]-lo[i])*s*s
+		}
+		return x
+	}
+	toU = func(x []float64) []float64 {
+		u := make([]float64, len(x))
+		for i := range x {
+			t := (x[i] - lo[i]) / (hi[i] - lo[i])
+			t = math.Min(1, math.Max(0, t))
+			u[i] = math.Asin(math.Sqrt(t))
+		}
+		return u
+	}
+	wrapped = func(u []float64) float64 { return f(fromU(u)) }
+	return wrapped, fromU, toU
+}

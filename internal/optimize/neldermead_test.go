@@ -1,0 +1,140 @@
+package optimize
+
+import (
+	"math"
+	"testing"
+)
+
+func TestQuadraticBowl(t *testing.T) {
+	f := func(x []float64) float64 {
+		return (x[0]-3)*(x[0]-3) + 2*(x[1]+1)*(x[1]+1)
+	}
+	res, err := NelderMead(f, []float64{0, 0}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Error("did not converge")
+	}
+	if math.Abs(res.X[0]-3) > 1e-5 || math.Abs(res.X[1]+1) > 1e-5 {
+		t.Errorf("minimum at %v", res.X)
+	}
+}
+
+func TestRosenbrock(t *testing.T) {
+	f := func(x []float64) float64 {
+		a := 1 - x[0]
+		b := x[1] - x[0]*x[0]
+		return a*a + 100*b*b
+	}
+	res, err := NelderMead(f, []float64{-1.2, 1}, Options{MaxIter: 20000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.X[0]-1) > 1e-4 || math.Abs(res.X[1]-1) > 1e-4 {
+		t.Errorf("Rosenbrock minimum at %v (f=%v, evals=%d)", res.X, res.F, res.Evals)
+	}
+}
+
+func TestHigherDimensional(t *testing.T) {
+	// 5-D shifted sphere.
+	f := func(x []float64) float64 {
+		var s float64
+		for i, v := range x {
+			d := v - float64(i)
+			s += d * d
+		}
+		return s
+	}
+	res, err := NelderMead(f, make([]float64, 5), Options{MaxIter: 50000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range res.X {
+		if math.Abs(v-float64(i)) > 1e-3 {
+			t.Fatalf("x = %v", res.X)
+		}
+	}
+}
+
+func TestRejectsNaNStart(t *testing.T) {
+	f := func(x []float64) float64 { return math.NaN() }
+	if _, err := NelderMead(f, []float64{1}, Options{}); err == nil {
+		t.Error("NaN objective accepted")
+	}
+	if _, err := NelderMead(func([]float64) float64 { return 0 }, nil, Options{}); err == nil {
+		t.Error("empty start accepted")
+	}
+}
+
+func TestEvalBudgetRespected(t *testing.T) {
+	count := 0
+	f := func(x []float64) float64 {
+		count++
+		return x[0] * x[0]
+	}
+	res, err := NelderMead(f, []float64{100}, Options{MaxIter: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Budget may be slightly exceeded by an in-flight simplex operation.
+	if count > 70 {
+		t.Errorf("evals = %d with budget 50", count)
+	}
+	if res.Evals != count {
+		t.Errorf("Evals %d ≠ count %d", res.Evals, count)
+	}
+}
+
+func TestCustomScale(t *testing.T) {
+	// Narrow valley along x1: a matched initial scale must still find it.
+	f := func(x []float64) float64 {
+		return x[0]*x[0] + 1e6*x[1]*x[1]
+	}
+	res, err := NelderMead(f, []float64{5, 0.001}, Options{Scale: []float64{1, 1e-4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.F > 1e-8 {
+		t.Errorf("f = %v at %v", res.F, res.X)
+	}
+}
+
+func TestBoundedTransform(t *testing.T) {
+	lo := []float64{0, 10}
+	hi := []float64{1, 20}
+	inner := func(x []float64) float64 {
+		if x[0] < lo[0]-1e-12 || x[0] > hi[0]+1e-12 || x[1] < lo[1]-1e-12 || x[1] > hi[1]+1e-12 {
+			t.Fatalf("bounds violated: %v", x)
+		}
+		return (x[0]-0.3)*(x[0]-0.3) + (x[1]-17)*(x[1]-17)
+	}
+	wrapped, fromU, toU := Bounded(inner, lo, hi)
+	res, err := NelderMead(wrapped, toU([]float64{0.5, 15}), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := fromU(res.X)
+	if math.Abs(x[0]-0.3) > 1e-4 || math.Abs(x[1]-17) > 1e-3 {
+		t.Errorf("bounded minimum at %v", x)
+	}
+	// Round trip of the transform.
+	u := toU([]float64{0.25, 12.5})
+	back := fromU(u)
+	if math.Abs(back[0]-0.25) > 1e-12 || math.Abs(back[1]-12.5) > 1e-12 {
+		t.Errorf("transform round trip: %v", back)
+	}
+}
+
+func TestBoundedTargetsOnBoundary(t *testing.T) {
+	lo, hi := []float64{0}, []float64{1}
+	f := func(x []float64) float64 { return x[0] } // minimum at the lower bound
+	wrapped, fromU, toU := Bounded(f, lo, hi)
+	res, err := NelderMead(wrapped, toU([]float64{0.9}), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x := fromU(res.X); x[0] > 1e-6 {
+		t.Errorf("boundary minimum missed: %v", x)
+	}
+}

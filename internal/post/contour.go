@@ -1,0 +1,161 @@
+package post
+
+import (
+	"math"
+	"sort"
+)
+
+// ContourLine is a polyline of an equipotential at a fixed level.
+type ContourLine struct {
+	Level float64
+	// X, Y are the polyline vertices.
+	X, Y []float64
+}
+
+// Contours extracts equipotential lines from a raster at the given levels
+// using marching squares with linear interpolation along cell edges.
+// Segments are chained into polylines; each level may produce several
+// disconnected lines (the output order is deterministic).
+func Contours(r *Raster, levels []float64) []ContourLine {
+	var out []ContourLine
+	for _, lv := range levels {
+		segs := marchingSquares(r, lv)
+		for _, poly := range chainSegments(segs) {
+			line := ContourLine{Level: lv}
+			for _, p := range poly {
+				line.X = append(line.X, p[0])
+				line.Y = append(line.Y, p[1])
+			}
+			out = append(out, line)
+		}
+	}
+	return out
+}
+
+// EquallySpacedLevels returns n levels strictly inside the raster range —
+// the level set of a contour plot like Figures 5.2 / 5.4.
+func EquallySpacedLevels(r *Raster, n int) []float64 {
+	min, max := r.MinMax()
+	if n < 1 || !(max > min) {
+		return nil
+	}
+	lv := make([]float64, n)
+	for i := range lv {
+		lv[i] = min + (max-min)*float64(i+1)/float64(n+1)
+	}
+	return lv
+}
+
+type segment [2][2]float64 // two endpoints (x, y)
+
+// marchingSquares emits one or two line segments per raster cell crossed by
+// the level.
+func marchingSquares(r *Raster, level float64) []segment {
+	var segs []segment
+	for j := 0; j+1 < r.NY; j++ {
+		for i := 0; i+1 < r.NX; i++ {
+			x0, y0 := r.Pos(i, j)
+			x1, y1 := r.Pos(i+1, j+1)
+			v00 := r.At(i, j)
+			v10 := r.At(i+1, j)
+			v01 := r.At(i, j+1)
+			v11 := r.At(i+1, j+1)
+
+			// Edge crossing points (nil when the edge is not crossed).
+			type pt = [2]float64
+			var cross []pt
+			edge := func(ax, ay, av, bx, by, bv float64) {
+				if (av < level) == (bv < level) {
+					return
+				}
+				t := (level - av) / (bv - av)
+				cross = append(cross, pt{ax + t*(bx-ax), ay + t*(by-ay)})
+			}
+			edge(x0, y0, v00, x1, y0, v10) // bottom
+			edge(x1, y0, v10, x1, y1, v11) // right
+			edge(x0, y1, v01, x1, y1, v11) // top
+			edge(x0, y0, v00, x0, y1, v01) // left
+
+			switch len(cross) {
+			case 2:
+				segs = append(segs, segment{cross[0], cross[1]})
+			case 4:
+				// Saddle: resolve by the cell-center average.
+				c := (v00 + v10 + v01 + v11) / 4
+				if (c < level) == (v00 < level) {
+					segs = append(segs, segment{cross[0], cross[3]}, segment{cross[1], cross[2]})
+				} else {
+					segs = append(segs, segment{cross[0], cross[1]}, segment{cross[2], cross[3]})
+				}
+			}
+		}
+	}
+	return segs
+}
+
+// chainSegments greedily joins segments that share endpoints (within a
+// tolerance) into polylines.
+func chainSegments(segs []segment) [][][2]float64 {
+	const tol = 1e-9
+	used := make([]bool, len(segs))
+	key := func(p [2]float64) [2]int64 {
+		return [2]int64{int64(math.Round(p[0] / tol / 1e3)), int64(math.Round(p[1] / tol / 1e3))}
+	}
+	// Endpoint index for O(1) neighbor lookup.
+	index := map[[2]int64][]int{}
+	for i, s := range segs {
+		index[key(s[0])] = append(index[key(s[0])], i)
+		index[key(s[1])] = append(index[key(s[1])], i)
+	}
+	near := func(a, b [2]float64) bool {
+		return math.Abs(a[0]-b[0]) < 1e-6 && math.Abs(a[1]-b[1]) < 1e-6
+	}
+
+	var polys [][][2]float64
+	for i := range segs {
+		if used[i] {
+			continue
+		}
+		used[i] = true
+		poly := [][2]float64{segs[i][0], segs[i][1]}
+		// Extend forward from the tail, then backward from the head.
+		for dir := 0; dir < 2; dir++ {
+			for {
+				tail := poly[len(poly)-1]
+				found := -1
+				for _, cand := range index[key(tail)] {
+					if used[cand] {
+						continue
+					}
+					if near(segs[cand][0], tail) || near(segs[cand][1], tail) {
+						found = cand
+						break
+					}
+				}
+				if found < 0 {
+					break
+				}
+				used[found] = true
+				if near(segs[found][0], tail) {
+					poly = append(poly, segs[found][1])
+				} else {
+					poly = append(poly, segs[found][0])
+				}
+			}
+			// Reverse to extend the other end.
+			for l, r := 0, len(poly)-1; l < r; l, r = l+1, r-1 {
+				poly[l], poly[r] = poly[r], poly[l]
+			}
+		}
+		polys = append(polys, poly)
+	}
+	// Deterministic output order: by first vertex.
+	sort.Slice(polys, func(a, b int) bool {
+		pa, pb := polys[a][0], polys[b][0]
+		if pa[1] != pb[1] {
+			return pa[1] < pb[1]
+		}
+		return pa[0] < pb[0]
+	})
+	return polys
+}

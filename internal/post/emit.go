@@ -1,0 +1,91 @@
+package post
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+)
+
+// WriteCSV emits the raster as x,y,value rows with a header — the portable
+// form of the potential-distribution data behind Figures 5.2 and 5.4.
+func WriteCSV(w io.Writer, r *Raster) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, "x,y,v")
+	for j := 0; j < r.NY; j++ {
+		for i := 0; i < r.NX; i++ {
+			x, y := r.Pos(i, j)
+			fmt.Fprintf(bw, "%.6g,%.6g,%.6g\n", x, y, r.At(i, j))
+		}
+	}
+	return bw.Flush()
+}
+
+// WriteASCII renders the raster as a text heat map (one character per cell,
+// darker ramp = higher value) — a terminal-friendly rendition of the
+// paper's potential contour figures.
+func WriteASCII(w io.Writer, r *Raster) error {
+	const ramp = " .:-=+*#%@"
+	min, max := r.MinMax()
+	span := max - min
+	if span == 0 {
+		span = 1
+	}
+	bw := bufio.NewWriter(w)
+	// Row NY−1 first so y grows upward on screen.
+	for j := r.NY - 1; j >= 0; j-- {
+		for i := 0; i < r.NX; i++ {
+			t := (r.At(i, j) - min) / span
+			idx := int(t * float64(len(ramp)-1))
+			if idx < 0 {
+				idx = 0
+			}
+			if idx >= len(ramp) {
+				idx = len(ramp) - 1
+			}
+			bw.WriteByte(ramp[idx])
+		}
+		bw.WriteByte('\n')
+	}
+	fmt.Fprintf(bw, "range: %.4g .. %.4g\n", min, max)
+	return bw.Flush()
+}
+
+// WriteSVG renders contour lines into a standalone SVG document, optionally
+// over the raster extent, for inclusion in reports.
+func WriteSVG(w io.Writer, r *Raster, lines []ContourLine) error {
+	x1 := r.X0 + float64(r.NX-1)*r.DX
+	y1 := r.Y0 + float64(r.NY-1)*r.DY
+	const size = 640.0
+	sx := size / (x1 - r.X0)
+	sy := size / (y1 - r.Y0)
+	s := math.Min(sx, sy)
+	px := func(x float64) float64 { return (x - r.X0) * s }
+	py := func(y float64) float64 { return (y1 - y) * s } // flip y
+
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, `<svg xmlns="http://www.w3.org/2000/svg" width="%.0f" height="%.0f" viewBox="0 0 %.2f %.2f">`+"\n",
+		(x1-r.X0)*s, (y1-r.Y0)*s, (x1-r.X0)*s, (y1-r.Y0)*s)
+	fmt.Fprintln(bw, `<rect width="100%" height="100%" fill="white"/>`)
+	min, max := r.MinMax()
+	span := max - min
+	if span == 0 {
+		span = 1
+	}
+	for _, ln := range lines {
+		if len(ln.X) < 2 {
+			continue
+		}
+		// Color by level: blue (low) → red (high).
+		t := (ln.Level - min) / span
+		red := int(255 * t)
+		blue := 255 - red
+		fmt.Fprintf(bw, `<polyline fill="none" stroke="rgb(%d,0,%d)" stroke-width="1" points="`, red, blue)
+		for i := range ln.X {
+			fmt.Fprintf(bw, "%.2f,%.2f ", px(ln.X[i]), py(ln.Y[i]))
+		}
+		fmt.Fprintln(bw, `"/>`)
+	}
+	fmt.Fprintln(bw, "</svg>")
+	return bw.Flush()
+}

@@ -1,0 +1,125 @@
+// Package post computes the design quantities derived from a solved
+// grounding analysis: earth-surface potential rasters (the contour plots of
+// Figures 5.2 and 5.4), touch/step/mesh voltages, and equipotential contour
+// extraction, with ASCII/CSV/SVG emitters.
+//
+// Computing potentials at many surface points costs O(M·p) kernel series per
+// point (§4.3) — the paper's second massively parallel stage — so rasters
+// are evaluated in parallel with the same scheduling substrate as matrix
+// generation.
+package post
+
+import (
+	"fmt"
+	"math"
+
+	"earthing/internal/bem"
+	"earthing/internal/geom"
+	"earthing/internal/sched"
+)
+
+// Raster is a rectangular sample of a scalar field on the earth surface.
+type Raster struct {
+	X0, Y0 float64 // lower-left corner
+	DX, DY float64 // cell size
+	NX, NY int
+	// V[j*NX+i] is the value at (X0 + i·DX, Y0 + j·DY).
+	V []float64
+}
+
+// At returns the value at cell (i, j).
+func (r *Raster) At(i, j int) float64 { return r.V[j*r.NX+i] }
+
+// Pos returns the surface position of cell (i, j).
+func (r *Raster) Pos(i, j int) (x, y float64) {
+	return r.X0 + float64(i)*r.DX, r.Y0 + float64(j)*r.DY
+}
+
+// MinMax returns the value range.
+func (r *Raster) MinMax() (min, max float64) {
+	min, max = math.Inf(1), math.Inf(-1)
+	for _, v := range r.V {
+		min = math.Min(min, v)
+		max = math.Max(max, v)
+	}
+	return min, max
+}
+
+// SurfaceOptions configures a surface potential evaluation.
+type SurfaceOptions struct {
+	// NX, NY are the raster dimensions (default 64 × 64).
+	NX, NY int
+	// Margin extends the raster beyond the grid bounding box by this many
+	// metres on every side (default 15).
+	Margin float64
+	// Workers and Schedule configure the parallel evaluation (defaults:
+	// GOMAXPROCS and dynamic,1).
+	Workers  int
+	Schedule sched.Schedule
+}
+
+func (o SurfaceOptions) withDefaults() SurfaceOptions {
+	if o.NX <= 0 {
+		o.NX = 64
+	}
+	if o.NY <= 0 {
+		o.NY = 64
+	}
+	if o.Margin == 0 {
+		o.Margin = 15
+	}
+	if o.Schedule.IsZero() {
+		o.Schedule = sched.Schedule{Kind: sched.Dynamic, Chunk: 1}
+	}
+	return o
+}
+
+// SurfacePotential samples V(x, y, z=0)·scale over a rectangle covering the
+// mesh bounds plus margin, distributing raster rows over workers. sigma is
+// the solved DoF vector (per unit GPR); scale is typically the GPR.
+func SurfacePotential(a *bem.Assembler, mesh interface{ Bounds() geom.AABB }, sigma []float64, scale float64, opt SurfaceOptions) *Raster {
+	opt = opt.withDefaults()
+	b := mesh.Bounds()
+	return SurfacePotentialRect(a, sigma, scale,
+		b.Min.X-opt.Margin, b.Min.Y-opt.Margin,
+		b.Max.X+opt.Margin, b.Max.Y+opt.Margin, opt)
+}
+
+// SurfacePotentialRect samples V·scale on an explicit rectangle
+// [x0, x1] × [y0, y1] at z = 0.
+func SurfacePotentialRect(a *bem.Assembler, sigma []float64, scale float64, x0, y0, x1, y1 float64, opt SurfaceOptions) *Raster {
+	opt = opt.withDefaults()
+	r := &Raster{
+		X0: x0, Y0: y0,
+		DX: (x1 - x0) / float64(opt.NX-1),
+		DY: (y1 - y0) / float64(opt.NY-1),
+		NX: opt.NX, NY: opt.NY,
+		V: make([]float64, opt.NX*opt.NY),
+	}
+	sched.For(opt.NY, opt.Workers, opt.Schedule, func(j int) {
+		y := r.Y0 + float64(j)*r.DY
+		for i := 0; i < opt.NX; i++ {
+			x := r.X0 + float64(i)*r.DX
+			r.V[j*r.NX+i] = scale * a.Potential(geom.V(x, y, 0), sigma)
+		}
+	})
+	return r
+}
+
+// ProfilePotential samples V·scale along the straight surface segment from
+// (x0, y0) to (x1, y1) at n evenly spaced points, returning the arc
+// coordinates and values. Useful for step-voltage profiles.
+func ProfilePotential(a *bem.Assembler, sigma []float64, scale float64, x0, y0, x1, y1 float64, n int) (s, v []float64) {
+	if n < 2 {
+		panic(fmt.Sprintf("post: profile needs ≥ 2 points, got %d", n))
+	}
+	s = make([]float64, n)
+	v = make([]float64, n)
+	length := math.Hypot(x1-x0, y1-y0)
+	for i := 0; i < n; i++ {
+		t := float64(i) / float64(n-1)
+		s[i] = t * length
+		v[i] = scale * a.Potential(geom.V(x0+t*(x1-x0), y0+t*(y1-y0), 0), sigma)
+	}
+	return s, v
+}

@@ -1,0 +1,100 @@
+package post
+
+import (
+	"math"
+
+	"earthing/internal/bem"
+	"earthing/internal/geom"
+	"earthing/internal/grid"
+)
+
+// Voltages aggregates the safety parameters of §1/§5.2: the voltages a
+// person could bridge during a fault.
+type Voltages struct {
+	// GPR is the ground potential rise (volts).
+	GPR float64
+	// MaxTouch is the largest GPR − V(surface) over points within reach
+	// (1 m) of an electrode — the touch voltage.
+	MaxTouch float64
+	// MaxStep is the largest |V(p) − V(q)| between surface points 1 m apart
+	// found on the sampling raster — the step voltage.
+	MaxStep float64
+	// MaxMesh is the largest GPR − V(surface) at mesh-cell centers — the
+	// mesh voltage (worst touch voltage inside the grid).
+	MaxMesh float64
+}
+
+// ComputeVoltages estimates touch, step and mesh voltages from a solved
+// analysis by sampling the surface potential on a raster at stepRes metres
+// resolution (default 1 m when ≤ 0). The electrode proximity predicate uses
+// the horizontal distance to the mesh elements.
+func ComputeVoltages(a *bem.Assembler, m *grid.Mesh, sigma []float64, gpr float64, stepRes float64) Voltages {
+	if stepRes <= 0 {
+		stepRes = 1
+	}
+	b := m.Bounds()
+	margin := 2.0
+	x0, y0 := b.Min.X-margin, b.Min.Y-margin
+	x1, y1 := b.Max.X+margin, b.Max.Y+margin
+	nx := int((x1-x0)/stepRes) + 1
+	ny := int((y1-y0)/stepRes) + 1
+	if nx < 2 {
+		nx = 2
+	}
+	if ny < 2 {
+		ny = 2
+	}
+	r := SurfacePotentialRect(a, sigma, gpr, x0, y0, x1, y1, SurfaceOptions{NX: nx, NY: ny})
+
+	v := Voltages{GPR: gpr}
+	// Step voltage: adjacent raster samples stepRes apart (axis-aligned
+	// pairs; the 1 m IEEE step distance when stepRes = 1).
+	for j := 0; j < ny; j++ {
+		for i := 0; i < nx; i++ {
+			val := r.At(i, j)
+			if i+1 < nx {
+				if d := math.Abs(val - r.At(i+1, j)); d > v.MaxStep {
+					v.MaxStep = d
+				}
+			}
+			if j+1 < ny {
+				if d := math.Abs(val - r.At(i, j+1)); d > v.MaxStep {
+					v.MaxStep = d
+				}
+			}
+		}
+	}
+	// Touch voltage: GPR − V at surface points within horizontal reach of a
+	// conductor. Mesh voltage: the same quantity restricted to points at
+	// least half a cell away from the nearest conductor (cell centers).
+	const reach = 1.0
+	for j := 0; j < ny; j++ {
+		for i := 0; i < nx; i++ {
+			x, y := r.Pos(i, j)
+			d := horizontalDistToMesh(m, x, y)
+			touch := gpr - r.At(i, j)
+			if d <= reach && touch > v.MaxTouch {
+				v.MaxTouch = touch
+			}
+			if d > stepRes/2 && d <= reach && touch > v.MaxMesh {
+				v.MaxMesh = touch
+			}
+		}
+	}
+	return v
+}
+
+// horizontalDistToMesh returns the distance from surface point (x, y) to
+// the nearest element axis, measured in the horizontal plane.
+func horizontalDistToMesh(m *grid.Mesh, x, y float64) float64 {
+	best := math.Inf(1)
+	p := geom.V(x, y, 0)
+	for _, el := range m.Elements {
+		// Project the element to the surface plane before measuring.
+		s := geom.Seg(el.Seg.A.WithZ(0), el.Seg.B.WithZ(0))
+		if d := s.DistToPoint(p); d < best {
+			best = d
+		}
+	}
+	return best
+}

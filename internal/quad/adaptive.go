@@ -1,0 +1,109 @@
+package quad
+
+import "math"
+
+// AdaptiveSimpson integrates f over [a, b] by recursive Simpson bisection
+// with the Richardson error estimate |S2 − S1|/15 ≤ tol. maxDepth bounds the
+// recursion so that non-integrable inputs terminate; 50 is a safe default.
+func AdaptiveSimpson(f func(float64) float64, a, b, tol float64, maxDepth int) float64 {
+	fa, fb := f(a), f(b)
+	m := 0.5 * (a + b)
+	fm := f(m)
+	whole := simpson(a, b, fa, fm, fb)
+	return adaptiveAux(f, a, b, fa, fm, fb, whole, tol, maxDepth)
+}
+
+func simpson(a, b, fa, fm, fb float64) float64 {
+	return (b - a) / 6 * (fa + 4*fm + fb)
+}
+
+func adaptiveAux(f func(float64) float64, a, b, fa, fm, fb, whole, tol float64, depth int) float64 {
+	m := 0.5 * (a + b)
+	lm := 0.5 * (a + m)
+	rm := 0.5 * (m + b)
+	flm, frm := f(lm), f(rm)
+	left := simpson(a, m, fa, flm, fm)
+	right := simpson(m, b, fm, frm, fb)
+	if depth <= 0 {
+		return left + right
+	}
+	if err := left + right - whole; math.Abs(err) <= 15*tol {
+		return left + right + err/15
+	}
+	return adaptiveAux(f, a, m, fa, flm, fm, left, tol/2, depth-1) +
+		adaptiveAux(f, m, b, fm, frm, fb, right, tol/2, depth-1)
+}
+
+// KahanSum accumulates float64 values with compensated (Kahan) summation.
+// It is used when adding the long, slowly decaying image series of layered
+// soil kernels, where naive accumulation loses precision. The zero value is
+// an empty sum ready for use.
+type KahanSum struct {
+	sum, c float64
+}
+
+// Add accumulates x.
+func (k *KahanSum) Add(x float64) {
+	y := x - k.c
+	t := k.sum + y
+	k.c = (t - k.sum) - y
+	k.sum = t
+}
+
+// Sum returns the accumulated total.
+func (k *KahanSum) Sum() float64 { return k.sum }
+
+// Reset clears the accumulator.
+func (k *KahanSum) Reset() { k.sum, k.c = 0, 0 }
+
+// ShanksTable performs iterated Shanks extrapolation via Wynn's ε-algorithm
+// on the partial sums of an alternating or geometric-tail series. Feed
+// partial sums with Append; Estimate returns the current best extrapolated
+// limit. It is used to accelerate the oscillatory Hankel-transform interval
+// series in multilayer soil models.
+//
+// The implementation is the standard in-place diagonal update: after n calls
+// to Append, e[j] holds the ε-table diagonal and the limit estimate is
+// e[n mod 2].
+type ShanksTable struct {
+	e   []float64
+	n   int
+	est float64
+}
+
+// Append adds the next partial sum s_n and updates the ε-table diagonal.
+func (t *ShanksTable) Append(s float64) {
+	t.e = append(t.e, s)
+	n := len(t.e) - 1
+	if n == 0 {
+		t.est = s
+		t.n = 1
+		return
+	}
+	aux2 := 0.0
+	for j := n; j >= 1; j-- {
+		aux1 := aux2
+		aux2 = t.e[j-1]
+		diff := t.e[j] - aux2
+		if math.Abs(diff) <= 1e-300 {
+			// Stagnated: the sequence has converged at this level.
+			t.e[j-1] = t.e[j]
+		} else {
+			t.e[j-1] = aux1 + 1/diff
+		}
+	}
+	t.est = t.e[n%2]
+	t.n++
+}
+
+// Estimate returns the current best extrapolated limit (NaN before the first
+// Append).
+func (t *ShanksTable) Estimate() float64 {
+	if t.n == 0 {
+		return math.NaN()
+	}
+	return t.est
+}
+
+// Len returns the number of partial sums appended.
+func (t *ShanksTable) Len() int { return t.n }

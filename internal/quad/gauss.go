@@ -1,0 +1,122 @@
+// Package quad provides the numerical integration substrate of the solver:
+// Gauss–Legendre rules of arbitrary order, an adaptive Simpson integrator,
+// and a semi-infinite oscillatory integrator used for Hankel transforms in
+// multilayer soil models.
+package quad
+
+import (
+	"fmt"
+	"math"
+	"sync"
+)
+
+// Rule is a quadrature rule on the reference interval [-1, 1]:
+// ∫_{-1}^{1} f(x) dx ≈ Σ W[i]·f(X[i]).
+type Rule struct {
+	X, W []float64
+}
+
+var (
+	ruleMu    sync.Mutex
+	ruleCache = map[int]Rule{}
+)
+
+// GaussLegendre returns the n-point Gauss–Legendre rule on [-1, 1]. Nodes are
+// the roots of the Legendre polynomial P_n, located by Newton iteration from
+// the Tricomi asymptotic initial guess; weights are 2/((1−x²)·P′_n(x)²).
+// Rules are cached, so repeated calls are cheap. n must be ≥ 1.
+func GaussLegendre(n int) Rule {
+	if n < 1 {
+		panic(fmt.Sprintf("quad: GaussLegendre order %d < 1", n))
+	}
+	ruleMu.Lock()
+	defer ruleMu.Unlock()
+	if r, ok := ruleCache[n]; ok {
+		return r
+	}
+	r := computeGaussLegendre(n)
+	ruleCache[n] = r
+	return r
+}
+
+func computeGaussLegendre(n int) Rule {
+	x := make([]float64, n)
+	w := make([]float64, n)
+	// Roots come in ± pairs; compute the non-negative half.
+	m := (n + 1) / 2
+	for i := 0; i < m; i++ {
+		// Initial guess (Abramowitz & Stegun 22.16.6 style).
+		z := math.Cos(math.Pi * (float64(i) + 0.75) / (float64(n) + 0.5))
+		var pp float64
+		for iter := 0; iter < 100; iter++ {
+			p, dp := legendre(n, z)
+			pp = dp
+			dz := p / dp
+			z -= dz
+			if math.Abs(dz) < 1e-15 {
+				break
+			}
+		}
+		// Final polish of the derivative at the converged node.
+		_, pp = legendre(n, z)
+		x[i] = -z
+		x[n-1-i] = z
+		wi := 2 / ((1 - z*z) * pp * pp)
+		w[i] = wi
+		w[n-1-i] = wi
+	}
+	if n%2 == 1 {
+		// Center node is exactly zero.
+		x[n/2] = 0
+		_, pp := legendre(n, 0)
+		w[n/2] = 2 / (pp * pp)
+	}
+	return Rule{X: x, W: w}
+}
+
+// legendre evaluates the Legendre polynomial P_n and its derivative at z via
+// the three-term recurrence.
+func legendre(n int, z float64) (p, dp float64) {
+	p0, p1 := 1.0, z
+	if n == 0 {
+		return 1, 0
+	}
+	for k := 2; k <= n; k++ {
+		p0, p1 = p1, ((2*float64(k)-1)*z*p1-(float64(k)-1)*p0)/float64(k)
+	}
+	// P'_n(z) = n (z P_n − P_{n−1}) / (z² − 1); at z=±1 use n(n+1)/2 limit.
+	if d := z*z - 1; math.Abs(d) > 1e-14 {
+		dp = float64(n) * (z*p1 - p0) / d
+	} else {
+		dp = math.Copysign(float64(n)*float64(n+1)/2, math.Pow(z, float64(n+1)))
+	}
+	return p1, dp
+}
+
+// Integrate applies the rule to f over [a, b].
+func (r Rule) Integrate(a, b float64, f func(float64) float64) float64 {
+	c := 0.5 * (a + b)
+	h := 0.5 * (b - a)
+	var sum float64
+	for i, xi := range r.X {
+		sum += r.W[i] * f(c+h*xi)
+	}
+	return h * sum
+}
+
+// Nodes returns the rule's nodes and weights mapped to [a, b]. The returned
+// slices are freshly allocated.
+func (r Rule) Nodes(a, b float64) (x, w []float64) {
+	c := 0.5 * (a + b)
+	h := 0.5 * (b - a)
+	x = make([]float64, len(r.X))
+	w = make([]float64, len(r.W))
+	for i := range r.X {
+		x[i] = c + h*r.X[i]
+		w[i] = h * r.W[i]
+	}
+	return x, w
+}
+
+// Len returns the number of points in the rule.
+func (r Rule) Len() int { return len(r.X) }

@@ -1,0 +1,70 @@
+package quad
+
+import (
+	"errors"
+	"math"
+)
+
+// ErrNoConvergence is returned when an iterative integrator exhausts its
+// interval budget before meeting the requested tolerance.
+var ErrNoConvergence = errors.New("quad: integral did not converge within the interval budget")
+
+// SemiInfinite integrates g over [0, ∞) where g oscillates with known sign
+// changes (or natural break points) at cut(1) < cut(2) < … . The integral is
+// evaluated interval by interval with an n-point Gauss rule, and the sequence
+// of partial sums is accelerated with a Shanks ε-table, which converges even
+// for the slowly decaying alternating tails produced by Bessel kernels.
+//
+// cut(k) must be strictly increasing with cut(0) ≡ 0 implied. The method
+// stops when two successive accelerated estimates agree within tol (absolute
+// + relative), or fails with ErrNoConvergence after maxIntervals intervals.
+func SemiInfinite(g func(float64) float64, cut func(k int) float64, tol float64, maxIntervals int) (float64, error) {
+	rule := GaussLegendre(16)
+	var partial KahanSum
+	var table ShanksTable
+	prev := math.NaN()
+	lo := 0.0
+	smallRaw := 0 // consecutive negligible raw contributions
+	for k := 1; k <= maxIntervals; k++ {
+		hi := cut(k)
+		if !(hi > lo) {
+			return 0, errors.New("quad: cut points must be strictly increasing")
+		}
+		contrib := rule.Integrate(lo, hi, g)
+		partial.Add(contrib)
+		table.Append(partial.Sum())
+		est := table.Estimate()
+		// Fast-decaying (effectively non-oscillatory) integrands converge in
+		// the raw partial sums before the ε-table stabilises.
+		if math.Abs(contrib) <= tol*(1+math.Abs(partial.Sum())) {
+			smallRaw++
+			if smallRaw >= 2 {
+				return partial.Sum(), nil
+			}
+		} else {
+			smallRaw = 0
+		}
+		if k >= 3 && !math.IsInf(est, 0) && !math.IsNaN(est) {
+			if d := math.Abs(est - prev); d <= tol*(1+math.Abs(est)) {
+				return est, nil
+			}
+		}
+		prev = est
+		lo = hi
+	}
+	return prev, ErrNoConvergence
+}
+
+// BesselJ0Cuts returns a cut-point generator for integrands containing
+// J0(λr): the k-th cut is approximately the k-th zero of J0(λr), i.e.
+// j_{0,k}/r, using the McMahon asymptotic zero (k−1/4)π. For r = 0 the
+// integrand does not oscillate and fixed geometric cuts of scale `scale` are
+// produced instead.
+func BesselJ0Cuts(r, scale float64) func(k int) float64 {
+	if r <= 0 {
+		return func(k int) float64 { return scale * float64(k) }
+	}
+	return func(k int) float64 {
+		return (float64(k) - 0.25) * math.Pi / r
+	}
+}

@@ -1,0 +1,111 @@
+package quad
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestQuickGaussMatchesAdaptive: on random smooth integrands (sums of a few
+// sinusoids and polynomials over random intervals), a 24-point Gauss rule
+// and the adaptive Simpson integrator must agree tightly.
+func TestQuickGaussMatchesAdaptive(t *testing.T) {
+	rule := GaussLegendre(24)
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		nTerms := 1 + r.Intn(4)
+		amp := make([]float64, nTerms)
+		freq := make([]float64, nTerms)
+		for i := range amp {
+			amp[i] = r.NormFloat64()
+			freq[i] = r.Float64() * 3
+		}
+		c2 := r.NormFloat64()
+		g := func(x float64) float64 {
+			s := c2 * x * x
+			for i := range amp {
+				s += amp[i] * math.Sin(freq[i]*x)
+			}
+			return s
+		}
+		a := r.Float64()*4 - 2
+		b := a + 0.5 + r.Float64()*3
+		gauss := rule.Integrate(a, b, g)
+		adapt := AdaptiveSimpson(g, a, b, 1e-12, 45)
+		return math.Abs(gauss-adapt) <= 1e-8*(1+math.Abs(adapt))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickGaussLinearity: integration is linear in the integrand.
+func TestQuickGaussLinearity(t *testing.T) {
+	rule := GaussLegendre(10)
+	f := func(c1, c2 float64, seed int64) bool {
+		c1, c2 = math.Mod(c1, 100), math.Mod(c2, 100)
+		if math.IsNaN(c1) || math.IsNaN(c2) {
+			return true
+		}
+		r := rand.New(rand.NewSource(seed))
+		w := r.Float64()*2 + 0.1
+		g1 := func(x float64) float64 { return math.Exp(-x * x) }
+		g2 := math.Cos
+		lhs := rule.Integrate(0, w, func(x float64) float64 { return c1*g1(x) + c2*g2(x) })
+		rhs := c1*rule.Integrate(0, w, g1) + c2*rule.Integrate(0, w, g2)
+		return math.Abs(lhs-rhs) <= 1e-9*(1+math.Abs(rhs))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickIntervalAdditivity: ∫[a,c] = ∫[a,b] + ∫[b,c] for the adaptive
+// integrator.
+func TestQuickIntervalAdditivity(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a := r.Float64() * 2
+		b := a + r.Float64()*2
+		c := b + r.Float64()*2
+		g := func(x float64) float64 { return math.Sin(3*x) / (1 + x*x) }
+		whole := AdaptiveSimpson(g, a, c, 1e-12, 45)
+		parts := AdaptiveSimpson(g, a, b, 1e-12, 45) + AdaptiveSimpson(g, b, c, 1e-12, 45)
+		return math.Abs(whole-parts) <= 1e-9*(1+math.Abs(whole))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickKahanMatchesBigSum: Kahan summation of shuffled values equals the
+// sorted-order naive sum to near machine precision.
+func TestQuickKahanPermutationInvariance(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 100 + r.Intn(400)
+		vals := make([]float64, n)
+		for i := range vals {
+			// Wildly varying magnitudes to stress cancellation.
+			vals[i] = r.NormFloat64() * math.Pow(10, float64(r.Intn(12)-6))
+		}
+		var k1 KahanSum
+		for _, v := range vals {
+			k1.Add(v)
+		}
+		r.Shuffle(n, func(i, j int) { vals[i], vals[j] = vals[j], vals[i] })
+		var k2 KahanSum
+		for _, v := range vals {
+			k2.Add(v)
+		}
+		scale := 0.0
+		for _, v := range vals {
+			scale += math.Abs(v)
+		}
+		return math.Abs(k1.Sum()-k2.Sum()) <= 1e-12*(1+scale)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,243 @@
+package quad
+
+import (
+	"math"
+	"testing"
+)
+
+func TestGaussLegendreExactForPolynomials(t *testing.T) {
+	// An n-point rule integrates polynomials up to degree 2n−1 exactly.
+	for n := 1; n <= 20; n++ {
+		r := GaussLegendre(n)
+		for deg := 0; deg <= 2*n-1; deg++ {
+			got := r.Integrate(-1, 1, func(x float64) float64 { return math.Pow(x, float64(deg)) })
+			want := 0.0
+			if deg%2 == 0 {
+				want = 2 / float64(deg+1)
+			}
+			if math.Abs(got-want) > 1e-12 {
+				t.Fatalf("n=%d deg=%d: got %v want %v", n, deg, got, want)
+			}
+		}
+	}
+}
+
+func TestGaussLegendreWeights(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 5, 8, 16, 32, 64, 101} {
+		r := GaussLegendre(n)
+		if r.Len() != n {
+			t.Fatalf("n=%d: Len=%d", n, r.Len())
+		}
+		var sum float64
+		for i, w := range r.W {
+			if w <= 0 {
+				t.Fatalf("n=%d: non-positive weight %v", n, w)
+			}
+			if r.X[i] < -1 || r.X[i] > 1 {
+				t.Fatalf("n=%d: node %v outside [-1,1]", n, r.X[i])
+			}
+			if i > 0 && r.X[i] <= r.X[i-1] {
+				t.Fatalf("n=%d: nodes not increasing", n)
+			}
+			sum += w
+		}
+		if math.Abs(sum-2) > 1e-12 {
+			t.Fatalf("n=%d: weights sum to %v, want 2", n, sum)
+		}
+		// Symmetry of nodes and weights.
+		for i := range r.X {
+			j := n - 1 - i
+			if math.Abs(r.X[i]+r.X[j]) > 1e-13 || math.Abs(r.W[i]-r.W[j]) > 1e-13 {
+				t.Fatalf("n=%d: rule not symmetric at %d", n, i)
+			}
+		}
+	}
+}
+
+func TestGaussLegendreKnownValues(t *testing.T) {
+	// 2-point rule: nodes ±1/√3, weights 1.
+	r := GaussLegendre(2)
+	if math.Abs(r.X[1]-1/math.Sqrt(3)) > 1e-14 || math.Abs(r.W[0]-1) > 1e-14 {
+		t.Errorf("2-point rule wrong: %+v", r)
+	}
+	// 3-point rule: nodes 0, ±√(3/5); weights 8/9, 5/9.
+	r = GaussLegendre(3)
+	if math.Abs(r.X[2]-math.Sqrt(0.6)) > 1e-14 || math.Abs(r.W[1]-8.0/9) > 1e-14 || math.Abs(r.W[0]-5.0/9) > 1e-14 {
+		t.Errorf("3-point rule wrong: %+v", r)
+	}
+}
+
+func TestGaussIntegrateTranscendental(t *testing.T) {
+	r := GaussLegendre(24)
+	got := r.Integrate(0, math.Pi, math.Sin)
+	if math.Abs(got-2) > 1e-12 {
+		t.Errorf("∫sin over [0,π] = %v", got)
+	}
+	got = r.Integrate(1, 2, func(x float64) float64 { return 1 / x })
+	if math.Abs(got-math.Ln2) > 1e-12 {
+		t.Errorf("∫1/x over [1,2] = %v", got)
+	}
+}
+
+func TestRuleNodesMapping(t *testing.T) {
+	r := GaussLegendre(5)
+	x, w := r.Nodes(2, 6)
+	var sum float64
+	for i := range x {
+		if x[i] < 2 || x[i] > 6 {
+			t.Fatalf("node %v outside [2,6]", x[i])
+		}
+		sum += w[i]
+	}
+	if math.Abs(sum-4) > 1e-12 {
+		t.Errorf("mapped weights sum to %v, want 4", sum)
+	}
+}
+
+func TestGaussLegendrePanicsOnBadOrder(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for n=0")
+		}
+	}()
+	GaussLegendre(0)
+}
+
+func TestAdaptiveSimpson(t *testing.T) {
+	cases := []struct {
+		name string
+		f    func(float64) float64
+		a, b float64
+		want float64
+	}{
+		{"poly", func(x float64) float64 { return x * x * x }, 0, 2, 4},
+		{"exp", math.Exp, 0, 1, math.E - 1},
+		{"peak", func(x float64) float64 { return 1 / (1e-4 + x*x) }, -1, 1, 2 / 1e-2 * math.Atan(1/1e-2)},
+		{"sqrt-singular", math.Sqrt, 0, 1, 2.0 / 3},
+	}
+	for _, c := range cases {
+		got := AdaptiveSimpson(c.f, c.a, c.b, 1e-10, 50)
+		if math.Abs(got-c.want) > 1e-7*(1+math.Abs(c.want)) {
+			t.Errorf("%s: got %v want %v", c.name, got, c.want)
+		}
+	}
+}
+
+func TestKahanSum(t *testing.T) {
+	// Summing 1 + many tiny values in float32-hostile order: Kahan keeps
+	// full double precision where naive summation drifts.
+	var k KahanSum
+	k.Add(1)
+	n := 10_000_000
+	tiny := 1e-16
+	for i := 0; i < n; i++ {
+		k.Add(tiny)
+	}
+	want := 1 + float64(n)*tiny
+	if math.Abs(k.Sum()-want) > 1e-12 {
+		t.Errorf("Kahan sum = %.17g want %.17g", k.Sum(), want)
+	}
+	var naive float64 = 1
+	for i := 0; i < n; i++ {
+		naive += tiny
+	}
+	if math.Abs(naive-want) < math.Abs(k.Sum()-want) {
+		t.Error("Kahan summation not better than naive on the designed case")
+	}
+	k.Reset()
+	if k.Sum() != 0 {
+		t.Error("Reset did not clear sum")
+	}
+}
+
+func TestShanksAcceleratesAlternatingSeries(t *testing.T) {
+	// π = 4·Σ (−1)^k/(2k+1): partial sums converge like 1/n; Shanks should
+	// reach ~1e-8 with a handful of terms.
+	var table ShanksTable
+	var s float64
+	for k := 0; k < 14; k++ {
+		s += 4 * math.Pow(-1, float64(k)) / float64(2*k+1)
+		table.Append(s)
+	}
+	if got := table.Estimate(); math.Abs(got-math.Pi) > 1e-7 {
+		t.Errorf("Shanks estimate %v, |err| = %v", got, math.Abs(got-math.Pi))
+	}
+	if math.Abs(s-math.Pi) < 1e-7 {
+		t.Error("test is vacuous: raw partial sum already converged")
+	}
+	if table.Len() != 14 {
+		t.Errorf("Len = %d", table.Len())
+	}
+}
+
+func TestSemiInfiniteExponential(t *testing.T) {
+	// ∫0∞ e^{−λ} dλ = 1, with geometric cuts.
+	got, err := SemiInfinite(func(l float64) float64 { return math.Exp(-l) },
+		func(k int) float64 { return 2 * float64(k) }, 1e-12, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-1) > 1e-10 {
+		t.Errorf("got %v want 1", got)
+	}
+}
+
+func TestSemiInfiniteBesselLipschitz(t *testing.T) {
+	// Weber–Lipschitz integral: ∫0∞ e^{−aλ} J0(λr) dλ = 1/√(a²+r²).
+	for _, c := range []struct{ a, r float64 }{{1, 1}, {0.5, 2}, {2, 0.3}, {0.1, 5}} {
+		g := func(l float64) float64 { return math.Exp(-c.a*l) * math.J0(l*c.r) }
+		got, err := SemiInfinite(g, BesselJ0Cuts(c.r, 1), 1e-11, 200)
+		if err != nil {
+			t.Fatalf("a=%v r=%v: %v", c.a, c.r, err)
+		}
+		want := 1 / math.Hypot(c.a, c.r)
+		if math.Abs(got-want) > 1e-8*(1+want) {
+			t.Errorf("a=%v r=%v: got %v want %v", c.a, c.r, got, want)
+		}
+	}
+}
+
+func TestSemiInfiniteNoConvergence(t *testing.T) {
+	// A non-decaying integrand must report failure, not hang or lie.
+	_, err := SemiInfinite(func(l float64) float64 { return 1 },
+		func(k int) float64 { return float64(k) }, 1e-12, 10)
+	if err == nil {
+		t.Error("expected error for divergent integral")
+	}
+}
+
+func TestBesselJ0CutsIncreasing(t *testing.T) {
+	cut := BesselJ0Cuts(3.7, 1)
+	prev := 0.0
+	for k := 1; k < 50; k++ {
+		c := cut(k)
+		if c <= prev {
+			t.Fatalf("cuts not increasing at k=%d", k)
+		}
+		// Each cut should be near a zero of J0(λr).
+		if k > 1 && math.Abs(math.J0(c*3.7)) > 0.06 {
+			t.Fatalf("cut %d not near a J0 zero: J0=%v", k, math.J0(c*3.7))
+		}
+		prev = c
+	}
+	// r=0 fallback.
+	cut0 := BesselJ0Cuts(0, 2.5)
+	if cut0(2) != 5 {
+		t.Errorf("r=0 cuts wrong: %v", cut0(2))
+	}
+}
+
+func BenchmarkGaussLegendreConstruction(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		computeGaussLegendre(64)
+	}
+}
+
+func BenchmarkRuleIntegrate(b *testing.B) {
+	r := GaussLegendre(16)
+	f := func(x float64) float64 { return math.Exp(-x * x) }
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Integrate(0, 3, f)
+	}
+}

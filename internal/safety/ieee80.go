@@ -1,0 +1,164 @@
+// Package safety implements the IEEE Std 80 tolerable-voltage criteria the
+// paper's introduction frames the whole design problem around: "the values
+// of electrical potentials between close points on earth surface that can be
+// connected by a person must be kept under certain maximum safe limits
+// (step, touch and mesh voltages)" [1, 2].
+//
+// The limits implement the standard's body-current model: a body weight
+// class (50 kg or 70 kg), a fault clearing time, the surface material
+// resistivity and its derating factor Cs.
+package safety
+
+import (
+	"fmt"
+	"math"
+)
+
+// BodyWeight selects the IEEE Std 80 body model.
+type BodyWeight int
+
+const (
+	// Body50kg is the conservative 50 kg model (k = 0.116).
+	Body50kg BodyWeight = iota
+	// Body70kg is the 70 kg model (k = 0.157).
+	Body70kg
+)
+
+// k returns the body-current constant of the weight class.
+func (b BodyWeight) k() float64 {
+	if b == Body70kg {
+		return 0.157
+	}
+	return 0.116
+}
+
+// String implements fmt.Stringer.
+func (b BodyWeight) String() string {
+	if b == Body70kg {
+		return "70kg"
+	}
+	return "50kg"
+}
+
+// Criteria describes the installation properties entering the tolerable
+// limits.
+type Criteria struct {
+	// FaultDuration is the shock/clearing time t_s in seconds (0.03–3 s per
+	// the standard).
+	FaultDuration float64
+	// SoilRho is the native soil resistivity ρ at the surface, Ω·m.
+	SoilRho float64
+	// SurfaceRho is the resistivity ρ_s of the high-resistivity surface
+	// layer (e.g. crushed rock), Ω·m. Zero means no surface layer.
+	SurfaceRho float64
+	// SurfaceThickness is the surface layer thickness h_s in metres.
+	SurfaceThickness float64
+	// Weight selects the 50 kg (default) or 70 kg body model.
+	Weight BodyWeight
+}
+
+// Validate reports configuration errors.
+func (c Criteria) Validate() error {
+	if c.FaultDuration <= 0 {
+		return fmt.Errorf("safety: fault duration %g s must be positive", c.FaultDuration)
+	}
+	if c.SoilRho < 0 || c.SurfaceRho < 0 || c.SurfaceThickness < 0 {
+		return fmt.Errorf("safety: negative resistivity or thickness")
+	}
+	if c.SurfaceRho > 0 && c.SurfaceRho < c.SoilRho {
+		return fmt.Errorf("safety: surface layer (%g) less resistive than soil (%g)", c.SurfaceRho, c.SoilRho)
+	}
+	return nil
+}
+
+// Cs returns the surface-layer derating factor (IEEE Std 80-2000 eq. 27):
+//
+//	Cs = 1 − 0.09·(1 − ρ/ρs) / (2·hs + 0.09)
+//
+// Cs = 1 when no surface layer is present.
+func (c Criteria) Cs() float64 {
+	if c.SurfaceRho <= 0 || c.SurfaceThickness <= 0 {
+		return 1
+	}
+	return 1 - 0.09*(1-c.SoilRho/c.SurfaceRho)/(2*c.SurfaceThickness+0.09)
+}
+
+// effectiveRho is the foot-contact resistivity: the surface layer when
+// present, the soil otherwise.
+func (c Criteria) effectiveRho() float64 {
+	if c.SurfaceRho > 0 {
+		return c.SurfaceRho
+	}
+	return c.SoilRho
+}
+
+// StepLimit returns the tolerable step voltage in volts
+// (IEEE Std 80-2000 eq. 29/30): E_step = (1000 + 6·Cs·ρs)·k/√t.
+func (c Criteria) StepLimit() float64 {
+	return (1000 + 6*c.Cs()*c.effectiveRho()) * c.Weight.k() / math.Sqrt(c.FaultDuration)
+}
+
+// TouchLimit returns the tolerable touch (and mesh) voltage in volts
+// (IEEE Std 80-2000 eq. 32/33): E_touch = (1000 + 1.5·Cs·ρs)·k/√t.
+func (c Criteria) TouchLimit() float64 {
+	return (1000 + 1.5*c.Cs()*c.effectiveRho()) * c.Weight.k() / math.Sqrt(c.FaultDuration)
+}
+
+// DecrementFactor returns the IEEE Std 80 decrement factor Df accounting
+// for the DC offset of an asymmetrical fault current:
+//
+//	Df = √(1 + (Ta/tf)·(1 − e^{−2·tf/Ta}))
+//
+// where tf is the fault duration and Ta = X/(ω·R) the DC offset time
+// constant of the X/R ratio at the fault location (ω = 2πf). The effective
+// (design) current is Df times the symmetrical RMS fault current.
+func DecrementFactor(faultDuration, xOverR, freqHz float64) float64 {
+	if faultDuration <= 0 || xOverR <= 0 || freqHz <= 0 {
+		return 1
+	}
+	ta := xOverR / (2 * math.Pi * freqHz)
+	return math.Sqrt(1 + ta/faultDuration*(1-math.Exp(-2*faultDuration/ta)))
+}
+
+// Verdict is the outcome of checking computed voltages against the limits.
+type Verdict struct {
+	StepLimit, TouchLimit   float64
+	StepActual, TouchActual float64
+	MeshActual              float64
+	StepOK, TouchOK, MeshOK bool
+}
+
+// Check compares computed step/touch/mesh voltages with the criteria.
+func (c Criteria) Check(step, touch, mesh float64) (Verdict, error) {
+	if err := c.Validate(); err != nil {
+		return Verdict{}, err
+	}
+	v := Verdict{
+		StepLimit:   c.StepLimit(),
+		TouchLimit:  c.TouchLimit(),
+		StepActual:  step,
+		TouchActual: touch,
+		MeshActual:  mesh,
+	}
+	v.StepOK = step <= v.StepLimit
+	v.TouchOK = touch <= v.TouchLimit
+	v.MeshOK = mesh <= v.TouchLimit // mesh voltage uses the touch limit
+	return v, nil
+}
+
+// Safe reports whether every criterion passed.
+func (v Verdict) Safe() bool { return v.StepOK && v.TouchOK && v.MeshOK }
+
+// String summarises the verdict.
+func (v Verdict) String() string {
+	status := func(ok bool) string {
+		if ok {
+			return "OK"
+		}
+		return "EXCEEDED"
+	}
+	return fmt.Sprintf("step %.0f/%.0f V %s; touch %.0f/%.0f V %s; mesh %.0f/%.0f V %s",
+		v.StepActual, v.StepLimit, status(v.StepOK),
+		v.TouchActual, v.TouchLimit, status(v.TouchOK),
+		v.MeshActual, v.TouchLimit, status(v.MeshOK))
+}

@@ -1,0 +1,145 @@
+package safety
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestCsNoSurfaceLayer(t *testing.T) {
+	c := Criteria{FaultDuration: 0.5, SoilRho: 100}
+	if c.Cs() != 1 {
+		t.Errorf("Cs = %v, want 1 without surface layer", c.Cs())
+	}
+}
+
+func TestCsKnownValue(t *testing.T) {
+	// IEEE Std 80 worked example style: ρ = 100, ρs = 2500, hs = 0.102 m:
+	// Cs = 1 − 0.09·(1 − 100/2500)/(2·0.102 + 0.09) ≈ 0.706.
+	c := Criteria{FaultDuration: 0.5, SoilRho: 100, SurfaceRho: 2500, SurfaceThickness: 0.102}
+	if !almostEq(c.Cs(), 0.7061, 5e-4) {
+		t.Errorf("Cs = %v, want ≈0.706", c.Cs())
+	}
+}
+
+func TestLimits50kg(t *testing.T) {
+	// With Cs ≈ 0.706, ρs = 2500, t = 0.5 s, 50 kg:
+	// E_step = (1000 + 6·0.706·2500)·0.116/√0.5 ≈ 1901.
+	// E_touch = (1000 + 1.5·0.706·2500)·0.116/√0.5 ≈ 598.
+	c := Criteria{FaultDuration: 0.5, SoilRho: 100, SurfaceRho: 2500, SurfaceThickness: 0.102}
+	if !almostEq(c.StepLimit(), 1901, 15) {
+		t.Errorf("StepLimit = %v", c.StepLimit())
+	}
+	if !almostEq(c.TouchLimit(), 598, 10) {
+		t.Errorf("TouchLimit = %v", c.TouchLimit())
+	}
+}
+
+func TestLimits70kgHigher(t *testing.T) {
+	base := Criteria{FaultDuration: 1, SoilRho: 60}
+	heavier := base
+	heavier.Weight = Body70kg
+	if heavier.TouchLimit() <= base.TouchLimit() {
+		t.Error("70 kg limit should exceed 50 kg limit")
+	}
+	if !almostEq(heavier.TouchLimit()/base.TouchLimit(), 0.157/0.116, 1e-12) {
+		t.Error("weight ratio wrong")
+	}
+}
+
+func TestLimitsScaleWithTime(t *testing.T) {
+	short := Criteria{FaultDuration: 0.25, SoilRho: 60}
+	long := Criteria{FaultDuration: 1.0, SoilRho: 60}
+	if !almostEq(short.StepLimit(), 2*long.StepLimit(), 1e-9) {
+		t.Error("limits must scale as 1/√t")
+	}
+}
+
+func TestStepLimitAboveTouchLimit(t *testing.T) {
+	// The step limit always exceeds the touch limit (6ρ vs 1.5ρ term).
+	c := Criteria{FaultDuration: 0.5, SoilRho: 200}
+	if c.StepLimit() <= c.TouchLimit() {
+		t.Error("step limit must exceed touch limit")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if (Criteria{FaultDuration: 0}).Validate() == nil {
+		t.Error("zero duration accepted")
+	}
+	if (Criteria{FaultDuration: 1, SoilRho: -1}).Validate() == nil {
+		t.Error("negative resistivity accepted")
+	}
+	if (Criteria{FaultDuration: 1, SoilRho: 500, SurfaceRho: 100, SurfaceThickness: 0.1}).Validate() == nil {
+		t.Error("surface layer less resistive than soil accepted")
+	}
+	if err := (Criteria{FaultDuration: 1, SoilRho: 100}).Validate(); err != nil {
+		t.Errorf("valid criteria rejected: %v", err)
+	}
+}
+
+func TestCheckVerdict(t *testing.T) {
+	c := Criteria{FaultDuration: 0.5, SoilRho: 62.5}
+	v, err := c.Check(100, 100, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.Safe() {
+		t.Errorf("low voltages should pass: %v", v)
+	}
+	v, err = c.Check(1e6, 50, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Safe() || v.StepOK {
+		t.Errorf("huge step voltage passed: %v", v)
+	}
+	if !strings.Contains(v.String(), "EXCEEDED") {
+		t.Errorf("verdict string: %q", v.String())
+	}
+	if _, err := (Criteria{}).Check(1, 1, 1); err == nil {
+		t.Error("invalid criteria accepted by Check")
+	}
+}
+
+func TestDecrementFactor(t *testing.T) {
+	// IEEE Std 80-2000 Table 10 reference values (60 Hz): X/R = 10,
+	// tf = 0.05 s → Df ≈ 1.232; X/R = 20, tf = 0.5 s → Df ≈ 1.052.
+	if got := DecrementFactor(0.05, 10, 60); !almostEq(got, 1.232, 0.01) {
+		t.Errorf("Df(0.05, X/R=10) = %v", got)
+	}
+	if got := DecrementFactor(0.5, 20, 60); !almostEq(got, 1.052, 0.01) {
+		t.Errorf("Df(0.5, X/R=20) = %v", got)
+	}
+	// Long faults → Df → 1.
+	if got := DecrementFactor(10, 10, 60); got > 1.01 {
+		t.Errorf("long-fault Df = %v", got)
+	}
+	// Degenerate inputs fall back to 1.
+	if DecrementFactor(0, 10, 60) != 1 || DecrementFactor(1, 0, 60) != 1 {
+		t.Error("degenerate Df not 1")
+	}
+	// Df is always ≥ 1 and decreasing in fault duration.
+	prev := math.Inf(1)
+	for _, tf := range []float64{0.05, 0.1, 0.25, 0.5, 1, 3} {
+		df := DecrementFactor(tf, 15, 50)
+		if df < 1 || df > prev {
+			t.Errorf("Df(%v) = %v not monotone ≥ 1", tf, df)
+		}
+		prev = df
+	}
+}
+
+func TestMeshUsesTouchLimit(t *testing.T) {
+	c := Criteria{FaultDuration: 0.5, SoilRho: 62.5}
+	limit := c.TouchLimit()
+	v, err := c.Check(0, 0, limit*1.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.MeshOK {
+		t.Error("mesh voltage above touch limit passed")
+	}
+}

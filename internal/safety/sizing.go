@@ -1,0 +1,77 @@
+package safety
+
+import (
+	"fmt"
+	"math"
+)
+
+// Material holds the thermal constants of a grounding-conductor material
+// for the IEEE Std 80 symmetrical-current sizing equation.
+type Material struct {
+	Name string
+	// AlphaR is the thermal coefficient of resistivity at Tref (1/°C).
+	AlphaR float64
+	// K0 is 1/α0 at 0 °C (°C).
+	K0 float64
+	// TmMax is the fusing (or limiting joint) temperature (°C).
+	TmMax float64
+	// RhoR is the resistivity at Tref (µΩ·cm).
+	RhoR float64
+	// TCAP is the thermal capacity factor (J/(cm³·°C)).
+	TCAP float64
+}
+
+// Standard materials (IEEE Std 80-2000 Table 1).
+var (
+	CopperAnnealed = Material{
+		Name: "copper, annealed soft-drawn", AlphaR: 0.00393, K0: 234,
+		TmMax: 1083, RhoR: 1.72, TCAP: 3.42,
+	}
+	CopperCommercial = Material{
+		Name: "copper, commercial hard-drawn", AlphaR: 0.00381, K0: 242,
+		TmMax: 1084, RhoR: 1.78, TCAP: 3.42,
+	}
+	CopperCladSteel40 = Material{
+		Name: "copper-clad steel, 40%", AlphaR: 0.00378, K0: 245,
+		TmMax: 1084, RhoR: 4.40, TCAP: 3.85,
+	}
+	AluminumEC = Material{
+		Name: "aluminum, EC grade", AlphaR: 0.00403, K0: 228,
+		TmMax: 657, RhoR: 2.86, TCAP: 2.56,
+	}
+	SteelZincCoated = Material{
+		Name: "steel, zinc-coated", AlphaR: 0.0032, K0: 293,
+		TmMax: 419, RhoR: 20.1, TCAP: 3.93,
+	}
+)
+
+// ConductorSection returns the minimum conductor cross-section in mm²
+// that carries the symmetrical fault current I (amperes) for duration t
+// (seconds) without exceeding the material's limiting temperature,
+// starting from ambient Ta (°C) — IEEE Std 80-2000 eq. 37:
+//
+//	A_mm² = I / √( (TCAP·10⁻⁴)/(t·αr·ρr) · ln( (K0+Tm)/(K0+Ta) ) )
+func ConductorSection(m Material, currentA, durationS, ambientC float64) (float64, error) {
+	switch {
+	case currentA <= 0:
+		return 0, fmt.Errorf("safety: non-positive fault current %g", currentA)
+	case durationS <= 0:
+		return 0, fmt.Errorf("safety: non-positive duration %g", durationS)
+	case ambientC >= m.TmMax:
+		return 0, fmt.Errorf("safety: ambient %g °C at or above the material limit %g °C", ambientC, m.TmMax)
+	}
+	arg := (m.TCAP * 1e-4) / (durationS * m.AlphaR * m.RhoR) *
+		math.Log((m.K0+m.TmMax)/(m.K0+ambientC))
+	return currentA / 1000 / math.Sqrt(arg), nil
+}
+
+// ConductorDiameter returns the minimum diameter in metres of a solid round
+// conductor with the section returned by ConductorSection.
+func ConductorDiameter(m Material, currentA, durationS, ambientC float64) (float64, error) {
+	a, err := ConductorSection(m, currentA, durationS, ambientC)
+	if err != nil {
+		return 0, err
+	}
+	// A[mm²] → d[m]: d = 2·√(A/π) in mm.
+	return 2 * math.Sqrt(a/math.Pi) / 1000, nil
+}

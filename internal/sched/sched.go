@@ -1,0 +1,309 @@
+// Package sched provides an OpenMP-style parallel loop runner over goroutine
+// workers. It reproduces the scheduling semantics the paper evaluates in
+// Table 6.2 — static, static with chunk, dynamic with chunk, and guided —
+// so that the matrix-generation loop of the BEM solver can be distributed
+// among P workers exactly the way the original OpenMP code distributed the
+// element-pair triangle among processors.
+//
+// The loop body receives iteration indices, not data, mirroring
+// `#pragma omp for schedule(kind, chunk)` applied to `DO i = 1, n`.
+package sched
+
+import (
+	"fmt"
+	"runtime"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Kind identifies an OpenMP schedule kind.
+type Kind int
+
+const (
+	// Unspecified is the zero value: callers that receive it substitute
+	// their documented default (packages bem and post use Dynamic,1, the
+	// paper's best schedule). For and ForStats reject it.
+	Unspecified Kind = iota
+	// Static splits the index range into equal blocks ahead of time. With a
+	// chunk it deals fixed-size chunks round-robin, like schedule(static,c).
+	Static
+	// Dynamic hands out chunks of fixed size on demand: a worker grabs the
+	// next chunk when it finishes the previous one, like schedule(dynamic,c).
+	Dynamic
+	// Guided hands out chunks of exponentially decreasing size, never below
+	// the chunk parameter, like schedule(guided,c).
+	Guided
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case Unspecified:
+		return "unspecified"
+	case Static:
+		return "static"
+	case Dynamic:
+		return "dynamic"
+	case Guided:
+		return "guided"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Schedule is a schedule kind plus chunk parameter. Chunk ≤ 0 means "no
+// chunk specified": Static then pre-splits into one block per worker, while
+// Dynamic and Guided default the chunk to 1, matching OpenMP defaults.
+// The zero value has Kind Unspecified, which For rejects; option structs use
+// it to detect "use the package default".
+type Schedule struct {
+	Kind  Kind
+	Chunk int
+}
+
+// IsZero reports whether the schedule is unspecified.
+func (s Schedule) IsZero() bool { return s.Kind == Unspecified }
+
+// String renders the schedule the way the paper's Table 6.2 labels rows,
+// e.g. "static", "static,16", "dynamic,1", "guided,64".
+func (s Schedule) String() string {
+	if s.Chunk <= 0 {
+		return s.Kind.String()
+	}
+	return fmt.Sprintf("%s,%d", s.Kind, s.Chunk)
+}
+
+// ParseSchedule parses labels of the form "dynamic,1", "static", "guided,16"
+// (case-insensitive, spaces tolerated).
+func ParseSchedule(s string) (Schedule, error) {
+	parts := strings.SplitN(s, ",", 2)
+	var sc Schedule
+	switch strings.ToLower(strings.TrimSpace(parts[0])) {
+	case "static":
+		sc.Kind = Static
+	case "dynamic":
+		sc.Kind = Dynamic
+	case "guided":
+		sc.Kind = Guided
+	default:
+		return Schedule{}, fmt.Errorf("sched: unknown schedule kind %q", parts[0])
+	}
+	if len(parts) == 2 {
+		c, err := strconv.Atoi(strings.TrimSpace(parts[1]))
+		if err != nil || c < 1 {
+			return Schedule{}, fmt.Errorf("sched: bad chunk in %q", s)
+		}
+		sc.Chunk = c
+	}
+	return sc, nil
+}
+
+// Stats reports how a ParallelFor execution distributed work, for load-
+// balance analysis in the schedule benchmarks.
+type Stats struct {
+	Workers    int
+	Iterations int
+	// PerWorker[w] is the number of loop iterations worker w executed.
+	PerWorker []int
+	// ChunksPerWorker[w] is the number of chunks worker w fetched.
+	ChunksPerWorker []int
+}
+
+// Imbalance returns max(PerWorker)/mean(PerWorker) − 1; zero means perfectly
+// balanced. Returns 0 for degenerate inputs.
+func (s Stats) Imbalance() float64 {
+	if s.Workers == 0 || s.Iterations == 0 {
+		return 0
+	}
+	max := 0
+	for _, n := range s.PerWorker {
+		if n > max {
+			max = n
+		}
+	}
+	mean := float64(s.Iterations) / float64(s.Workers)
+	if mean == 0 {
+		return 0
+	}
+	return float64(max)/mean - 1
+}
+
+// For runs body(i) for every i in [0, n) using p workers under the given
+// schedule, blocking until all iterations complete. p ≤ 0 selects
+// runtime.GOMAXPROCS(0). p = 1 executes sequentially in the calling
+// goroutine (no synchronization cost), which is the baseline the paper's
+// speed-ups are referenced to.
+func For(n, p int, s Schedule, body func(i int)) {
+	ForStats(n, p, s, func(i, _ int) { body(i) })
+}
+
+// ForStats is For with the worker id passed to the body and execution
+// statistics returned.
+func ForStats(n, p int, s Schedule, body func(i, worker int)) Stats {
+	if p <= 0 {
+		p = runtime.GOMAXPROCS(0)
+	}
+	if p > n {
+		p = n
+	}
+	st := Stats{Workers: p, Iterations: n}
+	if n == 0 {
+		return st
+	}
+	st.PerWorker = make([]int, p)
+	st.ChunksPerWorker = make([]int, p)
+	if p == 1 {
+		for i := 0; i < n; i++ {
+			body(i, 0)
+		}
+		st.PerWorker[0] = n
+		st.ChunksPerWorker[0] = 1
+		return st
+	}
+
+	switch s.Kind {
+	case Static:
+		runStatic(n, p, s.Chunk, body, &st)
+	case Dynamic:
+		c := s.Chunk
+		if c < 1 {
+			c = 1
+		}
+		runDynamic(n, p, c, body, &st)
+	case Guided:
+		c := s.Chunk
+		if c < 1 {
+			c = 1
+		}
+		runGuided(n, p, c, body, &st)
+	default:
+		panic(fmt.Sprintf("sched: unknown schedule kind %d", s.Kind))
+	}
+	return st
+}
+
+// runStatic implements schedule(static) and schedule(static,c): the full
+// assignment of iterations to workers is fixed before the loop starts.
+func runStatic(n, p, chunk int, body func(i, w int), st *Stats) {
+	var wg sync.WaitGroup
+	wg.Add(p)
+	for w := 0; w < p; w++ {
+		go func(w int) {
+			defer wg.Done()
+			count, chunks := 0, 0
+			if chunk < 1 {
+				// One contiguous block per worker, sizes differing by ≤ 1.
+				lo := w * n / p
+				hi := (w + 1) * n / p
+				if hi > lo {
+					chunks = 1
+				}
+				for i := lo; i < hi; i++ {
+					body(i, w)
+					count++
+				}
+			} else {
+				// Fixed chunks dealt round-robin: worker w owns chunks
+				// w, w+p, w+2p, …
+				for base := w * chunk; base < n; base += p * chunk {
+					chunks++
+					hi := base + chunk
+					if hi > n {
+						hi = n
+					}
+					for i := base; i < hi; i++ {
+						body(i, w)
+						count++
+					}
+				}
+			}
+			st.PerWorker[w] = count
+			st.ChunksPerWorker[w] = chunks
+		}(w)
+	}
+	wg.Wait()
+}
+
+// runDynamic implements schedule(dynamic,c): workers atomically claim the
+// next chunk of c iterations when they become idle.
+func runDynamic(n, p, chunk int, body func(i, w int), st *Stats) {
+	var next int64
+	var wg sync.WaitGroup
+	wg.Add(p)
+	for w := 0; w < p; w++ {
+		go func(w int) {
+			defer wg.Done()
+			count, chunks := 0, 0
+			for {
+				base := int(atomic.AddInt64(&next, int64(chunk))) - chunk
+				if base >= n {
+					break
+				}
+				chunks++
+				hi := base + chunk
+				if hi > n {
+					hi = n
+				}
+				for i := base; i < hi; i++ {
+					body(i, w)
+					count++
+				}
+			}
+			st.PerWorker[w] = count
+			st.ChunksPerWorker[w] = chunks
+		}(w)
+	}
+	wg.Wait()
+}
+
+// runGuided implements schedule(guided,c): chunk sizes start at roughly
+// remaining/(2p) — the proportion common OpenMP runtimes use — and decay
+// exponentially, never below c. A mutex serializes the (cheap) chunk-size
+// computation; the loop bodies run fully in parallel.
+func runGuided(n, p, minChunk int, body func(i, w int), st *Stats) {
+	var mu sync.Mutex
+	next := 0
+	grab := func() (lo, hi int) {
+		mu.Lock()
+		defer mu.Unlock()
+		if next >= n {
+			return n, n
+		}
+		remaining := n - next
+		size := (remaining + 2*p - 1) / (2 * p)
+		if size < minChunk {
+			size = minChunk
+		}
+		lo = next
+		hi = lo + size
+		if hi > n {
+			hi = n
+		}
+		next = hi
+		return lo, hi
+	}
+	var wg sync.WaitGroup
+	wg.Add(p)
+	for w := 0; w < p; w++ {
+		go func(w int) {
+			defer wg.Done()
+			count, chunks := 0, 0
+			for {
+				lo, hi := grab()
+				if lo >= hi {
+					break
+				}
+				chunks++
+				for i := lo; i < hi; i++ {
+					body(i, w)
+					count++
+				}
+			}
+			st.PerWorker[w] = count
+			st.ChunksPerWorker[w] = chunks
+		}(w)
+	}
+	wg.Wait()
+}

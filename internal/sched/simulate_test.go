@@ -1,0 +1,138 @@
+package sched
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSimulateConservesWork(t *testing.T) {
+	work := TriangleWork(408)
+	var total int64
+	for _, w := range work {
+		total += w
+	}
+	for _, s := range allSchedules {
+		for _, p := range []int{1, 2, 4, 8, 64} {
+			makespan, loads := Simulate(work, p, s)
+			var sum, max int64
+			for _, l := range loads {
+				sum += l
+				if l > max {
+					max = l
+				}
+			}
+			if sum != total {
+				t.Fatalf("%v p=%d: loads sum %d, want %d", s, p, sum, total)
+			}
+			if makespan != max {
+				t.Fatalf("%v p=%d: makespan %d ≠ max load %d", s, p, makespan, max)
+			}
+			if makespan < total/int64(p) {
+				t.Fatalf("%v p=%d: makespan below ideal", s, p)
+			}
+		}
+	}
+}
+
+// TestStaticTriangleMatchesPaperArithmetic checks the static-no-chunk
+// prediction against the closed form 1/(1 − ((p−1)/p)²) for linearly
+// decreasing cycle sizes — which is, to two decimals, the paper's measured
+// Table 6.2 static row (1.32, 2.32, 4.38 at p = 2, 4, 8).
+func TestStaticTriangleMatchesPaperArithmetic(t *testing.T) {
+	work := TriangleWork(408)
+	for _, c := range []struct {
+		p     int
+		paper float64
+	}{{2, 1.32}, {4, 2.32}, {8, 4.38}} {
+		got := PredictSpeedup(work, c.p, Schedule{Kind: Static})
+		frac := 1 - math.Pow(float64(c.p-1)/float64(c.p), 2)
+		want := 1 / frac
+		if math.Abs(got-want) > 0.03*want {
+			t.Errorf("p=%d: simulated %v, closed form %v", c.p, got, want)
+		}
+		if math.Abs(got-c.paper) > 0.15*c.paper {
+			t.Errorf("p=%d: simulated %v, paper measured %v", c.p, got, c.paper)
+		}
+	}
+}
+
+func TestDynamic1NearPerfect(t *testing.T) {
+	work := TriangleWork(408)
+	for _, p := range []int{2, 4, 8} {
+		got := PredictSpeedup(work, p, Schedule{Kind: Dynamic, Chunk: 1})
+		if got < 0.97*float64(p) {
+			t.Errorf("dynamic,1 p=%d: predicted %v", p, got)
+		}
+	}
+}
+
+func TestGuidedSmallChunkGood(t *testing.T) {
+	work := TriangleWork(408)
+	for _, p := range []int{4, 8} {
+		got := PredictSpeedup(work, p, Schedule{Kind: Guided, Chunk: 1})
+		if got < 0.90*float64(p) {
+			t.Errorf("guided,1 p=%d: predicted %v", p, got)
+		}
+	}
+}
+
+func TestLargeChunksDegrade(t *testing.T) {
+	work := TriangleWork(408)
+	for _, kind := range []Kind{Static, Dynamic} {
+		small := PredictSpeedup(work, 8, Schedule{Kind: kind, Chunk: 1})
+		large := PredictSpeedup(work, 8, Schedule{Kind: kind, Chunk: 64})
+		if large >= small {
+			t.Errorf("%v: chunk 64 (%v) not worse than chunk 1 (%v)", kind, large, small)
+		}
+	}
+}
+
+func TestSimulateEdgeCases(t *testing.T) {
+	if ms, _ := Simulate(nil, 4, Schedule{Kind: Static}); ms != 0 {
+		t.Error("empty work should have zero makespan")
+	}
+	// p > n clamps.
+	ms, loads := Simulate([]int64{5, 5}, 10, Schedule{Kind: Dynamic, Chunk: 1})
+	if ms != 5 || len(loads) != 2 {
+		t.Errorf("clamp failed: makespan %d loads %v", ms, loads)
+	}
+	// p = 1 is the sequential sum.
+	ms, _ = Simulate([]int64{1, 2, 3}, 1, Schedule{Kind: Guided})
+	if ms != 6 {
+		t.Errorf("sequential makespan %d", ms)
+	}
+}
+
+func TestSimulatePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for p=0")
+		}
+	}()
+	Simulate([]int64{1}, 0, Schedule{Kind: Static})
+}
+
+func TestSimulateRejectsUnspecified(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for unspecified kind")
+		}
+	}()
+	Simulate([]int64{1, 2}, 2, Schedule{})
+}
+
+func TestTriangleWork(t *testing.T) {
+	w := TriangleWork(4)
+	want := []int64{4, 3, 2, 1}
+	for i := range want {
+		if w[i] != want[i] {
+			t.Fatalf("TriangleWork = %v", w)
+		}
+	}
+}
+
+func TestPredictSpeedupEmpty(t *testing.T) {
+	if PredictSpeedup(nil, 4, Schedule{Kind: Static}) != 1 {
+		t.Error("empty work should predict 1")
+	}
+}

@@ -1,0 +1,185 @@
+package soil
+
+import (
+	"math"
+	"sort"
+)
+
+// expSeries represents a finite sum Σ_k c_k·e^{−λ·d_k} with real
+// coefficients and non-negative decay depths, the algebra in which the
+// recursive layered-earth reflection coefficient
+//
+//	Γ_j(λ) = (K_j + Γ_{j+1}·e^{−2λt_{j+1}}) / (1 + K_j·Γ_{j+1}·e^{−2λt_{j+1}})
+//
+// is expanded. Each product of exponentials adds depths, so the expansion of
+// Γ_1 over C layers is the (C−1)-fold nested series the paper describes in
+// §4.2 ("double series in three-layer models, triple series in four-layer
+// models, and so on"); every term becomes a classical image at a real depth.
+type expSeries struct {
+	c []float64 // coefficients
+	d []float64 // decay depths, sorted ascending, deduplicated
+}
+
+// expTermLimit caps the term count after pruning; series beyond it keep the
+// largest-|c| terms. It bounds the work for extreme layer contrasts.
+const expTermLimit = 4096
+
+// newExpConst returns the constant series c·e^{−λ·0}.
+func newExpConst(c float64) expSeries {
+	if c == 0 {
+		return expSeries{}
+	}
+	return expSeries{c: []float64{c}, d: []float64{0}}
+}
+
+// shift returns the series multiplied by e^{−λ·depth}.
+func (s expSeries) shift(depth float64) expSeries {
+	out := expSeries{c: append([]float64(nil), s.c...), d: make([]float64, len(s.d))}
+	for i, di := range s.d {
+		out.d[i] = di + depth
+	}
+	return out
+}
+
+// scale returns f·s.
+func (s expSeries) scale(f float64) expSeries {
+	out := expSeries{c: make([]float64, len(s.c)), d: append([]float64(nil), s.d...)}
+	for i, ci := range s.c {
+		out.c[i] = f * ci
+	}
+	return out
+}
+
+// add returns s + t with like depths merged.
+func (s expSeries) add(t expSeries) expSeries {
+	return mergeTerms(append(append([]float64(nil), s.c...), t.c...),
+		append(append([]float64(nil), s.d...), t.d...))
+}
+
+// mul returns the product s·t (depths add, coefficients multiply).
+func (s expSeries) mul(t expSeries) expSeries {
+	c := make([]float64, 0, len(s.c)*len(t.c))
+	d := make([]float64, 0, len(s.c)*len(t.c))
+	for i := range s.c {
+		for j := range t.c {
+			c = append(c, s.c[i]*t.c[j])
+			d = append(d, s.d[i]+t.d[j])
+		}
+	}
+	return mergeTerms(c, d)
+}
+
+// mergeTerms sorts by depth, merges equal depths and drops zero terms.
+func mergeTerms(c, d []float64) expSeries {
+	idx := make([]int, len(c))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return d[idx[a]] < d[idx[b]] })
+	var out expSeries
+	const depthTol = 1e-12
+	for _, i := range idx {
+		if n := len(out.d); n > 0 && math.Abs(out.d[n-1]-d[i]) <= depthTol*(1+d[i]) {
+			out.c[n-1] += c[i]
+			continue
+		}
+		out.c = append(out.c, c[i])
+		out.d = append(out.d, d[i])
+	}
+	// Drop exact zeros produced by cancellation.
+	w := 0
+	for i := range out.c {
+		if out.c[i] != 0 {
+			out.c[w], out.d[w] = out.c[i], out.d[i]
+			w++
+		}
+	}
+	out.c, out.d = out.c[:w], out.d[:w]
+	return out
+}
+
+// prune removes terms with |c| < tol·max|c| or depth > maxDepth, then caps
+// the term count at expTermLimit keeping the largest coefficients.
+func (s expSeries) prune(tol, maxDepth float64) expSeries {
+	var cmax float64
+	for _, ci := range s.c {
+		if a := math.Abs(ci); a > cmax {
+			cmax = a
+		}
+	}
+	var out expSeries
+	for i, ci := range s.c {
+		if math.Abs(ci) >= tol*cmax && s.d[i] <= maxDepth {
+			out.c = append(out.c, ci)
+			out.d = append(out.d, s.d[i])
+		}
+	}
+	if len(out.c) > expTermLimit {
+		idx := make([]int, len(out.c))
+		for i := range idx {
+			idx[i] = i
+		}
+		sort.Slice(idx, func(a, b int) bool {
+			return math.Abs(out.c[idx[a]]) > math.Abs(out.c[idx[b]])
+		})
+		idx = idx[:expTermLimit]
+		sort.Ints(idx)
+		c := make([]float64, len(idx))
+		d := make([]float64, len(idx))
+		for k, i := range idx {
+			c[k], d[k] = out.c[i], out.d[i]
+		}
+		out = expSeries{c: c, d: d}
+	}
+	return out
+}
+
+// eval evaluates the series at λ (for tests and cross-validation).
+func (s expSeries) eval(lambda float64) float64 {
+	var sum float64
+	for i, ci := range s.c {
+		sum += ci * math.Exp(-lambda*s.d[i])
+	}
+	return sum
+}
+
+// geometricInverse computes 1/(1 + s) as Σ_k (−s)^k, requiring the series
+// to have no constant term with |c| ≥ 1 (true for physical reflection
+// products, which carry at least one e^{−2λt} factor). Terms are pruned
+// with (tol, maxDepth) after each power; the expansion stops when the next
+// power contributes nothing after pruning or maxPow is reached.
+func (s expSeries) geometricInverse(tol, maxDepth float64, maxPow int) expSeries {
+	out := newExpConst(1)
+	pow := newExpConst(1)
+	for k := 1; k <= maxPow; k++ {
+		pow = pow.mul(s.scale(-1)).prune(tol, maxDepth)
+		if len(pow.c) == 0 {
+			break
+		}
+		out = out.add(pow)
+	}
+	return out.prune(tol, maxDepth)
+}
+
+// reflectionSeries expands the recursive reflection coefficient Γ_1(λ) of a
+// layered halfspace into an exponential series. gammas are the layer
+// conductivities (top first), thicknesses the finite-layer thicknesses.
+// tol and maxDepth prune the expansion; maxPow bounds the geometric
+// inversions.
+func reflectionSeries(gammas, thicknesses []float64, tol, maxDepth float64, maxPow int) expSeries {
+	c := len(gammas)
+	// Γ_{C−1} is the constant reflection at the deepest interface.
+	k := func(j int) float64 { // K_{j,j+1}, 1-based j
+		return (gammas[j-1] - gammas[j]) / (gammas[j-1] + gammas[j])
+	}
+	gamma := newExpConst(k(c - 1))
+	for j := c - 2; j >= 1; j-- {
+		// X = Γ_{j+1}·e^{−2λ·t_{j+1}}.
+		x := gamma.shift(2*thicknesses[j]).prune(tol, maxDepth)
+		kj := k(j)
+		num := newExpConst(kj).add(x)
+		den := x.scale(kj) // (1 + K_j·X) − 1
+		gamma = num.mul(den.geometricInverse(tol, maxDepth, maxPow)).prune(tol, maxDepth)
+	}
+	return gamma
+}

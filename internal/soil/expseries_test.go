@@ -1,0 +1,199 @@
+package soil
+
+import (
+	"math"
+	"testing"
+
+	"earthing/internal/geom"
+)
+
+func TestExpSeriesAlgebra(t *testing.T) {
+	a := expSeries{c: []float64{2, 3}, d: []float64{0, 1}}
+	b := expSeries{c: []float64{0.5}, d: []float64{2}}
+	// (2 + 3e^{−λ})·(0.5e^{−2λ}) = e^{−2λ} + 1.5e^{−3λ}.
+	p := a.mul(b)
+	for _, lambda := range []float64{0, 0.3, 1, 2.5} {
+		want := a.eval(lambda) * b.eval(lambda)
+		if math.Abs(p.eval(lambda)-want) > 1e-14*(1+math.Abs(want)) {
+			t.Errorf("mul at λ=%v: %v want %v", lambda, p.eval(lambda), want)
+		}
+	}
+	s := a.add(b)
+	if got, want := s.eval(0.7), a.eval(0.7)+b.eval(0.7); math.Abs(got-want) > 1e-14 {
+		t.Errorf("add: %v want %v", got, want)
+	}
+	sc := a.scale(-2)
+	if got := sc.eval(0.5); math.Abs(got+2*a.eval(0.5)) > 1e-14 {
+		t.Errorf("scale: %v", got)
+	}
+	sh := a.shift(3)
+	if got, want := sh.eval(1), math.Exp(-3)*a.eval(1); math.Abs(got-want) > 1e-14 {
+		t.Errorf("shift: %v want %v", got, want)
+	}
+}
+
+func TestExpSeriesMergeAndPrune(t *testing.T) {
+	// Equal depths merge; cancellation drops terms.
+	s := mergeTerms([]float64{1, 2, -3}, []float64{1, 1, 1})
+	if len(s.c) != 0 {
+		t.Errorf("cancellation not dropped: %+v", s)
+	}
+	s = mergeTerms([]float64{1, 2}, []float64{2, 1})
+	if len(s.c) != 2 || s.d[0] != 1 || s.c[0] != 2 {
+		t.Errorf("sort/merge wrong: %+v", s)
+	}
+	p := expSeries{c: []float64{1, 1e-15, 0.5}, d: []float64{0, 1, 500}}.prune(1e-12, 100)
+	if len(p.c) != 1 || p.c[0] != 1 {
+		t.Errorf("prune wrong: %+v", p)
+	}
+}
+
+func TestGeometricInverse(t *testing.T) {
+	// 1/(1 + 0.5e^{−λ}) over a λ range.
+	s := expSeries{c: []float64{0.5}, d: []float64{1}}
+	inv := s.geometricInverse(1e-14, 100, 128)
+	for _, lambda := range []float64{0.01, 0.1, 0.5, 1, 3} {
+		want := 1 / (1 + s.eval(lambda))
+		if got := inv.eval(lambda); math.Abs(got-want) > 1e-10 {
+			t.Errorf("λ=%v: %v want %v", lambda, got, want)
+		}
+	}
+}
+
+// TestReflectionSeriesTwoLayer checks Γ_1 of a two-layer medium is the
+// constant K12.
+func TestReflectionSeriesTwoLayer(t *testing.T) {
+	g := reflectionSeries([]float64{0.005, 0.016}, []float64{1.0}, 1e-12, 1e6, 64)
+	k := (0.005 - 0.016) / (0.005 + 0.016)
+	if len(g.c) != 1 || math.Abs(g.c[0]-k) > 1e-14 || g.d[0] != 0 {
+		t.Errorf("two-layer Γ = %+v, want constant %v", g, k)
+	}
+}
+
+// TestReflectionSeriesThreeLayer checks the expansion against the exact
+// rational form Γ = (K12 + K23·x)/(1 + K12·K23·x), x = e^{−2λt2}.
+func TestReflectionSeriesThreeLayer(t *testing.T) {
+	gammas := []float64{0.004, 0.02, 0.008}
+	thick := []float64{1.0, 2.0}
+	g := reflectionSeries(gammas, thick, 1e-13, 1e6, 128)
+	k12 := (gammas[0] - gammas[1]) / (gammas[0] + gammas[1])
+	k23 := (gammas[1] - gammas[2]) / (gammas[1] + gammas[2])
+	for _, lambda := range []float64{0.05, 0.2, 0.7, 2, 5} {
+		x := math.Exp(-2 * lambda * thick[1])
+		want := (k12 + k23*x) / (1 + k12*k23*x)
+		if got := g.eval(lambda); math.Abs(got-want) > 1e-9 {
+			t.Errorf("λ=%v: Γ = %v want %v", lambda, got, want)
+		}
+	}
+}
+
+// TestReflectionSeriesFourLayer validates the triple-series case against a
+// direct numeric evaluation of the recursion.
+func TestReflectionSeriesFourLayer(t *testing.T) {
+	gammas := []float64{0.004, 0.02, 0.002, 0.05}
+	thick := []float64{0.8, 1.5, 3.0}
+	g := reflectionSeries(gammas, thick, 1e-12, 1e6, 128)
+	exact := func(lambda float64) float64 {
+		k := func(j int) float64 { return (gammas[j-1] - gammas[j]) / (gammas[j-1] + gammas[j]) }
+		gam := k(3)
+		for j := 2; j >= 1; j-- {
+			x := gam * math.Exp(-2*lambda*thick[j])
+			gam = (k(j) + x) / (1 + k(j)*x)
+		}
+		return gam
+	}
+	for _, lambda := range []float64{0.1, 0.4, 1, 3} {
+		want := exact(lambda)
+		if got := g.eval(lambda); math.Abs(got-want) > 1e-8 {
+			t.Errorf("λ=%v: Γ = %v want %v", lambda, got, want)
+		}
+	}
+}
+
+// sumImages evaluates the image expansion of a model directly, for
+// cross-validation against the Hankel-based PointPotential.
+func sumImages(m Model, x, xi geom.Vec3, maxGroup int) (float64, bool) {
+	imgs, ok := m.ImageExpansion(m.LayerOf(xi.Z), m.LayerOf(x.Z), maxGroup)
+	if !ok {
+		return 0, false
+	}
+	var sum float64
+	for _, im := range imgs {
+		sum += im.Weight / x.Dist(im.Apply(xi))
+	}
+	return sum / (4 * math.Pi * m.Conductivity(m.LayerOf(xi.Z))), true
+}
+
+// TestMultiLayerImagesMatchTwoLayer: for C = 2 the generic expansion must
+// reproduce the closed-form TwoLayer images.
+func TestMultiLayerImagesMatchTwoLayer(t *testing.T) {
+	ml, err := NewMultiLayer([]float64{0.005, 0.016}, []float64{1.0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tl := NewTwoLayer(0.005, 0.016, 1.0)
+	x := geom.V(3, 0, 0.4)
+	xi := geom.V(0, 0, 0.8)
+	vm, ok := sumImages(ml, x, xi, 60)
+	if !ok {
+		t.Fatal("no expansion for 2-layer MultiLayer (1,1)")
+	}
+	vt, _ := sumImages(tl, x, xi, 60)
+	if math.Abs(vm-vt) > 1e-10*(1+math.Abs(vt)) {
+		t.Errorf("generic images %v vs two-layer images %v", vm, vt)
+	}
+}
+
+// TestThreeLayerImagesMatchHankel cross-validates the double-series image
+// expansion against the independent Hankel evaluation, for source and
+// observer in the top layer.
+func TestThreeLayerImagesMatchHankel(t *testing.T) {
+	ml, err := NewMultiLayer([]float64{0.004, 0.02, 0.008}, []float64{1.0, 2.0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ml.Tol = 1e-10
+	cases := []struct{ x, xi geom.Vec3 }{
+		{geom.V(2, 0, 0.0), geom.V(0, 0, 0.8)},
+		{geom.V(0.7, 0.5, 0.5), geom.V(0, 0, 0.3)},
+		{geom.V(8, 0, 0.9), geom.V(0, 0, 0.8)},
+		{geom.V(20, 0, 0.0), geom.V(0, 0, 0.5)},
+	}
+	for _, c := range cases {
+		img, ok := sumImages(ml, c.x, c.xi, 200)
+		if !ok {
+			t.Fatal("no top-layer expansion for 3-layer model")
+		}
+		hank := ml.PointPotential(c.x, c.xi)
+		if rel := math.Abs(img-hank) / (1 + math.Abs(hank)); rel > 1e-5 {
+			t.Errorf("x=%v xi=%v: images %v vs Hankel %v (rel %v)", c.x, c.xi, img, hank, rel)
+		}
+	}
+	// Non-top-layer pairs have no expansion.
+	if _, ok := ml.ImageExpansion(2, 1, 10); ok {
+		t.Error("unexpected expansion for (2,1)")
+	}
+	if _, ok := ml.ImageExpansion(1, 2, 10); ok {
+		t.Error("unexpected expansion for (1,2)")
+	}
+}
+
+// TestFourLayerImagesMatchHankel extends the cross-validation to the
+// "triple series" four-layer case.
+func TestFourLayerImagesMatchHankel(t *testing.T) {
+	ml, err := NewMultiLayer([]float64{0.004, 0.02, 0.002, 0.05}, []float64{0.9, 1.5, 3.0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ml.Tol = 1e-10
+	x := geom.V(3, 0, 0.2)
+	xi := geom.V(0, 0, 0.7)
+	img, ok := sumImages(ml, x, xi, 200)
+	if !ok {
+		t.Fatal("no expansion")
+	}
+	hank := ml.PointPotential(x, xi)
+	if rel := math.Abs(img-hank) / (1 + math.Abs(hank)); rel > 5e-5 {
+		t.Errorf("images %v vs Hankel %v (rel %v)", img, hank, rel)
+	}
+}

@@ -1,0 +1,72 @@
+package soil
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"earthing/internal/geom"
+)
+
+// randThreeLayer draws random physically plausible three-layer models.
+func randThreeLayer(r *rand.Rand) *MultiLayer {
+	rho := func() float64 {
+		return math.Exp(math.Log(10) + r.Float64()*(math.Log(1000)-math.Log(10)))
+	}
+	m, err := NewMultiLayer(
+		[]float64{1 / rho(), 1 / rho(), 1 / rho()},
+		[]float64{0.5 + r.Float64()*2, 0.5 + r.Float64()*3},
+	)
+	if err != nil {
+		panic(err)
+	}
+	m.Tol = 1e-9
+	return m
+}
+
+// TestQuickThreeLayerImagesMatchHankel: for random three-layer models and
+// random top-layer point pairs, the double-series image expansion and the
+// Hankel evaluation agree.
+func TestQuickThreeLayerImagesMatchHankel(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		m := randThreeLayer(r)
+		h1 := m.depths[0]
+		xi := geom.V(0, 0, 0.1+r.Float64()*0.8*h1)
+		x := geom.V(0.5+r.Float64()*8, r.Float64()*4, r.Float64()*0.9*h1)
+		if x.Dist(xi) < 0.3 {
+			return true
+		}
+		img, ok := sumImages(m, x, xi, 300)
+		if !ok {
+			return false
+		}
+		hank := m.PointPotential(x, xi)
+		return math.Abs(img-hank) <= 2e-4*(1+math.Abs(hank))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickThreeLayerReciprocity: the Hankel kernel satisfies G(x,ξ)=G(ξ,x)
+// for random models and cross-layer pairs.
+func TestQuickThreeLayerReciprocity(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		m := randThreeLayer(r)
+		total := m.depths[1]
+		x := geom.V(r.Float64()*6, r.Float64()*6, r.Float64()*1.5*total)
+		xi := geom.V(r.Float64()*6, 0, 0.05+r.Float64()*1.5*total)
+		if x.Dist(xi) < 0.3 {
+			return true
+		}
+		a := m.PointPotential(x, xi)
+		b := m.PointPotential(xi, x)
+		return math.Abs(a-b) <= 1e-4*(1+math.Abs(a))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,150 @@
+package wenner
+
+import (
+	"fmt"
+	"math"
+
+	"earthing/internal/optimize"
+	"earthing/internal/soil"
+)
+
+// Fit is the outcome of a two-layer inversion.
+type Fit struct {
+	// Rho1, Rho2 are the fitted layer resistivities (Ω·m); H the top-layer
+	// thickness (m).
+	Rho1, Rho2, H float64
+	// RMSLog is the root-mean-square misfit of log(ρ_a), the scale-free
+	// quality measure (≈ relative error).
+	RMSLog float64
+	// Evals counts forward-model evaluations spent.
+	Evals int
+}
+
+// Model returns the fitted two-layer soil model in conductivity form.
+func (f Fit) Model() *soil.TwoLayer {
+	return soil.NewTwoLayer(1/f.Rho1, 1/f.Rho2, f.H)
+}
+
+// String summarises the fit.
+func (f Fit) String() string {
+	return fmt.Sprintf("two-layer fit: ρ1 = %.1f Ω·m, ρ2 = %.1f Ω·m, h = %.2f m (RMS log misfit %.4f)",
+		f.Rho1, f.Rho2, f.H, f.RMSLog)
+}
+
+// InvertOptions bounds the two-layer parameter search. The zero value
+// selects wide engineering defaults.
+type InvertOptions struct {
+	RhoMin, RhoMax float64 // resistivity bounds, Ω·m (default 0.5 .. 20000)
+	HMin, HMax     float64 // thickness bounds, m (default 0.1 .. 0.5·max spacing)
+	MaxEvals       int     // forward-model evaluation budget (default 30000)
+}
+
+func (o InvertOptions) withDefaults(maxSpacing float64) InvertOptions {
+	if o.RhoMin <= 0 {
+		o.RhoMin = 0.5
+	}
+	if o.RhoMax <= o.RhoMin {
+		o.RhoMax = 20_000
+	}
+	if o.HMin <= 0 {
+		o.HMin = 0.1
+	}
+	if o.HMax <= o.HMin {
+		o.HMax = 0.5 * maxSpacing
+		if o.HMax <= o.HMin {
+			o.HMax = o.HMin * 10
+		}
+	}
+	if o.MaxEvals <= 0 {
+		o.MaxEvals = 30_000
+	}
+	return o
+}
+
+// InvertTwoLayer fits ρ1, ρ2, h of a two-layer soil to Wenner measurements
+// by minimizing the RMS log-misfit with Nelder–Mead from several starting
+// points. The closed-form forward series keeps each residual evaluation
+// cheap, so a full inversion takes milliseconds.
+func InvertTwoLayer(data []Measurement, opt InvertOptions) (Fit, error) {
+	if err := Validate(data); err != nil {
+		return Fit{}, err
+	}
+	maxA := 0.0
+	for _, d := range data {
+		maxA = math.Max(maxA, d.Spacing)
+	}
+	opt = opt.withDefaults(maxA)
+
+	misfit := func(x []float64) float64 {
+		rho1, rho2, h := x[0], x[1], x[2]
+		var ss float64
+		for _, d := range data {
+			model := ApparentResistivityTwoLayerSeries(rho1, rho2, h, d.Spacing, 64)
+			if model <= 0 {
+				return math.Inf(1)
+			}
+			r := math.Log(model / d.RhoA)
+			ss += r * r
+		}
+		return ss / float64(len(data))
+	}
+
+	lo := []float64{opt.RhoMin, opt.RhoMin, opt.HMin}
+	hi := []float64{opt.RhoMax, opt.RhoMax, opt.HMax}
+	wrapped, fromU, toU := optimize.Bounded(misfit, lo, hi)
+
+	// Multi-start: the asymptotes anchor ρ1 (small spacings) and ρ2 (large
+	// spacings); try both layer orderings and two thicknesses.
+	rhoSmall := data[0].RhoA
+	rhoLarge := data[len(data)-1].RhoA
+	clamp := func(v, a, b float64) float64 { return math.Min(b, math.Max(a, v)) }
+	starts := [][]float64{
+		{clamp(rhoSmall, lo[0], hi[0]), clamp(rhoLarge, lo[1], hi[1]), clamp(1, lo[2], hi[2])},
+		{clamp(rhoSmall, lo[0], hi[0]), clamp(rhoLarge, lo[1], hi[1]), clamp(0.3*maxA, lo[2], hi[2])},
+		{clamp(rhoLarge, lo[0], hi[0]), clamp(rhoSmall, lo[1], hi[1]), clamp(1, lo[2], hi[2])},
+		{clamp(math.Sqrt(rhoSmall*rhoLarge), lo[0], hi[0]), clamp(math.Sqrt(rhoSmall*rhoLarge), lo[1], hi[1]), clamp(0.1*maxA, lo[2], hi[2])},
+	}
+
+	best := Fit{RMSLog: math.Inf(1)}
+	totalEvals := 0
+	for _, s := range starts {
+		res, err := optimize.NelderMead(wrapped, toU(s), optimize.Options{
+			MaxIter: opt.MaxEvals / len(starts),
+			TolF:    1e-14,
+			TolX:    1e-10,
+		})
+		if err != nil {
+			continue
+		}
+		totalEvals += res.Evals
+		if rms := math.Sqrt(res.F); rms < best.RMSLog {
+			x := fromU(res.X)
+			best = Fit{Rho1: x[0], Rho2: x[1], H: x[2], RMSLog: rms}
+		}
+	}
+	best.Evals = totalEvals
+	if math.IsInf(best.RMSLog, 1) {
+		return Fit{}, fmt.Errorf("wenner: inversion failed from all starting points")
+	}
+	return best, nil
+}
+
+// FitUniform returns the best uniform-soil resistivity (the geometric mean
+// of the readings, the log-misfit minimizer) and its RMS log-misfit — the
+// baseline that tells whether a two-layer model is warranted.
+func FitUniform(data []Measurement) (rho float64, rmsLog float64, err error) {
+	if err := Validate(data); err != nil {
+		return 0, 0, err
+	}
+	var sum float64
+	for _, d := range data {
+		sum += math.Log(d.RhoA)
+	}
+	mean := sum / float64(len(data))
+	var ss float64
+	for _, d := range data {
+		r := math.Log(d.RhoA) - mean
+		ss += r * r
+	}
+	return math.Exp(mean), math.Sqrt(ss / float64(len(data))), nil
+}

@@ -1,0 +1,142 @@
+// Package wenner implements the field-measurement side of grounding design:
+// the Wenner four-electrode resistivity survey, its forward model on any
+// layered soil, and the inversion that fits a two-layer model to measured
+// apparent resistivities.
+//
+// The paper's soil models are parameterized by "an apparent scalar
+// conductivity that must be experimentally obtained" (§2); in practice the
+// experiment is a Wenner sounding: four equally spaced surface electrodes,
+// current through the outer pair, voltage across the inner pair, repeated at
+// growing spacings a. The apparent resistivity
+//
+//	ρ_a(a) = 2πa·ΔV/I
+//
+// equals the true resistivity over uniform soil and transitions between ρ1
+// and ρ2 over a two-layer soil as the spacing (and therefore the sampled
+// depth) grows.
+package wenner
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"earthing/internal/geom"
+	"earthing/internal/soil"
+)
+
+// Measurement is one Wenner sounding: electrode spacing and the measured
+// apparent resistivity.
+type Measurement struct {
+	Spacing float64 // a, in metres
+	RhoA    float64 // apparent resistivity, Ω·m
+}
+
+// ApparentResistivity computes the forward model: the apparent resistivity
+// a Wenner array with spacing a would read over the given soil model. It
+// places the four electrodes on the surface and evaluates the exact
+// layered-earth point kernels.
+func ApparentResistivity(m soil.Model, a float64) float64 {
+	if a <= 0 {
+		panic(fmt.Sprintf("wenner: non-positive spacing %g", a))
+	}
+	// Electrodes at x = 0, a, 2a, 3a; unit current +1 at 0 and −1 at 3a.
+	// ΔV = V(a) − V(2a) with V(x) = G(|x−0|) − G(|x−3a|).
+	src := geom.V(0, 0, 0)
+	g := func(r float64) float64 {
+		return m.PointPotential(geom.V(r, 0, 0), src)
+	}
+	// V(a) = G(a) − G(2a) and V(2a) = G(2a) − G(a) by symmetry, so
+	// ΔV = 2·(G(a) − G(2a)).
+	dv := 2 * (g(a) - g(2*a))
+	return 2 * math.Pi * a * dv
+}
+
+// ApparentResistivityTwoLayerSeries is the classical closed form for a
+// two-layer soil (Tagg):
+//
+//	ρ_a = ρ1·[1 + 4·Σ_{n≥1} Kⁿ·(1/√(1+(2nh/a)²) − 1/√(4+(2nh/a)²))]
+//
+// with K = (ρ2−ρ1)/(ρ2+ρ1). It cross-validates the kernel-based forward
+// model in the tests.
+func ApparentResistivityTwoLayerSeries(rho1, rho2, h, a float64, terms int) float64 {
+	k := (rho2 - rho1) / (rho2 + rho1)
+	sum := 0.0
+	kn := 1.0
+	for n := 1; n <= terms; n++ {
+		kn *= k
+		q := 2 * float64(n) * h / a
+		sum += kn * (1/math.Sqrt(1+q*q) - 1/math.Sqrt(4+q*q))
+	}
+	return rho1 * (1 + 4*sum)
+}
+
+// ApparentResistivitySchlumberger computes the forward model for a
+// Schlumberger array: current electrodes at ±L, potential electrodes at ±l
+// (l < L), all on the surface and collinear:
+//
+//	ρ_a = π·(L² − l²)/(2l) · ΔV/I
+//
+// Schlumberger soundings expand only the current electrodes between
+// readings, which is the other standard field protocol; both arrays share
+// the same layered-earth kernels and invert to the same model.
+func ApparentResistivitySchlumberger(m soil.Model, bigL, smallL float64) float64 {
+	if smallL <= 0 || bigL <= smallL {
+		panic(fmt.Sprintf("wenner: bad Schlumberger geometry L=%g l=%g", bigL, smallL))
+	}
+	src := geom.V(0, 0, 0)
+	g := func(r float64) float64 {
+		return m.PointPotential(geom.V(r, 0, 0), src)
+	}
+	// +I at −L, −I at +L. V(x) = G(|x+L|) − G(|x−L|).
+	vAt := func(x float64) float64 {
+		return g(math.Abs(x+bigL)) - g(math.Abs(x-bigL))
+	}
+	dv := vAt(-smallL) - vAt(+smallL)
+	return math.Pi * (bigL*bigL - smallL*smallL) / (2 * smallL) * dv
+}
+
+// Sound simulates a survey: it evaluates the forward model at the given
+// spacings, optionally perturbing each reading with multiplicative noise
+// noise·ε, ε drawn by the caller-supplied source (pass nil for noiseless
+// data). This synthesizes the field data the paper's "experimentally
+// obtained" parameters come from.
+func Sound(m soil.Model, spacings []float64, noise float64, randn func() float64) []Measurement {
+	out := make([]Measurement, len(spacings))
+	for i, a := range spacings {
+		rho := ApparentResistivity(m, a)
+		if noise > 0 && randn != nil {
+			rho *= 1 + noise*randn()
+		}
+		out[i] = Measurement{Spacing: a, RhoA: rho}
+	}
+	return out
+}
+
+// LogSpacings returns n logarithmically spaced electrode spacings between
+// aMin and aMax — the standard survey design, since the sounding depth
+// scales with the spacing.
+func LogSpacings(aMin, aMax float64, n int) []float64 {
+	if n < 2 || aMin <= 0 || aMax <= aMin {
+		panic(fmt.Sprintf("wenner: bad spacing range (%g, %g, %d)", aMin, aMax, n))
+	}
+	out := make([]float64, n)
+	r := math.Log(aMax / aMin)
+	for i := range out {
+		out[i] = aMin * math.Exp(r*float64(i)/float64(n-1))
+	}
+	return out
+}
+
+// Validate checks a measurement set for inversion.
+func Validate(data []Measurement) error {
+	if len(data) < 3 {
+		return errors.New("wenner: need at least 3 measurements to fit a two-layer model")
+	}
+	for i, d := range data {
+		if d.Spacing <= 0 || d.RhoA <= 0 || math.IsNaN(d.RhoA) {
+			return fmt.Errorf("wenner: measurement %d invalid (a=%g, rho=%g)", i, d.Spacing, d.RhoA)
+		}
+	}
+	return nil
+}

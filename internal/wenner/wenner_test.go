@@ -1,0 +1,238 @@
+package wenner
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"earthing/internal/soil"
+)
+
+func relDiff(a, b float64) float64 {
+	return math.Abs(a-b) / (1 + math.Max(math.Abs(a), math.Abs(b)))
+}
+
+func TestApparentResistivityUniform(t *testing.T) {
+	// Over uniform soil the Wenner reading is the true resistivity at every
+	// spacing.
+	for _, rho := range []float64{10, 62.5, 400} {
+		m := soil.NewUniform(1 / rho)
+		for _, a := range []float64{0.5, 2, 10, 50} {
+			got := ApparentResistivity(m, a)
+			if relDiff(got, rho) > 1e-9 {
+				t.Errorf("rho=%v a=%v: apparent %v", rho, a, got)
+			}
+		}
+	}
+}
+
+func TestApparentResistivityTwoLayerAsymptotes(t *testing.T) {
+	// Small spacings sample the top layer, large ones the bottom.
+	rho1, rho2, h := 200.0, 50.0, 2.0
+	m := soil.NewTwoLayer(1/rho1, 1/rho2, h)
+	small := ApparentResistivity(m, 0.05)
+	large := ApparentResistivity(m, 500)
+	if relDiff(small, rho1) > 0.02 {
+		t.Errorf("small-spacing asymptote %v, want %v", small, rho1)
+	}
+	if relDiff(large, rho2) > 0.05 {
+		t.Errorf("large-spacing asymptote %v, want %v", large, rho2)
+	}
+	// Monotone transition for a two-layer descending profile.
+	prev := small
+	for _, a := range []float64{0.2, 0.5, 1, 2, 5, 10, 30, 100} {
+		cur := ApparentResistivity(m, a)
+		if cur > prev+1e-9 {
+			t.Errorf("transition not monotone at a=%v: %v -> %v", a, prev, cur)
+		}
+		prev = cur
+	}
+}
+
+// TestForwardModelsAgree cross-validates the kernel-based forward model
+// against the classical Tagg series.
+func TestForwardModelsAgree(t *testing.T) {
+	cases := []struct{ rho1, rho2, h float64 }{
+		{200, 50, 2},
+		{50, 200, 1},
+		{62.5, 62.5, 3}, // degenerate: uniform
+		{400, 40, 0.7},  // strong contrast, K ≈ −0.82
+		{30, 3000, 5},   // strong contrast, K ≈ +0.98 (slow series)
+	}
+	for _, c := range cases {
+		m := soil.NewTwoLayer(1/c.rho1, 1/c.rho2, c.h)
+		m.Control = soil.SeriesControl{Tol: 1e-12, MaxGroups: 5000}
+		for _, a := range []float64{0.5, 1, 3, 10, 40} {
+			kernel := ApparentResistivity(m, a)
+			series := ApparentResistivityTwoLayerSeries(c.rho1, c.rho2, c.h, a, 5000)
+			if relDiff(kernel, series) > 1e-6 {
+				t.Errorf("ρ1=%v ρ2=%v h=%v a=%v: kernel %v vs series %v",
+					c.rho1, c.rho2, c.h, a, kernel, series)
+			}
+		}
+	}
+}
+
+func TestSchlumbergerUniform(t *testing.T) {
+	// Over uniform soil the Schlumberger reading equals the true
+	// resistivity for any electrode geometry.
+	m := soil.NewUniform(1.0 / 80)
+	for _, c := range []struct{ L, l float64 }{{5, 1}, {20, 2}, {50, 0.5}} {
+		got := ApparentResistivitySchlumberger(m, c.L, c.l)
+		if relDiff(got, 80) > 1e-9 {
+			t.Errorf("L=%v l=%v: %v want 80", c.L, c.l, got)
+		}
+	}
+}
+
+func TestSchlumbergerMatchesWennerAsymptotes(t *testing.T) {
+	// Both arrays sample the same earth: over a layered soil their
+	// asymptotes agree (ρ1 at small spread, ρ2 at large spread).
+	m := soil.NewTwoLayer(1.0/200, 1.0/50, 2.0)
+	small := ApparentResistivitySchlumberger(m, 0.2, 0.05)
+	large := ApparentResistivitySchlumberger(m, 400, 10)
+	if relDiff(small, 200) > 0.03 {
+		t.Errorf("small-spread asymptote %v, want 200", small)
+	}
+	if relDiff(large, 50) > 0.05 {
+		t.Errorf("large-spread asymptote %v, want 50", large)
+	}
+	// Mid-range: the two arrays read similar (not identical) values.
+	w := ApparentResistivity(m, 3)
+	s := ApparentResistivitySchlumberger(m, 4.5, 1.5) // same outer span as Wenner a=3
+	if relDiff(w, s) > 0.15 {
+		t.Errorf("arrays diverge: Wenner %v vs Schlumberger %v", w, s)
+	}
+}
+
+func TestSchlumbergerRejectsBadGeometry(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for l ≥ L")
+		}
+	}()
+	ApparentResistivitySchlumberger(soil.NewUniform(0.01), 1, 2)
+}
+
+func TestLogSpacings(t *testing.T) {
+	s := LogSpacings(0.5, 50, 11)
+	if len(s) != 11 || s[0] != 0.5 || relDiff(s[10], 50) > 1e-12 {
+		t.Fatalf("spacings = %v", s)
+	}
+	// Constant ratio.
+	r := s[1] / s[0]
+	for i := 1; i+1 < len(s); i++ {
+		if relDiff(s[i+1]/s[i], r) > 1e-9 {
+			t.Fatal("not logarithmically spaced")
+		}
+	}
+}
+
+func TestSoundAndValidate(t *testing.T) {
+	m := soil.NewTwoLayer(1.0/200, 1.0/50, 2)
+	r := rand.New(rand.NewSource(1))
+	data := Sound(m, LogSpacings(0.5, 50, 10), 0.05, r.NormFloat64)
+	if err := Validate(data); err != nil {
+		t.Fatal(err)
+	}
+	if err := Validate(data[:2]); err == nil {
+		t.Error("two points accepted")
+	}
+	bad := []Measurement{{1, 100}, {2, -5}, {3, 80}}
+	if err := Validate(bad); err == nil {
+		t.Error("negative resistivity accepted")
+	}
+	// Noiseless sound matches the forward model exactly.
+	clean := Sound(m, []float64{2}, 0, nil)
+	if relDiff(clean[0].RhoA, ApparentResistivity(m, 2)) > 1e-12 {
+		t.Error("noiseless sounding differs from forward model")
+	}
+}
+
+func TestInvertRecoversTruth(t *testing.T) {
+	cases := []struct{ rho1, rho2, h float64 }{
+		{200, 50, 2.0},
+		{50, 200, 1.0},
+		{400, 62.5, 0.8}, // Barberá-like: resistive thin top layer
+	}
+	for _, c := range cases {
+		m := soil.NewTwoLayer(1/c.rho1, 1/c.rho2, c.h)
+		data := Sound(m, LogSpacings(0.25, 60, 14), 0, nil)
+		fit, err := InvertTwoLayer(data, InvertOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if relDiff(fit.Rho1, c.rho1) > 0.02 || relDiff(fit.Rho2, c.rho2) > 0.02 || relDiff(fit.H, c.h) > 0.05 {
+			t.Errorf("truth (%v,%v,%v): fit (%v,%v,%v) rms %v",
+				c.rho1, c.rho2, c.h, fit.Rho1, fit.Rho2, fit.H, fit.RMSLog)
+		}
+		if fit.RMSLog > 1e-4 {
+			t.Errorf("noiseless fit misfit %v", fit.RMSLog)
+		}
+		// The fitted model is directly usable by the solver.
+		if got := fit.Model().Conductivity(1); relDiff(got, 1/fit.Rho1) > 1e-12 {
+			t.Error("Fit.Model conductivity wrong")
+		}
+	}
+}
+
+func TestInvertWithNoise(t *testing.T) {
+	truth := soil.NewTwoLayer(1.0/200, 1.0/50, 2)
+	r := rand.New(rand.NewSource(7))
+	data := Sound(truth, LogSpacings(0.25, 60, 16), 0.03, r.NormFloat64)
+	fit, err := InvertTwoLayer(data, InvertOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 3 % multiplicative noise: parameters within ~15 %.
+	if relDiff(fit.Rho1, 200) > 0.15 || relDiff(fit.Rho2, 50) > 0.15 || relDiff(fit.H, 2) > 0.3 {
+		t.Errorf("noisy fit: %+v", fit)
+	}
+	if fit.String() == "" {
+		t.Error("empty fit description")
+	}
+}
+
+func TestFitUniform(t *testing.T) {
+	u := soil.NewUniform(1.0 / 62.5)
+	data := Sound(u, LogSpacings(0.5, 50, 8), 0, nil)
+	rho, rms, err := FitUniform(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if relDiff(rho, 62.5) > 1e-6 || rms > 1e-9 {
+		t.Errorf("uniform fit rho=%v rms=%v", rho, rms)
+	}
+	// Over genuinely layered soil the uniform misfit must be large, which
+	// is how a design tool decides a two-layer model is mandatory.
+	layered := Sound(soil.NewTwoLayer(1.0/400, 1.0/40, 1), LogSpacings(0.5, 50, 10), 0, nil)
+	_, rmsLayered, err := FitUniform(layered)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rmsLayered < 0.2 {
+		t.Errorf("layered data should not fit a uniform model: rms %v", rmsLayered)
+	}
+}
+
+func TestInvertRejectsBadData(t *testing.T) {
+	if _, err := InvertTwoLayer(nil, InvertOptions{}); err == nil {
+		t.Error("nil data accepted")
+	}
+}
+
+func BenchmarkForwardSeries(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		ApparentResistivityTwoLayerSeries(200, 50, 2, 5, 64)
+	}
+}
+
+func BenchmarkInvertTwoLayer(b *testing.B) {
+	data := Sound(soil.NewTwoLayer(1.0/200, 1.0/50, 2), LogSpacings(0.25, 60, 12), 0, nil)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := InvertTwoLayer(data, InvertOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

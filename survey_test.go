@@ -1,0 +1,99 @@
+package earthing_test
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"earthing"
+)
+
+func TestSurveyFacade(t *testing.T) {
+	truth := earthing.TwoLayerSoil(1.0/300, 1.0/60, 1.2)
+	spacings := earthing.SurveySpacings(0.3, 40, 10)
+	if len(spacings) != 10 {
+		t.Fatal("spacings wrong")
+	}
+	data := earthing.SimulateSurvey(truth, spacings, 0, nil)
+	fit, err := earthing.FitTwoLayerSoil(data, earthing.SurveyInvertOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fit.Rho1-300)/300 > 0.05 || math.Abs(fit.H-1.2)/1.2 > 0.1 {
+		t.Errorf("fit = %+v", fit)
+	}
+	rho, rms, err := earthing.FitUniformSoil(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rho <= 60 || rho >= 300 {
+		t.Errorf("uniform rho = %v outside layer range", rho)
+	}
+	if rms < 0.05 {
+		t.Error("layered data should misfit a uniform model")
+	}
+	// Forward model sanity through the facade.
+	if got := earthing.ApparentResistivity(earthing.UniformSoil(0.01), 3); math.Abs(got-100) > 1e-6 {
+		t.Errorf("ApparentResistivity = %v", got)
+	}
+}
+
+func TestFieldFacade(t *testing.T) {
+	g := earthing.RectGrid(0, 0, 20, 20, 3, 3, 0.8, 0.006)
+	res, err := earthing.Analyze(g, earthing.UniformSoil(0.02), earthing.Config{GPR: 10_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := earthing.ElectricFieldAt(res, earthing.V(30, 10, 0))
+	if e.X <= 0 {
+		t.Errorf("E at +x side = %v", e)
+	}
+	j := earthing.CurrentDensityAt(res, earthing.V(30, 10, 0.5))
+	// J = γ·E pointwise.
+	e2 := earthing.ElectricFieldAt(res, earthing.V(30, 10, 0.5))
+	if math.Abs(j.X-0.02*e2.X) > 1e-9*(1+math.Abs(j.X)) {
+		t.Errorf("J = %v vs γE = %v", j.X, 0.02*e2.X)
+	}
+
+	rep := earthing.ComputeLeakage(res)
+	if math.Abs(rep.Total-res.Current) > 1e-6*(1+res.Current) {
+		t.Errorf("leakage total %v vs current %v", rep.Total, res.Current)
+	}
+	var csv, sum strings.Builder
+	if err := earthing.WriteLeakageCSV(&csv, rep); err != nil {
+		t.Fatal(err)
+	}
+	if err := earthing.WriteLeakageSummary(&sum, rep, 3); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sum.String(), "top 3") {
+		t.Error("summary malformed")
+	}
+
+	s, step := earthing.StepVoltageProfile(res, 10, 10, 60, 10, 20)
+	if len(s) != 20 || step[0] < 0 {
+		t.Error("step profile malformed")
+	}
+}
+
+func TestDesignFacade(t *testing.T) {
+	space := earthing.DesignSpace{Width: 30, Height: 30, MinLines: 3, MaxLines: 7}
+	best, trace, err := earthing.DesignSearch(space, earthing.UniformSoil(0.02),
+		earthing.DesignTargets{MaxReq: 0.85}, earthing.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best == nil || best.Result.Req > 0.85 {
+		t.Fatalf("best = %+v", best)
+	}
+	if len(trace) == 0 {
+		t.Error("empty trace")
+	}
+	// Infeasible target surfaces the sentinel error.
+	_, _, err = earthing.DesignSearch(
+		earthing.DesignSpace{Width: 5, Height: 5, MinLines: 2, MaxLines: 3},
+		earthing.UniformSoil(0.001), earthing.DesignTargets{MaxReq: 0.01}, earthing.Config{})
+	if err != earthing.ErrNoFeasibleDesign {
+		t.Errorf("err = %v", err)
+	}
+}
