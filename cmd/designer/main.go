@@ -13,9 +13,11 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"earthing"
+	"earthing/internal/fsio"
 	"earthing/internal/report"
 )
 
@@ -95,12 +97,6 @@ func main() {
 	}
 
 	if *html != "" {
-		f, err := os.Create(*html)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "designer:", err)
-			os.Exit(1)
-		}
-		defer f.Close()
 		opt := report.Options{Title: "Automated grounding design"}
 		reportRes := best.Result
 		if *fault > 0 {
@@ -113,7 +109,10 @@ func main() {
 				os.Exit(1)
 			}
 		}
-		if err := report.BuildHTML(f, reportRes, best.Grid, opt); err != nil {
+		err := fsio.WriteFile(*html, func(f io.Writer) error {
+			return report.BuildHTML(f, reportRes, best.Grid, opt)
+		})
+		if err != nil {
 			fmt.Fprintln(os.Stderr, "designer:", err)
 			os.Exit(1)
 		}

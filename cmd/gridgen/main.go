@@ -12,10 +12,12 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"earthing"
 	"earthing/internal/experiments"
+	"earthing/internal/fsio"
 	"earthing/internal/grid"
 )
 
@@ -42,13 +44,10 @@ func main() {
 		os.Exit(1)
 	}
 	if *svg != "" {
-		f, err := os.Create(*svg)
+		err := fsio.WriteFile(*svg, func(f io.Writer) error {
+			return experiments.PlanSVG(f, g)
+		})
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "gridgen:", err)
-			os.Exit(1)
-		}
-		defer f.Close()
-		if err := experiments.PlanSVG(f, g); err != nil {
 			fmt.Fprintln(os.Stderr, "gridgen:", err)
 			os.Exit(1)
 		}

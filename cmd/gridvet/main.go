@@ -1,0 +1,127 @@
+// Command gridvet runs the repo's static-analysis suite (package
+// internal/analysis) over the module: it loads and type-checks every
+// package with the standard library's go/* packages only, runs the analyzer
+// registry, and prints findings as
+//
+//	file:line:col: [analyzer] message
+//
+// Deliberate violations are excused in source with a
+// "//lint:ignore <analyzer> <reason>" comment on the offending line or the
+// line directly above it. gridvet exits 1 when unsuppressed findings
+// remain and 2 when the module fails to load.
+//
+// Usage:
+//
+//	go run ./cmd/gridvet ./...          # whole module
+//	go run ./cmd/gridvet ./internal/... # subtree only
+//	go run ./cmd/gridvet -list          # print the analyzer registry
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"earthing/internal/analysis"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list registered analyzers and exit")
+	flag.Parse()
+
+	analyzers := analysis.Analyzers()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	root, err := moduleRoot()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gridvet:", err)
+		os.Exit(2)
+	}
+	pkgs, err := analysis.LoadModule(root)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gridvet:", err)
+		os.Exit(2)
+	}
+	pkgs = filterPackages(pkgs, flag.Args(), root)
+
+	findings := analysis.Run(pkgs, analyzers)
+	cwd, err := os.Getwd()
+	if err != nil {
+		cwd = "" // fall back to absolute paths in the report
+	}
+	for _, f := range findings {
+		name := f.Pos.Filename
+		if cwd != "" {
+			if rel, err := filepath.Rel(cwd, name); err == nil && !strings.HasPrefix(rel, "..") {
+				name = rel
+			}
+		}
+		fmt.Printf("%s:%d:%d: [%s] %s\n", name, f.Pos.Line, f.Pos.Column, f.Analyzer, f.Message)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "gridvet: %d finding(s)\n", len(findings))
+		os.Exit(1)
+	}
+}
+
+// moduleRoot walks up from the working directory to the enclosing go.mod.
+func moduleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod above the working directory")
+		}
+		dir = parent
+	}
+}
+
+// filterPackages narrows pkgs to the ./...-style patterns given on the
+// command line (resolved against root). No patterns, or any "./..."/"all"
+// pattern, keeps everything.
+func filterPackages(pkgs []*analysis.Package, patterns []string, root string) []*analysis.Package {
+	if len(patterns) == 0 {
+		return pkgs
+	}
+	var keep []func(dir string) bool
+	for _, pat := range patterns {
+		if pat == "./..." || pat == "all" || pat == "..." {
+			return pkgs
+		}
+		recursive := false
+		if rest, ok := strings.CutSuffix(pat, "/..."); ok {
+			recursive = true
+			pat = rest
+		}
+		abs := filepath.Clean(filepath.Join(root, filepath.FromSlash(strings.TrimPrefix(pat, "./"))))
+		keep = append(keep, func(dir string) bool {
+			if dir == abs {
+				return true
+			}
+			return recursive && strings.HasPrefix(dir, abs+string(filepath.Separator))
+		})
+	}
+	var out []*analysis.Package
+	for _, p := range pkgs {
+		for _, ok := range keep {
+			if ok(p.Dir) {
+				out = append(out, p)
+				break
+			}
+		}
+	}
+	return out
+}

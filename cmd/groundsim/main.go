@@ -14,11 +14,13 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
 
 	"earthing"
+	"earthing/internal/fsio"
 	"earthing/internal/report"
 )
 
@@ -95,12 +97,10 @@ func run(gridFile, builtin, soilKind string, gamma1, gamma2, h1 float64, multi s
 			}
 		}
 		if surface != "" {
-			f, err := os.Create(surface)
+			err := fsio.WriteFile(surface, func(f io.Writer) error {
+				return earthing.WriteRasterCSV(f, r)
+			})
 			if err != nil {
-				return err
-			}
-			defer f.Close()
-			if err := earthing.WriteRasterCSV(f, r); err != nil {
 				return err
 			}
 			fmt.Println("surface potential written to", surface)
@@ -108,11 +108,6 @@ func run(gridFile, builtin, soilKind string, gamma1, gamma2, h1 float64, multi s
 	}
 
 	if htmlOut != "" {
-		f, err := os.Create(htmlOut)
-		if err != nil {
-			return err
-		}
-		defer f.Close()
 		opt := report.Options{}
 		if check {
 			opt.Criteria = earthing.SafetyCriteria{
@@ -122,7 +117,10 @@ func run(gridFile, builtin, soilKind string, gamma1, gamma2, h1 float64, multi s
 				SurfaceThickness: rockH,
 			}
 		}
-		if err := report.BuildHTML(f, res, g, opt); err != nil {
+		err := fsio.WriteFile(htmlOut, func(f io.Writer) error {
+			return report.BuildHTML(f, res, g, opt)
+		})
+		if err != nil {
 			return err
 		}
 		fmt.Println("HTML report written to", htmlOut)
@@ -172,6 +170,7 @@ func loadGrid(gridFile, builtin string) (*earthing.Grid, error) {
 		if err != nil {
 			return nil, err
 		}
+		//lint:ignore errdrop read-only descriptor; Close cannot lose data and the grid is already parsed
 		defer f.Close()
 		return earthing.ReadGrid(f)
 	default:

@@ -18,12 +18,14 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"strconv"
 	"strings"
 
 	"earthing/internal/experiments"
+	"earthing/internal/fsio"
 	"earthing/internal/grid"
 )
 
@@ -123,10 +125,7 @@ func planFigure(dir, name string, g *grid.Grid) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err
 	}
-	f, err := os.Create(filepath.Join(dir, name))
-	if err != nil {
-		return err
-	}
-	defer f.Close()
-	return experiments.PlanSVG(f, g)
+	return fsio.WriteFile(filepath.Join(dir, name), func(f io.Writer) error {
+		return experiments.PlanSVG(f, g)
+	})
 }

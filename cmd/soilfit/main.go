@@ -104,6 +104,7 @@ func readSurvey(path string) ([]wenner.Measurement, error) {
 		if err != nil {
 			return nil, err
 		}
+		//lint:ignore errdrop read-only descriptor; Close cannot lose data already read
 		defer f.Close()
 		r = f
 	}

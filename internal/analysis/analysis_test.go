@@ -1,0 +1,158 @@
+package analysis
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// Fixture tests. Each module under testdata/src/<name> marks the findings it
+// expects with trailing comments:
+//
+//	code // want "substring"
+//
+// matched against `[analyzer] message` of a finding on the same line. A
+// marker of the form `// want-next "substring"` expects the finding on the
+// line below it — used where the finding position is itself a comment (a
+// //lint:ignore directive), which cannot carry a second comment.
+var wantRE = regexp.MustCompile(`// want(-next)? "([^"]*)"`)
+
+type expectation struct {
+	file   string // base name
+	line   int
+	substr string
+}
+
+// wants scans the fixture sources for want markers.
+func wants(t *testing.T, dir string) []expectation {
+	t.Helper()
+	var out []expectation
+	err := filepath.WalkDir(dir, func(path string, d os.DirEntry, err error) error {
+		if err != nil || d.IsDir() || !strings.HasSuffix(path, ".go") {
+			return err
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			for _, m := range wantRE.FindAllStringSubmatch(line, -1) {
+				ln := i + 1
+				if m[1] == "-next" {
+					ln++
+				}
+				out = append(out, expectation{file: filepath.Base(path), line: ln, substr: m[2]})
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("scanning %s: %v", dir, err)
+	}
+	return out
+}
+
+// runFixture loads testdata/src/<fixture>, runs the analyzers through the
+// full Run pipeline (so //lint:ignore handling applies), and checks the
+// findings against the fixture's want markers in both directions.
+func runFixture(t *testing.T, fixture string, analyzers []*Analyzer) {
+	t.Helper()
+	dir := filepath.Join("testdata", "src", fixture)
+	pkgs, err := LoadModule(dir)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", fixture, err)
+	}
+	findings := Run(pkgs, analyzers)
+	expected := wants(t, dir)
+
+	matched := make([]bool, len(expected))
+	for _, f := range findings {
+		ok := false
+		rendered := "[" + f.Analyzer + "] " + f.Message
+		for i, w := range expected {
+			if filepath.Base(f.Pos.Filename) == w.file && f.Pos.Line == w.line &&
+				strings.Contains(rendered, w.substr) {
+				matched[i] = true
+				ok = true
+			}
+		}
+		if !ok {
+			t.Errorf("unexpected finding: %s", f)
+		}
+	}
+	for i, w := range expected {
+		if !matched[i] {
+			t.Errorf("%s:%d: no finding matching %q", w.file, w.line, w.substr)
+		}
+	}
+}
+
+func TestErrDrop(t *testing.T)  { runFixture(t, "errdrop", []*Analyzer{ErrDropAnalyzer}) }
+func TestFloatCmp(t *testing.T) { runFixture(t, "floatcmp", []*Analyzer{FloatCmpAnalyzer}) }
+func TestNaiveSum(t *testing.T) { runFixture(t, "naivesum", []*Analyzer{NaiveSumAnalyzer}) }
+func TestPowConst(t *testing.T) { runFixture(t, "powconst", []*Analyzer{PowConstAnalyzer}) }
+func TestSharedWrite(t *testing.T) {
+	runFixture(t, "sharedwrite", []*Analyzer{SharedWriteAnalyzer})
+}
+
+// TestIgnoreDirectives runs the full registry so the "wrong analyzer name"
+// scenario names an analyzer that is known but different from the reporter.
+func TestIgnoreDirectives(t *testing.T) { runFixture(t, "ignore", Analyzers()) }
+
+// TestLoadModule checks package discovery, module-local import resolution
+// and the test-file policy: in-package _test.go files join the package,
+// external test packages are skipped entirely (the loader fixture's external
+// file would fail type-checking if it were included).
+func TestLoadModule(t *testing.T) {
+	pkgs, err := LoadModule(filepath.Join("testdata", "src", "loader"))
+	if err != nil {
+		t.Fatalf("LoadModule: %v", err)
+	}
+	byPath := map[string]*Package{}
+	for _, p := range pkgs {
+		byPath[p.Path] = p
+	}
+	if len(pkgs) != 2 || byPath["fixture"] == nil || byPath["fixture/sub"] == nil {
+		t.Fatalf("got packages %v, want [fixture fixture/sub]", byPath)
+	}
+
+	root := byPath["fixture"]
+	var names []string
+	for _, f := range root.Files {
+		names = append(names, filepath.Base(root.Fset.Position(f.Pos()).Filename))
+	}
+	has := func(name string) bool {
+		for _, n := range names {
+			if n == name {
+				return true
+			}
+		}
+		return false
+	}
+	if !has("a.go") || !has("a_internal_test.go") {
+		t.Errorf("root package files %v missing a.go or the in-package test file", names)
+	}
+	if has("a_external_test.go") {
+		t.Errorf("root package files %v include the external test package file", names)
+	}
+	if root.Types.Scope().Lookup("Describe") == nil {
+		t.Errorf("type-checked package lacks Describe")
+	}
+}
+
+// TestRepoIsClean is the dogfooding gate: the full analyzer registry over
+// the whole module must report nothing, i.e. what CI's gridvet run enforces.
+func TestRepoIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and type-checks the entire module")
+	}
+	pkgs, err := LoadModule(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatalf("LoadModule: %v", err)
+	}
+	for _, f := range Run(pkgs, Analyzers()) {
+		t.Errorf("%s", f)
+	}
+}

@@ -1,0 +1,203 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// ErrDropAnalyzer flags discarded error values outside _test.go files:
+// call statements (plain or deferred) whose callee returns an error that
+// nobody reads, and assignments that send an error into the blank
+// identifier.
+//
+// Exemptions, chosen so real findings are not buried under convention:
+//
+//   - fmt.Print/Printf/Println, and fmt.Fprint* writing to os.Stdout or
+//     os.Stderr — console output whose error has no receiver that could act
+//     on it;
+//   - calls writing to a *bufio.Writer, *strings.Builder or *bytes.Buffer,
+//     whether as the fmt.Fprint* destination or as the method receiver:
+//     strings.Builder and bytes.Buffer never return a non-nil error, and
+//     bufio.Writer latches its first error for the Flush call to report —
+//     the repo's writer functions end in "return bw.Flush()", which is the
+//     checked path.
+//
+// Go statements are not flagged: a goroutine's error needs a channel, not a
+// check at the call site, and that design is beyond a lexical lint.
+var ErrDropAnalyzer = &Analyzer{
+	Name: "errdrop",
+	Doc:  "error return values discarded via _ or ignored call statements",
+	Run:  runErrDrop,
+}
+
+func runErrDrop(pass *Pass) {
+	for _, file := range pass.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.ExprStmt:
+				if call, ok := n.X.(*ast.CallExpr); ok {
+					checkIgnoredCall(pass, call, "")
+				}
+			case *ast.DeferStmt:
+				checkIgnoredCall(pass, n.Call, "deferred ")
+			case *ast.AssignStmt:
+				checkBlankErrAssign(pass, n)
+			}
+			return true
+		})
+	}
+}
+
+// checkIgnoredCall flags a call statement whose results include an error.
+func checkIgnoredCall(pass *Pass, call *ast.CallExpr, kind string) {
+	if pass.InTestFile(call.Pos()) || !resultsIncludeError(pass, call) || exemptWriter(pass, call) {
+		return
+	}
+	pass.Reportf(call.Pos(), "%scall to %s drops its error result; check it or propagate it", kind, calleeName(call))
+}
+
+// checkBlankErrAssign flags error values assigned to the blank identifier.
+func checkBlankErrAssign(pass *Pass, assign *ast.AssignStmt) {
+	if pass.InTestFile(assign.Pos()) {
+		return
+	}
+	blankAt := func(i int) bool {
+		id, ok := assign.Lhs[i].(*ast.Ident)
+		return ok && id.Name == "_"
+	}
+	if len(assign.Rhs) == 1 && len(assign.Lhs) > 1 {
+		// x, _ := f() — match tuple components to targets.
+		tuple, ok := pass.TypeOf(assign.Rhs[0]).(*types.Tuple)
+		if !ok {
+			return
+		}
+		if call, ok := assign.Rhs[0].(*ast.CallExpr); ok && exemptWriter(pass, call) {
+			return
+		}
+		for i := 0; i < tuple.Len() && i < len(assign.Lhs); i++ {
+			if blankAt(i) && isErrorType(tuple.At(i).Type()) {
+				pass.Reportf(assign.Lhs[i].Pos(), "error result of %s discarded via _; check it or propagate it", exprName(assign.Rhs[0]))
+			}
+		}
+		return
+	}
+	for i, rhs := range assign.Rhs {
+		if i >= len(assign.Lhs) || !blankAt(i) {
+			continue
+		}
+		if isErrorType(pass.TypeOf(rhs)) {
+			pass.Reportf(assign.Lhs[i].Pos(), "error value %s discarded via _; check it or propagate it", exprName(rhs))
+		}
+	}
+}
+
+// resultsIncludeError reports whether the call yields at least one error.
+func resultsIncludeError(pass *Pass, call *ast.CallExpr) bool {
+	t := pass.TypeOf(call)
+	switch t := t.(type) {
+	case nil:
+		return false
+	case *types.Tuple:
+		for i := 0; i < t.Len(); i++ {
+			if isErrorType(t.At(i).Type()) {
+				return true
+			}
+		}
+		return false
+	default:
+		return isErrorType(t)
+	}
+}
+
+var errorType = types.Universe.Lookup("error").Type()
+
+func isErrorType(t types.Type) bool {
+	return t != nil && types.Identical(t, errorType)
+}
+
+// exemptWriter implements the console/sticky-writer exemptions documented on
+// ErrDropAnalyzer.
+func exemptWriter(pass *Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	obj := pass.ObjectOf(sel.Sel)
+	if obj == nil || obj.Pkg() == nil {
+		return false
+	}
+	switch obj.Pkg().Path() {
+	case "fmt":
+		switch obj.Name() {
+		case "Print", "Printf", "Println":
+			return true
+		case "Fprint", "Fprintf", "Fprintln":
+			if len(call.Args) == 0 {
+				return false
+			}
+			return isStdStream(pass, call.Args[0]) || isStickyWriter(pass.TypeOf(call.Args[0]))
+		}
+		return false
+	}
+	// Methods on sticky writers (bw.WriteByte, sb.WriteString, …).
+	if recv := pass.Pkg.Info.Selections[sel]; recv != nil {
+		return isStickyWriter(recv.Recv())
+	}
+	return false
+}
+
+// isStdStream matches the selector expressions os.Stdout and os.Stderr.
+func isStdStream(pass *Pass, e ast.Expr) bool {
+	sel, ok := e.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	obj := pass.ObjectOf(sel.Sel)
+	return obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == "os" &&
+		(obj.Name() == "Stdout" || obj.Name() == "Stderr")
+}
+
+// isStickyWriter reports whether t is *bufio.Writer, *strings.Builder,
+// *bytes.Buffer or one of those values.
+func isStickyWriter(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	switch named.Obj().Pkg().Path() + "." + named.Obj().Name() {
+	case "bufio.Writer", "strings.Builder", "bytes.Buffer":
+		return true
+	}
+	return false
+}
+
+// calleeName renders the called function for the diagnostic.
+func calleeName(call *ast.CallExpr) string {
+	return exprName(call.Fun)
+}
+
+// exprName renders a compact name for an expression (selector chains and
+// identifiers; anything else becomes "expression").
+func exprName(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return exprName(e.X) + "." + e.Sel.Name
+	case *ast.CallExpr:
+		return exprName(e.Fun)
+	case *ast.IndexExpr:
+		return exprName(e.X)
+	case *ast.ParenExpr:
+		return exprName(e.X)
+	case *ast.StarExpr:
+		return exprName(e.X)
+	}
+	return "expression"
+}

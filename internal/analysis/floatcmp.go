@@ -1,0 +1,66 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+)
+
+// FloatCmpAnalyzer flags == and != between floating-point operands outside
+// _test.go files. Exact equality on computed floats is almost always a
+// rounding bug in a BEM kernel; comparisons against an exact-zero constant
+// are accepted, because zero is the one value the kernels use as a genuine
+// sentinel (unset parameter, empty span, degenerate geometry) and
+// IEEE-754 zero compares are exact.
+var FloatCmpAnalyzer = &Analyzer{
+	Name: "floatcmp",
+	Doc:  "floating-point == / != comparisons (tolerance-free equality)",
+	Run:  runFloatCmp,
+}
+
+func runFloatCmp(pass *Pass) {
+	for _, file := range pass.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+				return true
+			}
+			if pass.InTestFile(be.Pos()) {
+				return true
+			}
+			if !isFloat(pass.TypeOf(be.X)) && !isFloat(pass.TypeOf(be.Y)) {
+				return true
+			}
+			if isExactZero(pass, be.X) || isExactZero(pass, be.Y) {
+				return true
+			}
+			pass.Reportf(be.OpPos, "floating-point %s comparison; compare against a tolerance (exact-zero sentinel compares are exempt)", be.Op)
+			return true
+		})
+	}
+}
+
+// isFloat reports whether t's underlying type is a floating-point basic type.
+func isFloat(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+// isExactZero reports whether e is a constant whose numeric value is
+// exactly zero (literal 0, 0.0, or a named zero constant).
+func isExactZero(pass *Pass, e ast.Expr) bool {
+	tv, ok := pass.Pkg.Info.Types[e]
+	if !ok || tv.Value == nil {
+		return false
+	}
+	v := constant.ToFloat(tv.Value)
+	if v.Kind() != constant.Float {
+		return false
+	}
+	f, _ := constant.Float64Val(v)
+	return f == 0
+}

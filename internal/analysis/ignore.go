@@ -1,0 +1,102 @@
+package analysis
+
+import (
+	"go/token"
+	"strconv"
+	"strings"
+)
+
+// Suppression directives.
+//
+// A finding is suppressed by a comment of the form
+//
+//	//lint:ignore <analyzer> <reason>
+//
+// placed either on the same line as the finding or on the line directly
+// above it. The analyzer name must match the reporting analyzer exactly and
+// a non-empty reason is mandatory — gridvet reports a directive that names
+// an unknown analyzer or omits the reason as a finding of the
+// pseudo-analyzer "ignore", which cannot itself be suppressed. A
+// well-formed directive that matches no finding is tolerated (the analyzers
+// are heuristic; a directive may outlive the pattern it excused).
+
+const ignoreName = "ignore"
+
+// directivePrefix is what a suppression comment starts with after "//".
+const directivePrefix = "lint:ignore"
+
+// A directive is one parsed //lint:ignore comment.
+type directive struct {
+	pos      token.Position
+	analyzer string // "" when malformed
+	reason   string // "" when missing
+}
+
+// directives extracts every //lint:ignore comment of the package.
+func directives(pkg *Package) []directive {
+	var out []directive
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "//")
+				if !ok {
+					continue // /* */ comments do not carry directives
+				}
+				rest, ok := strings.CutPrefix(strings.TrimSpace(text), directivePrefix)
+				if !ok {
+					continue
+				}
+				if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+					continue // e.g. "lint:ignoreXXX" is not a directive
+				}
+				fields := strings.Fields(rest)
+				d := directive{pos: pkg.Fset.Position(c.Pos())}
+				if len(fields) > 0 {
+					d.analyzer = fields[0]
+				}
+				if len(fields) > 1 {
+					d.reason = strings.Join(fields[1:], " ")
+				}
+				out = append(out, d)
+			}
+		}
+	}
+	return out
+}
+
+// checkDirectives reports malformed directives and directives naming
+// analyzers outside the known set.
+func checkDirectives(dirs []directive, known map[string]bool) []Finding {
+	var out []Finding
+	for _, d := range dirs {
+		switch {
+		case d.analyzer == "":
+			out = append(out, Finding{Pos: d.pos, Analyzer: ignoreName,
+				Message: `malformed directive: want "//lint:ignore <analyzer> <reason>"`})
+		case d.reason == "":
+			out = append(out, Finding{Pos: d.pos, Analyzer: ignoreName,
+				Message: "directive for " + d.analyzer + " is missing the mandatory reason"})
+		case !known[d.analyzer]:
+			out = append(out, Finding{Pos: d.pos, Analyzer: ignoreName,
+				Message: "directive names unknown analyzer " + strconv.Quote(d.analyzer)})
+		}
+	}
+	return out
+}
+
+// suppressed reports whether a well-formed directive for f's analyzer sits
+// on the finding's line or the line directly above it.
+func suppressed(f Finding, byFile map[string]map[int][]directive) bool {
+	lines := byFile[f.Pos.Filename]
+	if lines == nil {
+		return false
+	}
+	for _, line := range [2]int{f.Pos.Line, f.Pos.Line - 1} {
+		for _, d := range lines[line] {
+			if d.analyzer == f.Analyzer && d.reason != "" {
+				return true
+			}
+		}
+	}
+	return false
+}

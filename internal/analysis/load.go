@@ -1,0 +1,252 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// A Package is one parsed and type-checked package of the module.
+type Package struct {
+	// Path is the import path ("earthing/internal/bem").
+	Path string
+	// Dir is the absolute directory holding the sources.
+	Dir string
+	// Fset is shared by every package of one LoadModule call.
+	Fset *token.FileSet
+	// Files holds the parsed sources: all non-test files plus in-package
+	// _test.go files. External test packages (package foo_test) are skipped —
+	// they would form a second package per directory and none of the
+	// analyzers need them.
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// loader resolves module-local imports from source while delegating the
+// standard library to go/importer's source-mode importer. It implements
+// types.ImporterFrom so the type checker can hand it any import path.
+type loader struct {
+	fset       *token.FileSet
+	modulePath string
+	root       string
+	dirs       map[string]string // import path → directory
+	pkgs       map[string]*Package
+	state      map[string]int // 0 unseen, 1 loading (cycle guard), 2 done
+	std        types.ImporterFrom
+	errs       []error
+}
+
+// LoadModule discovers, parses and type-checks every package under the
+// module rooted at root (the directory containing go.mod). Directories named
+// testdata, vendor, or starting with "." or "_" are skipped, as the go tool
+// does. Type-check or parse errors are aggregated into the returned error;
+// packages that loaded cleanly are still returned.
+func LoadModule(root string) ([]*Package, error) {
+	root, err := filepath.Abs(root)
+	if err != nil {
+		return nil, err
+	}
+	modPath, err := modulePath(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	l := &loader{
+		fset:       token.NewFileSet(),
+		modulePath: modPath,
+		root:       root,
+		dirs:       map[string]string{},
+		pkgs:       map[string]*Package{},
+		state:      map[string]int{},
+	}
+	l.std = importer.ForCompiler(l.fset, "source", nil).(types.ImporterFrom)
+
+	if err := l.discover(); err != nil {
+		return nil, err
+	}
+	paths := make([]string, 0, len(l.dirs))
+	for p := range l.dirs {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	var pkgs []*Package
+	for _, p := range paths {
+		pkg, err := l.load(p)
+		if err != nil {
+			l.errs = append(l.errs, err)
+			continue
+		}
+		if pkg != nil {
+			pkgs = append(pkgs, pkg)
+		}
+	}
+	if len(l.errs) > 0 {
+		msgs := make([]string, len(l.errs))
+		for i, e := range l.errs {
+			msgs[i] = e.Error()
+		}
+		return pkgs, fmt.Errorf("analysis: load errors:\n  %s", strings.Join(msgs, "\n  "))
+	}
+	return pkgs, nil
+}
+
+// modulePath extracts the module declaration from a go.mod file.
+func modulePath(gomod string) (string, error) {
+	data, err := os.ReadFile(gomod)
+	if err != nil {
+		return "", err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module "); ok {
+			return strings.Trim(strings.TrimSpace(rest), `"`), nil
+		}
+	}
+	return "", fmt.Errorf("analysis: no module declaration in %s", gomod)
+}
+
+// discover maps every package directory under root to its import path.
+func (l *loader) discover() error {
+	return filepath.WalkDir(l.root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != l.root && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") ||
+			name == "testdata" || name == "vendor") {
+			return filepath.SkipDir
+		}
+		ents, err := os.ReadDir(path)
+		if err != nil {
+			return err
+		}
+		hasGo := false
+		for _, e := range ents {
+			if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") && !strings.HasSuffix(e.Name(), "_test.go") {
+				hasGo = true
+				break
+			}
+		}
+		if !hasGo {
+			return nil
+		}
+		rel, err := filepath.Rel(l.root, path)
+		if err != nil {
+			return err
+		}
+		imp := l.modulePath
+		if rel != "." {
+			imp = l.modulePath + "/" + filepath.ToSlash(rel)
+		}
+		l.dirs[imp] = path
+		return nil
+	})
+}
+
+// load parses and type-checks the package with the given import path,
+// memoized and cycle-guarded.
+func (l *loader) load(path string) (*Package, error) {
+	if l.state[path] == 2 {
+		return l.pkgs[path], nil
+	}
+	if l.state[path] == 1 {
+		return nil, fmt.Errorf("analysis: import cycle through %s", path)
+	}
+	l.state[path] = 1
+	defer func() { l.state[path] = 2 }()
+
+	dir, ok := l.dirs[path]
+	if !ok {
+		return nil, fmt.Errorf("analysis: no package %s under %s", path, l.root)
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files, testFiles []*ast.File
+	pkgName := ""
+	for _, e := range ents {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") {
+			continue
+		}
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		if strings.HasSuffix(name, "_test.go") {
+			testFiles = append(testFiles, f)
+			continue
+		}
+		if pkgName == "" {
+			pkgName = f.Name.Name
+		} else if f.Name.Name != pkgName {
+			return nil, fmt.Errorf("analysis: %s: conflicting package names %s and %s", dir, pkgName, f.Name.Name)
+		}
+		files = append(files, f)
+	}
+	// In-package test files join the package; external (foo_test) are skipped.
+	for _, f := range testFiles {
+		if f.Name.Name == pkgName {
+			files = append(files, f)
+		}
+	}
+
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	var checkErrs []error
+	conf := types.Config{
+		Importer: l,
+		Error:    func(err error) { checkErrs = append(checkErrs, err) },
+	}
+	tpkg, cerr := conf.Check(path, l.fset, files, info)
+	if cerr != nil && len(checkErrs) == 0 {
+		// The Error callback swallows most problems; a hard checker failure
+		// (e.g. an import that could not be resolved) only comes back here.
+		checkErrs = append(checkErrs, cerr)
+	}
+	if len(checkErrs) > 0 {
+		msgs := make([]string, 0, len(checkErrs))
+		for _, e := range checkErrs {
+			msgs = append(msgs, e.Error())
+		}
+		return nil, fmt.Errorf("analysis: type errors in %s:\n    %s", path, strings.Join(msgs, "\n    "))
+	}
+	pkg := &Package{Path: path, Dir: dir, Fset: l.fset, Files: files, Types: tpkg, Info: info}
+	l.pkgs[path] = pkg
+	return pkg, nil
+}
+
+// Import implements types.Importer.
+func (l *loader) Import(path string) (*types.Package, error) {
+	return l.ImportFrom(path, l.root, 0)
+}
+
+// ImportFrom implements types.ImporterFrom: module-local paths resolve
+// through the loader, everything else through the source importer.
+func (l *loader) ImportFrom(path, dir string, mode types.ImportMode) (*types.Package, error) {
+	if path == l.modulePath || strings.HasPrefix(path, l.modulePath+"/") {
+		pkg, err := l.load(path)
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Types, nil
+	}
+	return l.std.ImportFrom(path, dir, mode)
+}

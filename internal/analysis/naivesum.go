@@ -1,0 +1,117 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// NaiveSumAnalyzer flags naive floating-point accumulation of kernel terms
+// in the numerical core: inside packages soil and bem (where the paper's
+// series summations live, §4.3), a loop statement of the form
+//
+//	sum += f(...)   // or -=
+//
+// onto a scalar float accumulator whose added term comes from a function
+// call is a kernel-series accumulation and should run through the
+// compensated quad.KahanSum helper. Element-wise updates (indexed targets
+// like out[i] += v), pure arithmetic accumulation without calls (loop-
+// carried recurrences such as z += t), and _test.go files are not flagged —
+// the analyzer aims at the long image/integral series, where naive
+// summation loses digits as the term count grows.
+var NaiveSumAnalyzer = &Analyzer{
+	Name: "naivesum",
+	Doc:  "naive += accumulation of kernel terms in soil/bem; use quad.KahanSum",
+	Run:  runNaiveSum,
+}
+
+func runNaiveSum(pass *Pass) {
+	base := pass.Pkg.Path
+	if i := strings.LastIndex(base, "/"); i >= 0 {
+		base = base[i+1:]
+	}
+	if base != "soil" && base != "bem" {
+		return
+	}
+	for _, file := range pass.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			var body *ast.BlockStmt
+			switch n := n.(type) {
+			case *ast.ForStmt:
+				body = n.Body
+			case *ast.RangeStmt:
+				body = n.Body
+			default:
+				return true
+			}
+			checkLoopBody(pass, body)
+			return true
+		})
+	}
+}
+
+// checkLoopBody flags naive float accumulations in one loop body. Nested
+// loops are reached through the enclosing ast.Inspect, so this only looks
+// at the statements of body itself and non-loop constructs below it.
+func checkLoopBody(pass *Pass, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n.(type) {
+		case *ast.ForStmt, *ast.RangeStmt:
+			return false // the enclosing Inspect visits these on its own
+		}
+		assign, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		if assign.Tok != token.ADD_ASSIGN && assign.Tok != token.SUB_ASSIGN {
+			return true
+		}
+		if pass.InTestFile(assign.Pos()) || len(assign.Lhs) != 1 || len(assign.Rhs) != 1 {
+			return true
+		}
+		if !isScalarFloatTarget(assign.Lhs[0]) || !isFloat(pass.TypeOf(assign.Lhs[0])) {
+			return true
+		}
+		if !containsRealCall(pass, assign.Rhs[0]) {
+			return true
+		}
+		pass.Reportf(assign.Pos(), "naive %s accumulation of kernel terms in a loop; run the series through quad.KahanSum", assign.Tok)
+		return true
+	})
+}
+
+// isScalarFloatTarget accepts identifiers and field selectors — scalar
+// accumulators — and rejects indexed element updates.
+func isScalarFloatTarget(e ast.Expr) bool {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name != "_"
+	case *ast.SelectorExpr:
+		return true
+	case *ast.ParenExpr:
+		return isScalarFloatTarget(e.X)
+	}
+	return false
+}
+
+// containsRealCall reports whether e contains a genuine function or method
+// call — a kernel-term evaluation — as opposed to type conversions and
+// builtins.
+func containsRealCall(pass *Pass, e ast.Expr) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if tv, ok := pass.Pkg.Info.Types[call.Fun]; ok && (tv.IsType() || tv.IsBuiltin()) {
+			return true // conversion like float64(x), or len/min/max
+		}
+		found = true
+		return false
+	})
+	return found
+}

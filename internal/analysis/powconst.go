@@ -1,0 +1,55 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"math"
+)
+
+// maxPowExponent is the largest |exponent| powconst rewrites by hand; above
+// it repeated multiplication stops being obviously better than math.Pow.
+const maxPowExponent = 8
+
+// PowConstAnalyzer flags math.Pow(x, c) where c is a small integer constant,
+// in non-test code. Inside the kernel series these calls sit in the hot
+// element-pair loop, and x*x (or a squaring chain) is both faster and
+// bit-reproducible, while math.Pow goes through the general exp/log path.
+var PowConstAnalyzer = &Analyzer{
+	Name: "powconst",
+	Doc:  "math.Pow with a small constant integer exponent in hot paths",
+	Run:  runPowConst,
+}
+
+func runPowConst(pass *Pass) {
+	for _, file := range pass.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) != 2 || pass.InTestFile(call.Pos()) {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			obj := pass.ObjectOf(sel.Sel)
+			if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != "math" || obj.Name() != "Pow" {
+				return true
+			}
+			tv, ok := pass.Pkg.Info.Types[call.Args[1]]
+			if !ok || tv.Value == nil {
+				return true
+			}
+			v := constant.ToFloat(tv.Value)
+			if v.Kind() != constant.Float {
+				return true
+			}
+			f, _ := constant.Float64Val(v)
+			//lint:ignore floatcmp integrality test on a compile-time constant; Trunc compares exactly by design
+			if f != math.Trunc(f) || math.Abs(f) > maxPowExponent {
+				return true
+			}
+			pass.Reportf(call.Pos(), "math.Pow(x, %v) with a small constant exponent; use explicit multiplication in hot paths", f)
+			return true
+		})
+	}
+}

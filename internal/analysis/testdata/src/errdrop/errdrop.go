@@ -1,0 +1,45 @@
+// Fixture for the errdrop analyzer: dropped errors are flagged, console
+// output and sticky writers are exempt.
+package fixture
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+)
+
+type closer struct{}
+
+func (closer) Close() error { return nil }
+
+func mayFail() error { return nil }
+
+func value() (int, error) { return 0, nil }
+
+func bad(w io.Writer) {
+	mayFail()       // want "call to mayFail drops its error result"
+	defer mayFail() // want "deferred call to mayFail drops its error result"
+	v, _ := value() // want "error result of value discarded via _"
+	_ = v
+	_ = mayFail()               // want "error value mayFail discarded via _"
+	fmt.Fprintf(w, "x %d\n", 1) // want "call to fmt.Fprintf drops its error result"
+	var c closer
+	defer c.Close() // want "deferred call to c.Close drops its error result"
+}
+
+func good(bw *bufio.Writer, sb *strings.Builder, buf *bytes.Buffer) error {
+	fmt.Println("console output carries no actionable error")
+	fmt.Fprintf(os.Stderr, "neither does a diagnostic on stderr\n")
+	fmt.Fprintf(bw, "row %d\n", 1) // bufio latches the error for Flush
+	bw.WriteByte('\n')
+	sb.WriteString("strings.Builder never fails")
+	buf.WriteString("nor does bytes.Buffer")
+	go mayFail() // a goroutine's error needs a channel, not a lint
+	if err := mayFail(); err != nil {
+		return err
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,26 @@
+// Fixture for the floatcmp analyzer: tolerance-free float equality is
+// flagged, exact-zero sentinel compares and integer compares are not.
+package fixture
+
+const eps = 1e-12
+
+const zero = 0.0
+
+func cmp(a, b float64, f float32, n int) bool {
+	if a == b { // want "floating-point == comparison"
+		return true
+	}
+	if f != float32(b) { // want "floating-point != comparison"
+		return false
+	}
+	if a == 0 { // exact-zero sentinel: exempt
+		return false
+	}
+	if zero == b { // named zero constant: exempt
+		return false
+	}
+	if n == 3 { // integers compare exactly
+		return true
+	}
+	return a-b < eps
+}

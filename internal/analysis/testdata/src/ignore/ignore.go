@@ -1,0 +1,33 @@
+// Fixture for //lint:ignore handling: correct directives suppress, wrong or
+// malformed ones do not and surface as "ignore" findings.
+package fixture
+
+func scenarios(a, b float64) bool {
+	// Correct usage on the line above: the floatcmp finding is suppressed.
+	//lint:ignore floatcmp fixture demonstrates suppression
+	r := a == b
+
+	// Correct usage trailing the offending line also suppresses.
+	r = a == b //lint:ignore floatcmp same-line directive
+
+	// A directive naming a different (known) analyzer does not suppress.
+	//lint:ignore errdrop reason that applies to nothing here
+	r = a == b // want "floating-point == comparison"
+
+	// An unknown analyzer name is itself reported and suppresses nothing.
+	// want-next "unknown analyzer"
+	//lint:ignore nosuchanalyzer some reason text
+	r = a != b // want "floating-point != comparison"
+
+	// A directive without the mandatory reason suppresses nothing.
+	// want-next "missing the mandatory reason"
+	//lint:ignore floatcmp
+	r = a == b // want "floating-point == comparison"
+
+	// A directive without even an analyzer name is malformed.
+	// want-next "malformed directive"
+	//lint:ignore
+	r = a == b // want "floating-point == comparison"
+
+	return r
+}

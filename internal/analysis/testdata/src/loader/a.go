@@ -1,0 +1,13 @@
+// Fixture for LoadModule: a root package importing a module-local
+// subpackage and the standard library.
+package fixroot
+
+import (
+	"fmt"
+
+	"fixture/sub"
+)
+
+func Describe() string {
+	return fmt.Sprintf("answer is %d", sub.Answer())
+}

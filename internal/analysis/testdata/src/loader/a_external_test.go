@@ -1,0 +1,6 @@
+// External test package: LoadModule must skip this file.
+package fixroot_test
+
+func external() int { return undefinedOnPurpose() }
+
+func undefinedOnPurpose() int { return 0 }

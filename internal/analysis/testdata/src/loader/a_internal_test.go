@@ -1,0 +1,4 @@
+// In-package test file: LoadModule must fold it into the package.
+package fixroot
+
+func doubled() int { return 2 * 21 }

@@ -1,0 +1,3 @@
+package sub
+
+func Answer() int { return 42 }

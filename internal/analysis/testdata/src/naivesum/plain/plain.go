@@ -1,0 +1,13 @@
+// Fixture negative for the naivesum analyzer: the same accumulation pattern
+// outside the soil/bem kernel packages is not flagged.
+package plain
+
+func term(i int) float64 { return 1 / float64(i+1) }
+
+func Sum(n int) float64 {
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += term(i) // not a kernel package
+	}
+	return sum
+}

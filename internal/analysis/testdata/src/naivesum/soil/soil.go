@@ -1,0 +1,24 @@
+// Fixture for the naivesum analyzer, in a package named soil so the
+// kernel-package gate admits it.
+package soil
+
+func term(i int) float64 { return 1 / float64(i+1) }
+
+func Naive(n int, out []float64) float64 {
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += term(i) // want "naive += accumulation"
+	}
+	for i := 0; i < n; i++ {
+		sum -= term(i) // want "naive -= accumulation"
+	}
+	for i := range out {
+		out[i] += term(i) // indexed element update: partitioned, not a series
+	}
+	z := 1.0
+	for i := 0; i < n; i++ {
+		z += float64(i) // conversion, not a kernel-term call
+	}
+	sum += term(n) // outside any loop
+	return sum + z
+}

@@ -1,0 +1,15 @@
+// Fixture for the powconst analyzer: small constant integer exponents are
+// flagged, fractional / variable / large exponents are not.
+package fixture
+
+import "math"
+
+func eval(x, y float64) float64 {
+	a := math.Pow(x, 2)   // want "with a small constant exponent"
+	b := math.Pow(x, 3.0) // want "with a small constant exponent"
+	c := math.Pow(x, -2)  // want "with a small constant exponent"
+	d := math.Pow(x, 0.5) // fractional exponent: no cheap rewrite
+	e := math.Pow(x, y)   // runtime exponent
+	f := math.Pow(x, 12)  // above the rewrite threshold
+	return a + b + c + d + e + f
+}

@@ -1,0 +1,15 @@
+// Package sched mirrors the runner's For/ForStats entry points so the
+// sharedwrite fixture exercises detection by import-path suffix, exactly as
+// the real earthing/internal/sched package matches.
+package sched
+
+func For(workers, n int, body func(i int)) {
+	for i := 0; i < n; i++ {
+		body(i)
+	}
+}
+
+func ForStats(workers, n int, body func(i int)) int {
+	For(workers, n, body)
+	return n
+}

@@ -1,0 +1,42 @@
+// Fixture for the sharedwrite analyzer: unguarded writes to captured state
+// in parallel bodies are flagged; index-partitioned, lock-guarded and
+// literal-local writes are accepted.
+package fixture
+
+import (
+	"sync"
+
+	"fixture/sched"
+)
+
+func Parallel(n int, x, y []float64) float64 {
+	sum := 0.0
+	sched.For(4, n, func(i int) {
+		sum += x[i] // want "write to captured"
+	})
+
+	sched.For(4, n, func(i int) {
+		y[i] = 2 * x[i] // partitioned by the loop index
+	})
+
+	var mu sync.Mutex
+	guarded := 0.0
+	sched.For(4, n, func(i int) {
+		mu.Lock()
+		guarded += x[i] // the body acquires a sync lock
+		mu.Unlock()
+	})
+
+	count := 0
+	go func() {
+		count++ // want "increment/decrement to captured"
+	}()
+
+	total := sched.ForStats(4, n, func(i int) {
+		local := x[i]
+		local *= 2 // local to the literal
+		y[i] = local
+	})
+
+	return sum + guarded + float64(count) + float64(total)
+}

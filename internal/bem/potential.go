@@ -4,6 +4,7 @@ import (
 	"math"
 
 	"earthing/internal/geom"
+	"earthing/internal/quad"
 	"earthing/internal/soil"
 )
 
@@ -19,13 +20,13 @@ func (a *Assembler) Potential(x geom.Vec3, sigma []float64) float64 {
 	obsLayer := a.model.LayerOf(math.Max(x.Z, 0))
 	k := a.k
 	inner := make([]float64, k)
-	var total float64
+	var total quad.KahanSum
 	for e := range a.mesh.Elements {
 		el := &a.mesh.Elements[e]
 		srcLayer := a.elemLayer[e]
 		groups, ok := a.groups[[2]int{srcLayer, obsLayer}]
 		if !ok {
-			total += a.elementPotentialQuadrature(e, x, sigma)
+			total.Add(a.elementPotentialQuadrature(e, x, sigma))
 			continue
 		}
 		pref := 1 / (4 * math.Pi * a.model.Conductivity(srcLayer))
@@ -64,9 +65,9 @@ func (a *Assembler) Potential(x geom.Vec3, sigma []float64) float64 {
 				smallGroups = 0
 			}
 		}
-		total += pref * accum
+		total.Add(pref * accum)
 	}
-	return total
+	return total.Sum()
 }
 
 // elementPotentialQuadrature integrates one element's contribution to V(x)
@@ -75,7 +76,7 @@ func (a *Assembler) Potential(x geom.Vec3, sigma []float64) float64 {
 func (a *Assembler) elementPotentialQuadrature(e int, x geom.Vec3, sigma []float64) float64 {
 	el := &a.mesh.Elements[e]
 	l := el.Seg.Length()
-	var total float64
+	var total quad.KahanSum
 	for h, th := range a.gpT {
 		xi := el.Seg.Point(th)
 		var dens float64
@@ -84,9 +85,9 @@ func (a *Assembler) elementPotentialQuadrature(e int, x geom.Vec3, sigma []float
 		} else {
 			dens = sigma[el.DoF[0]]
 		}
-		total += a.gpW[h] * l * dens * a.model.PointPotential(x, xi)
+		total.Add(a.gpW[h] * l * dens * a.model.PointPotential(x, xi))
 	}
-	return total
+	return total.Sum()
 }
 
 // LeakageDensity returns the leakage line density σ(t) at parametric

@@ -16,7 +16,10 @@ import (
 // AblationAssembly compares the paper's dependency-breaking transformation
 // (store all elemental matrices, assemble sequentially afterwards, §6.2)
 // against assembling under a mutex inside the parallel loop.
-func AblationAssembly(w io.Writer, q Quality, workers []int) error {
+func AblationAssembly(out io.Writer, q Quality, workers []int) (err error) {
+	w, flush := buffered(out)
+	defer flush(&err)
+
 	q = q.withDefaults()
 	m, err := grid.BarberaMesh()
 	if err != nil {
@@ -68,7 +71,10 @@ func RunAblationSeriesTol(tols []float64, workers int) ([]SeriesTolPoint, error)
 }
 
 // AblationSeriesTol prints the tolerance sweep.
-func AblationSeriesTol(w io.Writer, workers int) error {
+func AblationSeriesTol(out io.Writer, workers int) (err error) {
+	w, flush := buffered(out)
+	defer flush(&err)
+
 	pts, err := RunAblationSeriesTol([]float64{1e-2, 1e-3, 1e-4, 1e-5, 1e-6, 1e-7}, workers)
 	if err != nil {
 		return err
@@ -83,7 +89,10 @@ func AblationSeriesTol(w io.Writer, workers int) error {
 
 // AblationSolver compares the direct Cholesky solve with the diagonal
 // preconditioned CG the paper recommends (§4.3), on the Barberá system.
-func AblationSolver(w io.Writer, q Quality) error {
+func AblationSolver(out io.Writer, q Quality) (err error) {
+	w, flush := buffered(out)
+	defer flush(&err)
+
 	q = q.withDefaults()
 	m, err := grid.BarberaMesh()
 	if err != nil {
@@ -132,7 +141,10 @@ func AblationSolver(w io.Writer, q Quality) error {
 // analysis in a three-layer soil, comparing the closed-form "double series"
 // image expansion (fast path, electrodes in the top layer) against the
 // numeric Hankel-transform kernels.
-func AblationThreeLayer(w io.Writer) error {
+func AblationThreeLayer(out io.Writer) (err error) {
+	w, flush := buffered(out)
+	defer flush(&err)
+
 	g := grid.RectMesh(0, 0, 30, 30, 4, 4, 0.5, 0.006)
 	gammas := []float64{0.004, 0.02, 0.008}
 	thick := []float64{1.2, 2.0}
@@ -197,7 +209,10 @@ func abs(x float64) float64 {
 // the perimeter (where leakage concentrates), and the sweep shows Req is
 // almost insensitive to it — which pins the residual §5.1 offset on the
 // unpublished outline rather than interior spacing (see EXPERIMENTS.md).
-func AblationGrading(w io.Writer, q Quality) error {
+func AblationGrading(out io.Writer, q Quality) (err error) {
+	w, flush := buffered(out)
+	defer flush(&err)
+
 	q = q.withDefaults()
 	header(w, "Ablation — lattice grading (Barberá-sized triangle, uniform soil)")
 	fmt.Fprintf(w, "%-8s %10s %12s\n", "beta", "elements", "Req (ohm)")
@@ -226,7 +241,10 @@ func AblationGrading(w io.Writer, q Quality) error {
 // The FD lattice cannot represent the thin conductor radius, so its Req
 // corresponds to an electrode of effective radius ≈ 0.3·h — the accuracy
 // gap that only shrinks with (expensively) finer lattices.
-func BaselineFDM(w io.Writer) error {
+func BaselineFDM(out io.Writer) (err error) {
+	w, flush := buffered(out)
+	defer flush(&err)
+
 	header(w, "Baseline — BEM vs finite differences (the paper's §3 argument)")
 	model := soil.NewUniform(0.01)
 
@@ -301,7 +319,10 @@ func RunAblationElements(maxLens []float64) ([]ConvergencePoint, error) {
 }
 
 // AblationElements prints the element-family convergence study.
-func AblationElements(w io.Writer) error {
+func AblationElements(out io.Writer) (err error) {
+	w, flush := buffered(out)
+	defer flush(&err)
+
 	pts, err := RunAblationElements([]float64{10, 5, 2.5, 1.25})
 	if err != nil {
 		return err

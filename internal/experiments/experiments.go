@@ -15,6 +15,7 @@
 package experiments
 
 import (
+	"bufio"
 	"fmt"
 	"io"
 	"time"
@@ -131,7 +132,22 @@ func minDuration(repeats int, f func() (time.Duration, error)) (time.Duration, e
 	return best, nil
 }
 
-// header prints a section header.
-func header(w io.Writer, title string) {
+// header prints a section header. It takes the buffered writer every
+// experiment writer works through, so the write error is latched for the
+// caller's final Flush rather than dropped.
+func header(w *bufio.Writer, title string) {
 	fmt.Fprintf(w, "\n== %s ==\n", title)
+}
+
+// buffered wraps out for an experiment writer: all output goes through the
+// returned bufio.Writer, whose sticky error the deferred flush surfaces
+// into the caller's named return value (unless the caller already failed
+// for another reason).
+func buffered(out io.Writer) (*bufio.Writer, func(*error)) {
+	bw := bufio.NewWriter(out)
+	return bw, func(err *error) {
+		if ferr := bw.Flush(); *err == nil {
+			*err = ferr
+		}
+	}
 }

@@ -9,6 +9,7 @@ import (
 
 	"earthing/internal/bem"
 	"earthing/internal/core"
+	"earthing/internal/fsio"
 	"earthing/internal/grid"
 	"earthing/internal/post"
 	"earthing/internal/sched"
@@ -38,27 +39,25 @@ func writeFigure(w io.Writer, dir, base string, r *post.Raster) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err
 	}
-	csvF, err := os.Create(filepath.Join(dir, base+".csv"))
+	err := fsio.WriteFile(filepath.Join(dir, base+".csv"), func(f io.Writer) error {
+		return post.WriteCSV(f, r)
+	})
 	if err != nil {
 		return err
 	}
-	defer csvF.Close()
-	if err := post.WriteCSV(csvF, r); err != nil {
-		return err
-	}
-	svgF, err := os.Create(filepath.Join(dir, base+".svg"))
-	if err != nil {
-		return err
-	}
-	defer svgF.Close()
 	lines := post.Contours(r, post.EquallySpacedLevels(r, 12))
-	return post.WriteSVG(svgF, r, lines)
+	return fsio.WriteFile(filepath.Join(dir, base+".svg"), func(f io.Writer) error {
+		return post.WriteSVG(f, r, lines)
+	})
 }
 
 // Fig52 regenerates Figure 5.2: the Barberá earth-surface potential
 // distribution (×10 kV) for the uniform and the two-layer soil model.
 // Artifacts (CSV + contour SVG) go under dir when non-empty.
-func Fig52(w io.Writer, q Quality, workers int, dir string, nx, ny int) error {
+func Fig52(out io.Writer, q Quality, workers int, dir string, nx, ny int) (err error) {
+	w, flush := buffered(out)
+	defer flush(&err)
+
 	if nx <= 0 {
 		nx = 48
 	}
@@ -88,7 +87,10 @@ func Fig52(w io.Writer, q Quality, workers int, dir string, nx, ny int) error {
 
 // Fig54 regenerates Figure 5.4: the Balaidos surface potential (×10 kV) for
 // soil models A, B and C.
-func Fig54(w io.Writer, q Quality, workers int, dir string, nx, ny int) error {
+func Fig54(out io.Writer, q Quality, workers int, dir string, nx, ny int) (err error) {
+	w, flush := buffered(out)
+	defer flush(&err)
+
 	if nx <= 0 {
 		nx = 56
 	}
@@ -164,7 +166,10 @@ func RunFig61(q Quality, workers []int) ([]Fig61Point, error) {
 // Fig61 prints the outer-vs-inner speed-up series (paper: outer-loop
 // parallelization wins because its granularity is larger, and the gap grows
 // with the number of processors).
-func Fig61(w io.Writer, q Quality, workers []int) error {
+func Fig61(out io.Writer, q Quality, workers []int) (err error) {
+	w, flush := buffered(out)
+	defer flush(&err)
+
 	pts, err := RunFig61(q, workers)
 	if err != nil {
 		return err
@@ -180,7 +185,10 @@ func Fig61(w io.Writer, q Quality, workers []int) error {
 
 // PlanSVG writes the grid plan (Figures 5.1 / 5.3) as an SVG drawing: the
 // horizontal conductors as lines and rods as dots.
-func PlanSVG(w io.Writer, g *grid.Grid) error {
+func PlanSVG(out io.Writer, g *grid.Grid) (err error) {
+	w, flush := buffered(out)
+	defer flush(&err)
+
 	b := g.Bounds()
 	sz := b.Size()
 	const scale = 6

@@ -37,7 +37,10 @@ func RunBarberaSummary(q Quality, workers int) (BarberaResult, error) {
 }
 
 // BarberaSummary prints the §5.1 comparison.
-func BarberaSummary(w io.Writer, q Quality, workers int) error {
+func BarberaSummary(out io.Writer, q Quality, workers int) (err error) {
+	w, flush := buffered(out)
+	defer flush(&err)
+
 	res, err := RunBarberaSummary(q, workers)
 	if err != nil {
 		return err
@@ -84,7 +87,10 @@ func RunTable51(q Quality, workers int) ([]Table51Row, error) {
 }
 
 // Table51 prints Table 5.1 with the paper's values alongside.
-func Table51(w io.Writer, q Quality, workers int) error {
+func Table51(out io.Writer, q Quality, workers int) (err error) {
+	w, flush := buffered(out)
+	defer flush(&err)
+
 	rows, err := RunTable51(q, workers)
 	if err != nil {
 		return err
@@ -115,6 +121,7 @@ func RunTable61(q Quality) (Table61Result, error) {
 	// Serialize the Barberá grid so the input stage has real work to do.
 	pr, pw := io.Pipe()
 	go func() {
+		//lint:ignore errdrop io.PipeWriter.CloseWithError documents that it always returns nil
 		pw.CloseWithError(grid.Write(pw, grid.Barbera()))
 	}()
 	res, err := core.AnalyzeReader(pr, BarberaTwoLayer(), core.Config{
@@ -133,7 +140,10 @@ func RunTable61(q Quality) (Table61Result, error) {
 
 // Table61 prints the stage breakdown (paper: matrix generation 1723 s of a
 // 1724 s total on one O2000 processor — 99.9 % of the work).
-func Table61(w io.Writer, q Quality) error {
+func Table61(out io.Writer, q Quality) (err error) {
+	w, flush := buffered(out)
+	defer flush(&err)
+
 	res, err := RunTable61(q)
 	if err != nil {
 		return err
@@ -271,7 +281,10 @@ func RunTable62(q Quality, workers []int) ([]SpeedupCell, error) {
 }
 
 // Table62 prints the schedule × processors speed-up table.
-func Table62(w io.Writer, q Quality, workers []int) error {
+func Table62(out io.Writer, q Quality, workers []int) (err error) {
+	w, flush := buffered(out)
+	defer flush(&err)
+
 	cells, err := RunTable62(q, workers)
 	if err != nil {
 		return err
@@ -350,7 +363,10 @@ func RunTable63(q Quality, workers []int) ([]Table63Row, error) {
 }
 
 // Table63 prints the Balaidos CPU-time/speed-up table.
-func Table63(w io.Writer, q Quality, workers []int) error {
+func Table63(out io.Writer, q Quality, workers []int) (err error) {
+	w, flush := buffered(out)
+	defer flush(&err)
+
 	rows, err := RunTable63(q, workers)
 	if err != nil {
 		return err

@@ -1,0 +1,25 @@
+// Package fsio holds small file-output helpers shared by the command-line
+// tools and the experiment writers.
+package fsio
+
+import (
+	"io"
+	"os"
+)
+
+// WriteFile creates path, streams write's output into it, and returns the
+// first error among create, write and close. Checking the Close error is
+// the point of the helper: on buffered filesystems a short write may only
+// surface when the descriptor closes, and a bare "defer f.Close()" would
+// silently drop it (the errdrop analyzer flags exactly that pattern).
+func WriteFile(path string, write func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	err = write(f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}

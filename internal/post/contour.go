@@ -152,6 +152,7 @@ func chainSegments(segs []segment) [][][2]float64 {
 	// Deterministic output order: by first vertex.
 	sort.Slice(polys, func(a, b int) bool {
 		pa, pb := polys[a][0], polys[b][0]
+		//lint:ignore floatcmp sort tie-break on stored vertex values; exact compare is the correct ordering predicate
 		if pa[1] != pb[1] {
 			return pa[1] < pb[1]
 		}

@@ -3,6 +3,8 @@ package soil
 import (
 	"math"
 	"sort"
+
+	"earthing/internal/quad"
 )
 
 // expSeries represents a finite sum Σ_k c_k·e^{−λ·d_k} with real
@@ -136,11 +138,11 @@ func (s expSeries) prune(tol, maxDepth float64) expSeries {
 
 // eval evaluates the series at λ (for tests and cross-validation).
 func (s expSeries) eval(lambda float64) float64 {
-	var sum float64
+	var sum quad.KahanSum
 	for i, ci := range s.c {
-		sum += ci * math.Exp(-lambda*s.d[i])
+		sum.Add(ci * math.Exp(-lambda*s.d[i]))
 	}
-	return sum
+	return sum.Sum()
 }
 
 // geometricInverse computes 1/(1 + s) as Σ_k (−s)^k, requiring the series

@@ -223,6 +223,7 @@ func (m *MultiLayer) PointPotential(x, xi geom.Vec3) float64 {
 		// Return the best estimate; the engine treats kernel noise at the
 		// integration tolerance as acceptable. NaN would poison the matrix,
 		// so keep the partial value.
+		//lint:ignore errdrop quadrature non-convergence keeps the partial value by design; see the comment above
 		_ = err
 	}
 	return (1/x.Dist(xi) + sec) / (4 * math.Pi * gb)

@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"earthing/internal/geom"
+	"earthing/internal/quad"
 )
 
 // TwoLayer is the two-layer stratified soil model: a top layer of
@@ -142,14 +143,14 @@ func (m *TwoLayer) PointPotential(x, xi geom.Vec3) float64 {
 	src := m.LayerOf(xi.Z)
 	obs := m.LayerOf(x.Z)
 	images, _ := m.ImageExpansion(src, obs, ctl.MaxGroups)
-	var sum float64
-	var groupSum float64
+	var sum, groupSum quad.KahanSum
 	group := 0
 	smallGroups := 0
 	for _, im := range images {
 		if im.Group != group {
-			sum += groupSum
-			if math.Abs(groupSum) <= ctl.Tol*math.Abs(sum) {
+			g := groupSum.Sum()
+			sum.Add(g)
+			if math.Abs(g) <= ctl.Tol*math.Abs(sum.Sum()) {
 				smallGroups++
 				if smallGroups >= 2 {
 					break
@@ -157,13 +158,13 @@ func (m *TwoLayer) PointPotential(x, xi geom.Vec3) float64 {
 			} else {
 				smallGroups = 0
 			}
-			groupSum = 0
+			groupSum.Reset()
 			group = im.Group
 		}
-		groupSum += im.Weight / x.Dist(im.Apply(xi))
+		groupSum.Add(im.Weight / x.Dist(im.Apply(xi)))
 	}
-	sum += groupSum
-	return sum / (4 * math.Pi * m.Conductivity(src))
+	sum.Add(groupSum.Sum())
+	return sum.Sum() / (4 * math.Pi * m.Conductivity(src))
 }
 
 // Describe implements Model.
