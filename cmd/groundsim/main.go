@@ -38,6 +38,7 @@ func main() {
 		workers  = flag.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
 		schedule = flag.String("schedule", "dynamic,1", "loop schedule: static|dynamic|guided[,chunk]")
 		surface  = flag.String("surface", "", "write surface potential raster CSV to this file")
+		stepmap  = flag.String("stepmap", "", "write per-metre step voltage raster CSV to this file")
 		ascii    = flag.Bool("ascii", false, "print an ASCII surface potential map")
 		jsonOut  = flag.Bool("json", false, "emit the analysis summary as JSON instead of text")
 		htmlOut  = flag.String("html", "", "write a full HTML design report to this file")
@@ -50,14 +51,14 @@ func main() {
 	flag.Parse()
 
 	if err := run(*gridFile, *builtin, *soilKind, *gamma1, *gamma2, *h1, *multi,
-		*gpr, *maxLen, *workers, *schedule, *surface, *htmlOut, *jsonOut, *ascii, *leakage, *check, *faultT, *rockRho, *rockH); err != nil {
+		*gpr, *maxLen, *workers, *schedule, *surface, *stepmap, *htmlOut, *jsonOut, *ascii, *leakage, *check, *faultT, *rockRho, *rockH); err != nil {
 		fmt.Fprintln(os.Stderr, "groundsim:", err)
 		os.Exit(1)
 	}
 }
 
 func run(gridFile, builtin, soilKind string, gamma1, gamma2, h1 float64, multi string,
-	gpr, maxLen float64, workers int, schedule, surface, htmlOut string, jsonOut, ascii bool, leakage int, check bool,
+	gpr, maxLen float64, workers int, schedule, surface, stepmap, htmlOut string, jsonOut, ascii bool, leakage int, check bool,
 	faultT, rockRho, rockH float64) error {
 
 	g, err := loadGrid(gridFile, builtin)
@@ -104,6 +105,32 @@ func run(gridFile, builtin, soilKind string, gamma1, gamma2, h1 float64, multi s
 				return err
 			}
 			fmt.Println("surface potential written to", surface)
+		}
+	}
+
+	if stepmap != "" {
+		r := earthing.StepVoltageMap(res, earthing.SurfaceOptions{Workers: workers})
+		err := fsio.WriteFile(stepmap, func(f io.Writer) error {
+			return earthing.WriteRasterCSV(f, r)
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Println("step voltage map written to", stepmap)
+		if check {
+			crit := earthing.SafetyCriteria{
+				FaultDuration:    faultT,
+				SoilRho:          1 / gamma1,
+				SurfaceRho:       rockRho,
+				SurfaceThickness: rockH,
+			}
+			if err := crit.Validate(); err != nil {
+				return err
+			}
+			limit := crit.StepLimit()
+			_, max := r.MinMax()
+			fmt.Printf("step map: max %.0f V vs limit %.0f V; %.1f%% of surveyed area exceeds\n",
+				max, limit, 100*earthing.FractionExceeding(r.V, limit))
 		}
 	}
 

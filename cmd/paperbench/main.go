@@ -10,9 +10,13 @@
 //	paperbench -exp fig5.2 -out figures/   # also write CSV + SVG artifacts
 //
 // Experiments: barbera, table5.1, table6.1, table6.2, table6.3, fig5.1,
-// fig5.2, fig5.3, fig5.4, fig6.1, ablation-assembly, ablation-tol,
+// fig5.2, fig5.3, fig5.4, fig6.1, fieldeval, ablation-assembly, ablation-tol,
 // ablation-solver, ablation-elements, ablation-threelayer, ablation-grading,
 // baseline-fdm, all.
+//
+// The fieldeval experiment benchmarks the batched field-evaluation engine on
+// the Figure 5.4 raster; with -json it records the result as
+// BENCH_field_eval.json (or the given path).
 package main
 
 import (
@@ -36,6 +40,7 @@ func main() {
 		out     = flag.String("out", "", "directory for figure artifacts (CSV/SVG)")
 		procs   = flag.String("procs", "1,2,4,8", "worker counts for the parallel tables")
 		repeats = flag.Int("repeats", 1, "timing repetitions (paper used min of 4)")
+		jsonOut = flag.String("json", "", "benchmark JSON path for -exp fieldeval (e.g. BENCH_field_eval.json)")
 	)
 	flag.Parse()
 
@@ -51,7 +56,7 @@ func main() {
 		os.Exit(1)
 	}
 
-	if err := run(*exp, q, workers, *out); err != nil {
+	if err := run(*exp, q, workers, *out, *jsonOut); err != nil {
 		fmt.Fprintln(os.Stderr, "paperbench:", err)
 		os.Exit(1)
 	}
@@ -69,7 +74,7 @@ func parseProcs(s string) ([]int, error) {
 	return out, nil
 }
 
-func run(exp string, q experiments.Quality, workers []int, out string) error {
+func run(exp string, q experiments.Quality, workers []int, out, jsonOut string) error {
 	w := os.Stdout
 	all := exp == "all"
 	ran := false
@@ -93,6 +98,7 @@ func run(exp string, q experiments.Quality, workers []int, out string) error {
 		{"fig5.4", func() error { return experiments.Fig54(w, q, 0, out, 0, 0) }},
 		{"table6.1", func() error { return experiments.Table61(w, q) }},
 		{"fig6.1", func() error { return experiments.Fig61(w, q, workers) }},
+		{"fieldeval", func() error { return experiments.FieldEval(w, q, 0, 0, 0, jsonOut) }},
 		{"table6.2", func() error { return experiments.Table62(w, q, workers) }},
 		{"table6.3", func() error { return experiments.Table63(w, q, workers) }},
 		{"ablation-assembly", func() error { return experiments.AblationAssembly(w, q, workers) }},

@@ -207,6 +207,13 @@ func PotentialProfile(res *Result, x0, y0, x1, y1 float64, n int) (s, v []float6
 	return post.ProfilePotential(res.Assembler(), res.Sigma, res.GPR, x0, y0, x1, y1, n)
 }
 
+// StepVoltageMap samples the per-metre step voltage |E_h|·1 m over the grid
+// footprint (plus margin) at the configured GPR — the gradient counterpart
+// of SurfacePotential, evaluated through the batched field engine.
+func StepVoltageMap(res *Result, opt SurfaceOptions) *Raster {
+	return post.EFieldSurface(res.Assembler(), res.Mesh, res.Sigma, res.GPR, opt)
+}
+
 // ComputeVoltages estimates touch, step and mesh voltages from a solved
 // analysis (raster resolution stepRes metres; ≤ 0 selects 1 m).
 func ComputeVoltages(res *Result, stepRes float64) Voltages {
@@ -245,3 +252,9 @@ const (
 	Body50kg = safety.Body50kg
 	Body70kg = safety.Body70kg
 )
+
+// FractionExceeding reports the fraction of sampled values above limit —
+// e.g. the share of a StepVoltageMap raster that breaks the step limit.
+func FractionExceeding(values []float64, limit float64) float64 {
+	return safety.FractionExceeding(values, limit)
+}

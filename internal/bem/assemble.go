@@ -54,6 +54,15 @@ type Assembler struct {
 	// images reports whether every layer pair has an image expansion (the
 	// analytic-gradient fast path requires all of them).
 	images bool
+
+	// innerScratch pools k-sized inner-integral buffers so the legacy
+	// per-point Potential path does not allocate per call.
+	innerScratch sync.Pool
+
+	// evalOnce/eval lazily build the batched field evaluator shared by all
+	// post-processing consumers (see fieldeval.go).
+	evalOnce sync.Once
+	eval     *FieldEvaluator
 }
 
 // New prepares an assembler. It validates that no element spans a layer

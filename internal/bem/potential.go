@@ -18,8 +18,12 @@ import (
 // batches of points over workers.
 func (a *Assembler) Potential(x geom.Vec3, sigma []float64) float64 {
 	obsLayer := a.model.LayerOf(math.Max(x.Z, 0))
-	k := a.k
-	inner := make([]float64, k)
+	buf, _ := a.innerScratch.Get().(*[]float64)
+	if buf == nil {
+		s := make([]float64, a.k)
+		buf = &s
+	}
+	inner := *buf
 	var total quad.KahanSum
 	for e := range a.mesh.Elements {
 		el := &a.mesh.Elements[e]
@@ -67,6 +71,7 @@ func (a *Assembler) Potential(x geom.Vec3, sigma []float64) float64 {
 		}
 		total.Add(pref * accum)
 	}
+	a.innerScratch.Put(buf)
 	return total.Sum()
 }
 

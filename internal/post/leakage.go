@@ -10,7 +10,6 @@ import (
 	"earthing/internal/bem"
 	"earthing/internal/geom"
 	"earthing/internal/grid"
-	"earthing/internal/sched"
 )
 
 // ElementLeakage summarises one element's share of the fault current
@@ -127,15 +126,30 @@ func EFieldRaster(a *bem.Assembler, sigma []float64, scale float64, x0, y0, x1, 
 		NX: opt.NX, NY: opt.NY,
 		V: make([]float64, opt.NX*opt.NY),
 	}
-	sched.For(opt.NY, opt.Workers, opt.Schedule, func(j int) {
+	pts := make([]geom.Vec3, opt.NX*opt.NY)
+	for j := 0; j < opt.NY; j++ {
 		y := r.Y0 + float64(j)*r.DY
 		for i := 0; i < opt.NX; i++ {
-			x := r.X0 + float64(i)*r.DX
-			e := a.ElectricField(geom.V(x, y, 0), sigma)
-			r.V[j*r.NX+i] = scale * math.Hypot(e.X, e.Y)
+			pts[j*opt.NX+i] = geom.V(r.X0+float64(i)*r.DX, y, 0)
 		}
-	})
+	}
+	grads := make([]geom.Vec3, len(pts))
+	a.Evaluator().GradBatch(pts, sigma, grads, batchOpt(opt))
+	// E = −∇V, so |E_h| = |∇V_h| — the sign never survives the magnitude.
+	for i, g := range grads {
+		r.V[i] = scale * math.Hypot(g.X, g.Y)
+	}
 	return r
+}
+
+// EFieldSurface is EFieldRaster over the mesh bounds plus opt.Margin — the
+// step-voltage map companion of SurfacePotential.
+func EFieldSurface(a *bem.Assembler, mesh interface{ Bounds() geom.AABB }, sigma []float64, scale float64, opt SurfaceOptions) *Raster {
+	opt = opt.withDefaults()
+	b := mesh.Bounds()
+	return EFieldRaster(a, sigma, scale,
+		b.Min.X-opt.Margin, b.Min.Y-opt.Margin,
+		b.Max.X+opt.Margin, b.Max.Y+opt.Margin, opt)
 }
 
 // StepProfileByField samples the surface electric-field magnitude along a
@@ -147,14 +161,19 @@ func StepProfileByField(a *bem.Assembler, sigma []float64, scale float64, x0, y0
 	}
 	s = make([]float64, n)
 	step = make([]float64, n)
+	pts := make([]geom.Vec3, n)
 	length := math.Hypot(x1-x0, y1-y0)
 	for i := 0; i < n; i++ {
 		t := float64(i) / float64(n-1)
 		s[i] = t * length
-		e := a.ElectricField(geom.V(x0+t*(x1-x0), y0+t*(y1-y0), 0), sigma)
+		pts[i] = geom.V(x0+t*(x1-x0), y0+t*(y1-y0), 0)
+	}
+	grads := make([]geom.Vec3, n)
+	a.Evaluator().GradBatch(pts, sigma, grads, bem.BatchOptions{})
+	for i, g := range grads {
 		// Horizontal field only: the vertical component vanishes on the
 		// surface (air is insulating) and a step spans 1 m horizontally.
-		step[i] = scale * math.Hypot(e.X, e.Y)
+		step[i] = scale * math.Hypot(g.X, g.Y)
 	}
 	return s, step
 }

@@ -86,7 +86,7 @@ func SurfacePotential(a *bem.Assembler, mesh interface{ Bounds() geom.AABB }, si
 }
 
 // SurfacePotentialRect samples V·scale on an explicit rectangle
-// [x0, x1] × [y0, y1] at z = 0.
+// [x0, x1] × [y0, y1] at z = 0 through the batched field evaluator.
 func SurfacePotentialRect(a *bem.Assembler, sigma []float64, scale float64, x0, y0, x1, y1 float64, opt SurfaceOptions) *Raster {
 	opt = opt.withDefaults()
 	r := &Raster{
@@ -96,30 +96,47 @@ func SurfacePotentialRect(a *bem.Assembler, sigma []float64, scale float64, x0, 
 		NX: opt.NX, NY: opt.NY,
 		V: make([]float64, opt.NX*opt.NY),
 	}
-	sched.For(opt.NY, opt.Workers, opt.Schedule, func(j int) {
+	pts := make([]geom.Vec3, opt.NX*opt.NY)
+	for j := 0; j < opt.NY; j++ {
 		y := r.Y0 + float64(j)*r.DY
 		for i := 0; i < opt.NX; i++ {
-			x := r.X0 + float64(i)*r.DX
-			r.V[j*r.NX+i] = scale * a.Potential(geom.V(x, y, 0), sigma)
+			pts[j*opt.NX+i] = geom.V(r.X0+float64(i)*r.DX, y, 0)
 		}
-	})
+	}
+	a.Evaluator().PotentialBatch(pts, sigma, scale, r.V, batchOpt(opt))
 	return r
+}
+
+// batchOpt forwards the worker/schedule knobs of a SurfaceOptions to the
+// evaluator's batch loop.
+func batchOpt(opt SurfaceOptions) bem.BatchOptions {
+	return bem.BatchOptions{Workers: opt.Workers, Schedule: opt.Schedule}
 }
 
 // ProfilePotential samples V·scale along the straight surface segment from
 // (x0, y0) to (x1, y1) at n evenly spaced points, returning the arc
-// coordinates and values. Useful for step-voltage profiles.
+// coordinates and values. Useful for step-voltage profiles. Points are
+// evaluated in parallel; see ProfilePotentialOpt for worker/schedule control.
 func ProfilePotential(a *bem.Assembler, sigma []float64, scale float64, x0, y0, x1, y1 float64, n int) (s, v []float64) {
+	return ProfilePotentialOpt(a, sigma, scale, x0, y0, x1, y1, n, SurfaceOptions{})
+}
+
+// ProfilePotentialOpt is ProfilePotential with explicit worker/schedule
+// knobs (only the Workers and Schedule fields of opt are consulted).
+func ProfilePotentialOpt(a *bem.Assembler, sigma []float64, scale float64, x0, y0, x1, y1 float64, n int, opt SurfaceOptions) (s, v []float64) {
 	if n < 2 {
 		panic(fmt.Sprintf("post: profile needs ≥ 2 points, got %d", n))
 	}
+	opt = opt.withDefaults()
 	s = make([]float64, n)
 	v = make([]float64, n)
+	pts := make([]geom.Vec3, n)
 	length := math.Hypot(x1-x0, y1-y0)
 	for i := 0; i < n; i++ {
 		t := float64(i) / float64(n-1)
 		s[i] = t * length
-		v[i] = scale * a.Potential(geom.V(x0+t*(x1-x0), y0+t*(y1-y0), 0), sigma)
+		pts[i] = geom.V(x0+t*(x1-x0), y0+t*(y1-y0), 0)
 	}
+	a.Evaluator().PotentialBatch(pts, sigma, scale, v, batchOpt(opt))
 	return s, v
 }

@@ -29,6 +29,13 @@ type Voltages struct {
 // resolution (default 1 m when ≤ 0). The electrode proximity predicate uses
 // the horizontal distance to the mesh elements.
 func ComputeVoltages(a *bem.Assembler, m *grid.Mesh, sigma []float64, gpr float64, stepRes float64) Voltages {
+	return ComputeVoltagesOpt(a, m, sigma, gpr, stepRes, SurfaceOptions{})
+}
+
+// ComputeVoltagesOpt is ComputeVoltages with explicit worker/schedule knobs
+// for the underlying surface raster (only the Workers and Schedule fields of
+// opt are consulted; the raster geometry is fixed by stepRes).
+func ComputeVoltagesOpt(a *bem.Assembler, m *grid.Mesh, sigma []float64, gpr float64, stepRes float64, opt SurfaceOptions) Voltages {
 	if stepRes <= 0 {
 		stepRes = 1
 	}
@@ -44,7 +51,8 @@ func ComputeVoltages(a *bem.Assembler, m *grid.Mesh, sigma []float64, gpr float6
 	if ny < 2 {
 		ny = 2
 	}
-	r := SurfacePotentialRect(a, sigma, gpr, x0, y0, x1, y1, SurfaceOptions{NX: nx, NY: ny})
+	r := SurfacePotentialRect(a, sigma, gpr, x0, y0, x1, y1,
+		SurfaceOptions{NX: nx, NY: ny, Workers: opt.Workers, Schedule: opt.Schedule})
 
 	v := Voltages{GPR: gpr}
 	// Step voltage: adjacent raster samples stepRes apart (axis-aligned

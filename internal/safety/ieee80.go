@@ -149,6 +149,23 @@ func (c Criteria) Check(step, touch, mesh float64) (Verdict, error) {
 // Safe reports whether every criterion passed.
 func (v Verdict) Safe() bool { return v.StepOK && v.TouchOK && v.MeshOK }
 
+// FractionExceeding returns the fraction of sampled values above limit —
+// the hazard-area estimator for raster checks: fed a step- or touch-voltage
+// map, it reports how much of the surveyed surface breaks the tolerable
+// limit rather than just whether the single worst point does.
+func FractionExceeding(values []float64, limit float64) float64 {
+	if len(values) == 0 {
+		return 0
+	}
+	n := 0
+	for _, v := range values {
+		if v > limit {
+			n++
+		}
+	}
+	return float64(n) / float64(len(values))
+}
+
 // String summarises the verdict.
 func (v Verdict) String() string {
 	status := func(ok bool) string {

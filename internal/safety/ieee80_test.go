@@ -143,3 +143,19 @@ func TestMeshUsesTouchLimit(t *testing.T) {
 		t.Error("mesh voltage above touch limit passed")
 	}
 }
+
+func TestFractionExceeding(t *testing.T) {
+	if f := FractionExceeding(nil, 10); f != 0 {
+		t.Errorf("empty slice: got %v", f)
+	}
+	vals := []float64{1, 5, 10, 15, 20}
+	if f := FractionExceeding(vals, 10); f != 0.4 {
+		t.Errorf("limit 10: got %v, want 0.4 (strict >)", f)
+	}
+	if f := FractionExceeding(vals, 0); f != 1 {
+		t.Errorf("limit 0: got %v, want 1", f)
+	}
+	if f := FractionExceeding(vals, 100); f != 0 {
+		t.Errorf("limit 100: got %v, want 0", f)
+	}
+}
