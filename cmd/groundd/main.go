@@ -1,0 +1,65 @@
+// Command groundd serves grounding analyses over HTTP: POST a scenario
+// (grid + soil + discretization) to /v1/solve, /v1/raster or /v1/safety and
+// get resistance, surface-potential fields or IEEE Std 80 verdicts back as
+// JSON. Repeat scenarios are served from an LRU of factorized systems;
+// load is shed with 429 when the admission queue fills and 504 when a
+// request's deadline elapses.
+//
+//	groundd -addr :8080 &
+//	curl -s localhost:8080/v1/solve -d '{
+//	  "grid": {"builtin": "barbera"},
+//	  "soil": {"kind": "uniform", "gamma1": 0.0125},
+//	  "gpr": 10000
+//	}'
+package main
+
+import (
+	"expvar"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"time"
+
+	"earthing/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	workers := flag.Int("workers", 0, "default parallel width per solve (0 = GOMAXPROCS)")
+	maxConc := flag.Int("max-concurrent", 0, "concurrent scenario bound (0 = GOMAXPROCS)")
+	queue := flag.Int("queue", 0, "admission queue depth (0 = 4x max-concurrent)")
+	cache := flag.Int("cache", 64, "solved-system LRU entries (negative disables)")
+	timeout := flag.Duration("timeout", 30*time.Second, "default per-request deadline")
+	maxTimeout := flag.Duration("max-timeout", 2*time.Minute, "largest deadline a request may ask for")
+	pprofOn := flag.Bool("pprof", false, "mount /debug/pprof/")
+	flag.Parse()
+
+	if *workers < 0 {
+		fmt.Fprintf(os.Stderr, "groundd: -workers %d must be non-negative\n", *workers)
+		os.Exit(2)
+	}
+	if *maxConc < 0 || *queue < 0 {
+		fmt.Fprintf(os.Stderr, "groundd: -max-concurrent and -queue must be non-negative\n")
+		os.Exit(2)
+	}
+
+	srv := server.New(server.Config{
+		MaxConcurrent:  *maxConc,
+		QueueDepth:     *queue,
+		DefaultTimeout: *timeout,
+		MaxTimeout:     *maxTimeout,
+		CacheEntries:   *cache,
+		Workers:        *workers,
+		EnablePprof:    *pprofOn,
+	})
+	srv.PublishExpvar()
+
+	mux := http.NewServeMux()
+	mux.Handle("/", srv)
+	mux.Handle("GET /debug/vars", expvar.Handler())
+
+	log.Printf("groundd: listening on %s", *addr)
+	log.Fatal(http.ListenAndServe(*addr, mux))
+}

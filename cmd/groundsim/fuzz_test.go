@@ -1,0 +1,65 @@
+package main
+
+import (
+	"testing"
+)
+
+// FuzzParseMulti drives the -multi soil-list parser and the multi-layer soil
+// constructor behind it with arbitrary comma lists. The contract: bad input
+// is an error, never a panic (the facade's soil constructors panic on
+// non-physical parameters, so buildSoil must pre-validate everything it
+// forwards).
+func FuzzParseMulti(f *testing.F) {
+	f.Add("0.005,1,0.016")
+	f.Add("0.005,1,0.016,2,0.02")
+	f.Add("1,2")               // even count
+	f.Add("-1,2,3")            // negative conductivity
+	f.Add("0,1,0")             // zero conductivity
+	f.Add("1,-2,3")            // negative thickness
+	f.Add("NaN,1,2")           // NaN sneaks through ParseFloat
+	f.Add("Inf,1,2")           //
+	f.Add("1e309,1,1")         // overflows to +Inf
+	f.Add("a,b,c")             //
+	f.Add("")                  //
+	f.Add(",")                 //
+	f.Add("1,,2")              //
+	f.Add(" 0.01 , 1 , 0.02 ") // spaces tolerated
+	f.Fuzz(func(t *testing.T, list string) {
+		defer func() {
+			if p := recover(); p != nil {
+				t.Fatalf("buildSoil panicked on -multi %q: %v", list, p)
+			}
+		}()
+		model, err := buildSoil("multi", 0, 0, 0, list)
+		if err != nil {
+			return
+		}
+		if model == nil {
+			t.Fatalf("buildSoil(-multi %q) returned neither model nor error", list)
+		}
+		// An accepted model must be evaluable at the surface without blowing
+		// up: conductivity of the top layer is positive and finite.
+		if g := model.Conductivity(1); g <= 0 {
+			t.Fatalf("accepted model has non-physical surface conductivity %g (-multi %q)", g, list)
+		}
+	})
+}
+
+// FuzzBuildSoilScalar drives the uniform and two-layer constructors with
+// arbitrary scalar parameters: hostile values must error, not panic.
+func FuzzBuildSoilScalar(f *testing.F) {
+	f.Add("uniform", 0.02, 0.02, 1.0)
+	f.Add("two-layer", 0.005, 0.016, 1.0)
+	f.Add("uniform", -1.0, 0.0, 0.0)
+	f.Add("two-layer", 0.005, -0.016, 1.0)
+	f.Add("two-layer", 0.005, 0.016, -1.0)
+	f.Add("uniform", 0.0, 0.0, 0.0)
+	f.Fuzz(func(t *testing.T, kind string, gamma1, gamma2, h1 float64) {
+		defer func() {
+			if p := recover(); p != nil {
+				t.Fatalf("buildSoil(%q, %g, %g, %g) panicked: %v", kind, gamma1, gamma2, h1, p)
+			}
+		}()
+		_, _ = buildSoil(kind, gamma1, gamma2, h1, "")
+	})
+}

@@ -15,6 +15,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"strconv"
 	"strings"
@@ -25,156 +26,170 @@ import (
 )
 
 func main() {
-	var (
-		gridFile = flag.String("grid", "", "grid file in text format (conductor/rod lines); - for stdin")
-		builtin  = flag.String("builtin", "", "built-in grid: barbera | balaidos")
-		soilKind = flag.String("soil", "uniform", "soil model: uniform | two-layer | multi")
-		gamma1   = flag.Float64("gamma1", 0.02, "layer 1 conductivity (ohm·m)^-1")
-		gamma2   = flag.Float64("gamma2", 0.02, "layer 2 conductivity (two-layer)")
-		h1       = flag.Float64("h1", 1.0, "layer 1 thickness in m (two-layer)")
-		multi    = flag.String("multi", "", "multi: comma list gamma1,h1,gamma2,h2,...,gammaN")
-		gpr      = flag.Float64("gpr", 10_000, "ground potential rise in volts")
-		maxLen   = flag.Float64("maxlen", 0, "max element length in m (0 = one element per conductor)")
-		workers  = flag.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
-		schedule = flag.String("schedule", "dynamic,1", "loop schedule: static|dynamic|guided[,chunk]")
-		surface  = flag.String("surface", "", "write surface potential raster CSV to this file")
-		stepmap  = flag.String("stepmap", "", "write per-metre step voltage raster CSV to this file")
-		ascii    = flag.Bool("ascii", false, "print an ASCII surface potential map")
-		jsonOut  = flag.Bool("json", false, "emit the analysis summary as JSON instead of text")
-		htmlOut  = flag.String("html", "", "write a full HTML design report to this file")
-		leakage  = flag.Int("leakage", 0, "print the top-N leaking elements")
-		check    = flag.Bool("check", false, "check IEEE Std 80 step/touch limits")
-		faultT   = flag.Float64("fault-t", 0.5, "fault clearing time in s (with -check)")
-		rockRho  = flag.Float64("rock-rho", 0, "surface layer resistivity in ohm·m (with -check; 0 = none)")
-		rockH    = flag.Float64("rock-h", 0.1, "surface layer thickness in m (with -check)")
-	)
-	flag.Parse()
-
-	if err := run(*gridFile, *builtin, *soilKind, *gamma1, *gamma2, *h1, *multi,
-		*gpr, *maxLen, *workers, *schedule, *surface, *stepmap, *htmlOut, *jsonOut, *ascii, *leakage, *check, *faultT, *rockRho, *rockH); err != nil {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "groundsim:", err)
 		os.Exit(1)
 	}
 }
 
-func run(gridFile, builtin, soilKind string, gamma1, gamma2, h1 float64, multi string,
-	gpr, maxLen float64, workers int, schedule, surface, stepmap, htmlOut string, jsonOut, ascii bool, leakage int, check bool,
-	faultT, rockRho, rockH float64) error {
+// run parses args and executes the analysis, writing all output to stdout.
+// Factored out of main so the end-to-end tests can drive the CLI in-process
+// against golden transcripts.
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("groundsim", flag.ContinueOnError)
+	var (
+		gridFile = fs.String("grid", "", "grid file in text format (conductor/rod lines); - for stdin")
+		builtin  = fs.String("builtin", "", "built-in grid: barbera | balaidos")
+		soilKind = fs.String("soil", "uniform", "soil model: uniform | two-layer | multi")
+		gamma1   = fs.Float64("gamma1", 0.02, "layer 1 conductivity (ohm·m)^-1")
+		gamma2   = fs.Float64("gamma2", 0.02, "layer 2 conductivity (two-layer)")
+		h1       = fs.Float64("h1", 1.0, "layer 1 thickness in m (two-layer)")
+		multi    = fs.String("multi", "", "multi: comma list gamma1,h1,gamma2,h2,...,gammaN")
+		gpr      = fs.Float64("gpr", 10_000, "ground potential rise in volts")
+		maxLen   = fs.Float64("maxlen", 0, "max element length in m (0 = one element per conductor)")
+		workers  = fs.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
+		schedule = fs.String("schedule", "dynamic,1", "loop schedule: static|dynamic|guided[,chunk]")
+		surface  = fs.String("surface", "", "write surface potential raster CSV to this file")
+		stepmap  = fs.String("stepmap", "", "write per-metre step voltage raster CSV to this file")
+		ascii    = fs.Bool("ascii", false, "print an ASCII surface potential map")
+		jsonOut  = fs.Bool("json", false, "emit the analysis summary as JSON instead of text")
+		htmlOut  = fs.String("html", "", "write a full HTML design report to this file")
+		leakage  = fs.Int("leakage", 0, "print the top-N leaking elements")
+		check    = fs.Bool("check", false, "check IEEE Std 80 step/touch limits")
+		faultT   = fs.Float64("fault-t", 0.5, "fault clearing time in s (with -check)")
+		rockRho  = fs.Float64("rock-rho", 0, "surface layer resistivity in ohm·m (with -check; 0 = none)")
+		rockH    = fs.Float64("rock-h", 0.1, "surface layer thickness in m (with -check)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() > 0 {
+		return fmt.Errorf("unexpected arguments %q", fs.Args())
+	}
+	if *workers < 0 {
+		return fmt.Errorf("-workers %d must be non-negative", *workers)
+	}
 
-	g, err := loadGrid(gridFile, builtin)
+	g, err := loadGrid(*gridFile, *builtin)
 	if err != nil {
 		return err
 	}
-	model, err := buildSoil(soilKind, gamma1, gamma2, h1, multi)
+	model, err := buildSoil(*soilKind, *gamma1, *gamma2, *h1, *multi)
 	if err != nil {
 		return err
 	}
-	sch, err := earthing.ParseSchedule(schedule)
+	sch, err := earthing.ParseSchedule(*schedule)
 	if err != nil {
 		return err
 	}
 
 	res, err := earthing.Analyze(g, model, earthing.Config{
-		GPR:        gpr,
-		MaxElemLen: maxLen,
-		BEM:        earthing.BEMOptions{Workers: workers, Schedule: sch},
+		GPR:        *gpr,
+		MaxElemLen: *maxLen,
+		BEM:        earthing.BEMOptions{Workers: *workers, Schedule: sch},
 	})
 	if err != nil {
 		return err
 	}
-	if jsonOut {
-		if err := res.WriteJSON(os.Stdout); err != nil {
+	if *jsonOut {
+		if err := res.WriteJSON(stdout); err != nil {
 			return err
 		}
-	} else if err := res.WriteReport(os.Stdout); err != nil {
+	} else if err := res.WriteReport(stdout); err != nil {
 		return err
 	}
 
-	if surface != "" || ascii {
-		r := earthing.SurfacePotential(res, earthing.SurfaceOptions{Workers: workers})
-		if ascii {
-			if err := earthing.WriteRasterASCII(os.Stdout, r); err != nil {
+	if *surface != "" || *ascii {
+		r := earthing.SurfacePotential(res, earthing.SurfaceOptions{Workers: *workers})
+		if *ascii {
+			if err := earthing.WriteRasterASCII(stdout, r); err != nil {
 				return err
 			}
 		}
-		if surface != "" {
-			err := fsio.WriteFile(surface, func(f io.Writer) error {
+		if *surface != "" {
+			err := fsio.WriteFile(*surface, func(f io.Writer) error {
 				return earthing.WriteRasterCSV(f, r)
 			})
 			if err != nil {
 				return err
 			}
-			fmt.Println("surface potential written to", surface)
+			//lint:ignore errdrop transcript status line; a failed console write has no recovery path
+			fmt.Fprintln(stdout, "surface potential written to", *surface)
 		}
 	}
 
-	if stepmap != "" {
-		r := earthing.StepVoltageMap(res, earthing.SurfaceOptions{Workers: workers})
-		err := fsio.WriteFile(stepmap, func(f io.Writer) error {
+	if *stepmap != "" {
+		r := earthing.StepVoltageMap(res, earthing.SurfaceOptions{Workers: *workers})
+		err := fsio.WriteFile(*stepmap, func(f io.Writer) error {
 			return earthing.WriteRasterCSV(f, r)
 		})
 		if err != nil {
 			return err
 		}
-		fmt.Println("step voltage map written to", stepmap)
-		if check {
+		//lint:ignore errdrop transcript status line; a failed console write has no recovery path
+		fmt.Fprintln(stdout, "step voltage map written to", *stepmap)
+		if *check {
 			crit := earthing.SafetyCriteria{
-				FaultDuration:    faultT,
-				SoilRho:          1 / gamma1,
-				SurfaceRho:       rockRho,
-				SurfaceThickness: rockH,
+				FaultDuration:    *faultT,
+				SoilRho:          1 / *gamma1,
+				SurfaceRho:       *rockRho,
+				SurfaceThickness: *rockH,
 			}
 			if err := crit.Validate(); err != nil {
 				return err
 			}
 			limit := crit.StepLimit()
 			_, max := r.MinMax()
-			fmt.Printf("step map: max %.0f V vs limit %.0f V; %.1f%% of surveyed area exceeds\n",
+			//lint:ignore errdrop transcript status line; a failed console write has no recovery path
+			fmt.Fprintf(stdout, "step map: max %.0f V vs limit %.0f V; %.1f%% of surveyed area exceeds\n",
 				max, limit, 100*earthing.FractionExceeding(r.V, limit))
 		}
 	}
 
-	if htmlOut != "" {
+	if *htmlOut != "" {
 		opt := report.Options{}
-		if check {
+		if *check {
 			opt.Criteria = earthing.SafetyCriteria{
-				FaultDuration:    faultT,
-				SoilRho:          1 / gamma1,
-				SurfaceRho:       rockRho,
-				SurfaceThickness: rockH,
+				FaultDuration:    *faultT,
+				SoilRho:          1 / *gamma1,
+				SurfaceRho:       *rockRho,
+				SurfaceThickness: *rockH,
 			}
 		}
-		err := fsio.WriteFile(htmlOut, func(f io.Writer) error {
+		err := fsio.WriteFile(*htmlOut, func(f io.Writer) error {
 			return report.BuildHTML(f, res, g, opt)
 		})
 		if err != nil {
 			return err
 		}
-		fmt.Println("HTML report written to", htmlOut)
+		//lint:ignore errdrop transcript status line; a failed console write has no recovery path
+		fmt.Fprintln(stdout, "HTML report written to", *htmlOut)
 	}
 
-	if leakage > 0 {
+	if *leakage > 0 {
 		rep := earthing.ComputeLeakage(res)
-		if err := earthing.WriteLeakageSummary(os.Stdout, rep, leakage); err != nil {
+		if err := earthing.WriteLeakageSummary(stdout, rep, *leakage); err != nil {
 			return err
 		}
 	}
 
-	if check {
+	if *check {
 		v := earthing.ComputeVoltages(res, 1)
 		crit := earthing.SafetyCriteria{
-			FaultDuration:    faultT,
-			SoilRho:          1 / gamma1,
-			SurfaceRho:       rockRho,
-			SurfaceThickness: rockH,
+			FaultDuration:    *faultT,
+			SoilRho:          1 / *gamma1,
+			SurfaceRho:       *rockRho,
+			SurfaceThickness: *rockH,
 		}
 		verdict, err := crit.Check(v.MaxStep, v.MaxTouch, v.MaxMesh)
 		if err != nil {
 			return err
 		}
-		fmt.Println("IEEE Std 80:", verdict)
+		//lint:ignore errdrop transcript status line; a failed console write has no recovery path
+		fmt.Fprintln(stdout, "IEEE Std 80:", verdict)
 		if !verdict.Safe() {
-			fmt.Println("DESIGN NOT SAFE — increase conductor density, add rods, or improve the surface layer")
+			//lint:ignore errdrop transcript status line; a failed console write has no recovery path
+			fmt.Fprintln(stdout, "DESIGN NOT SAFE — increase conductor density, add rods, or improve the surface layer")
 		}
 	}
 	return nil
@@ -205,34 +220,64 @@ func loadGrid(gridFile, builtin string) (*earthing.Grid, error) {
 	}
 }
 
+// validGamma guards the facade's soil constructors, which panic on
+// non-physical parameters: CLI input must come back as an error instead.
+func validGamma(name string, v float64) error {
+	if v <= 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+		return fmt.Errorf("%s %g must be a positive finite conductivity in (ohm·m)^-1", name, v)
+	}
+	return nil
+}
+
 func buildSoil(kind string, gamma1, gamma2, h1 float64, multi string) (earthing.SoilModel, error) {
 	switch kind {
 	case "uniform":
+		if err := validGamma("-gamma1", gamma1); err != nil {
+			return nil, err
+		}
 		return earthing.UniformSoil(gamma1), nil
 	case "two-layer":
+		if err := validGamma("-gamma1", gamma1); err != nil {
+			return nil, err
+		}
+		if err := validGamma("-gamma2", gamma2); err != nil {
+			return nil, err
+		}
+		if h1 <= 0 || math.IsNaN(h1) || math.IsInf(h1, 0) {
+			return nil, fmt.Errorf("-h1 %g must be a positive finite thickness in m", h1)
+		}
 		return earthing.TwoLayerSoil(gamma1, gamma2, h1), nil
 	case "multi":
 		if multi == "" {
 			return nil, fmt.Errorf("-soil multi requires -multi gamma1,h1,gamma2,...")
 		}
-		parts := strings.Split(multi, ",")
-		if len(parts)%2 != 1 {
-			return nil, fmt.Errorf("-multi needs an odd count: g1,h1,g2,h2,…,gN")
-		}
-		var gammas, hs []float64
-		for i, p := range parts {
-			v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
-			if err != nil {
-				return nil, fmt.Errorf("bad -multi value %q", p)
-			}
-			if i%2 == 0 {
-				gammas = append(gammas, v)
-			} else {
-				hs = append(hs, v)
-			}
+		gammas, hs, err := parseMulti(multi)
+		if err != nil {
+			return nil, err
 		}
 		return earthing.MultiLayerSoil(gammas, hs)
 	default:
 		return nil, fmt.Errorf("unknown soil model %q", kind)
 	}
+}
+
+// parseMulti splits the -multi flag's alternating gamma/thickness list:
+// g1,h1,g2,h2,…,gN (an odd count; N conductivities, N−1 thicknesses).
+func parseMulti(multi string) (gammas, hs []float64, err error) {
+	parts := strings.Split(multi, ",")
+	if len(parts)%2 != 1 {
+		return nil, nil, fmt.Errorf("-multi needs an odd count: g1,h1,g2,h2,…,gN")
+	}
+	for i, p := range parts {
+		v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil {
+			return nil, nil, fmt.Errorf("bad -multi value %q", p)
+		}
+		if i%2 == 0 {
+			gammas = append(gammas, v)
+		} else {
+			hs = append(hs, v)
+		}
+	}
+	return gammas, hs, nil
 }

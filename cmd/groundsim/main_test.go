@@ -1,0 +1,130 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden transcripts")
+
+// filterTimings drops the wall-clock line of the report: everything else in
+// the transcript — resistance, current, discretization, safety verdict — is
+// deterministic and pinned by the golden files.
+func filterTimings(s string) string {
+	var out []string
+	for _, line := range strings.Split(s, "\n") {
+		if strings.Contains(line, "stage timings:") {
+			continue
+		}
+		out = append(out, line)
+	}
+	return strings.Join(out, "\n")
+}
+
+func goldenPath(name string) string {
+	return filepath.Join("..", "..", "artifacts", "golden", name+".golden")
+}
+
+func checkGolden(t *testing.T, name, got string) {
+	t.Helper()
+	path := goldenPath(name)
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden (run go test -update): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("transcript differs from %s:\n--- got ---\n%s\n--- want ---\n%s", path, got, want)
+	}
+}
+
+// TestGoldenTranscripts pins the end-to-end CLI output for the two paper
+// grids: resistance, fault current and the IEEE Std 80 verdict. Worker count
+// is fixed at 1 so the PCG solve is bit-reproducible.
+func TestGoldenTranscripts(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+	}{
+		{
+			name: "groundsim-barbera-uniform",
+			args: []string{"-builtin", "barbera", "-soil", "uniform", "-gamma1", "0.0125",
+				"-gpr", "10000", "-workers", "1", "-check", "-fault-t", "0.5", "-rock-rho", "3000"},
+		},
+		{
+			name: "groundsim-balaidos-twolayer",
+			args: []string{"-builtin", "balaidos", "-soil", "two-layer",
+				"-gamma1", "0.005", "-gamma2", "0.016", "-h1", "1.0",
+				"-gpr", "10000", "-workers", "1", "-check"},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var buf bytes.Buffer
+			if err := run(tc.args, &buf); err != nil {
+				t.Fatalf("run: %v", err)
+			}
+			checkGolden(t, tc.name, filterTimings(buf.String()))
+		})
+	}
+}
+
+// TestRunRejectsHostileFlags: inputs that used to reach the panicking soil
+// constructors must surface as errors.
+func TestRunRejectsHostileFlags(t *testing.T) {
+	cases := [][]string{
+		{"-builtin", "barbera", "-soil", "uniform", "-gamma1", "-1"},
+		{"-builtin", "barbera", "-soil", "uniform", "-gamma1", "0"},
+		{"-builtin", "barbera", "-soil", "uniform", "-gamma1", "NaN"},
+		{"-builtin", "barbera", "-soil", "two-layer", "-gamma2", "-3"},
+		{"-builtin", "barbera", "-soil", "two-layer", "-h1", "0"},
+		{"-builtin", "barbera", "-soil", "multi", "-multi", "1,2"},
+		{"-builtin", "barbera", "-soil", "multi", "-multi", "1,-2,3"},
+		{"-builtin", "barbera", "-soil", "multi", "-multi", "a,b,c"},
+		{"-builtin", "barbera", "-workers", "-4"},
+		{"-builtin", "barbera", "-schedule", "lifo"},
+		{"-builtin", "nonesuch"},
+		{"-builtin", "barbera", "-grid", "also.txt"},
+		{"-builtin", "barbera", "stray-arg"},
+		{},
+	}
+	for _, args := range cases {
+		var buf bytes.Buffer
+		if err := run(args, &buf); err == nil {
+			t.Errorf("run(%q) succeeded, want error", args)
+		}
+	}
+}
+
+// TestMultiSoilRuns exercises the N-layer path end to end on a small grid.
+func TestMultiSoilRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-layer kernels are slow")
+	}
+	dir := t.TempDir()
+	gridFile := filepath.Join(dir, "g.txt")
+	grid := "conductor 0 0 0.8 10 0 0.8 0.006\nconductor 0 0 0.8 0 10 0.8 0.006\n"
+	if err := os.WriteFile(gridFile, []byte(grid), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	err := run([]string{"-grid", gridFile, "-soil", "multi", "-multi", "0.005,1,0.016", "-workers", "1"}, &buf)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !strings.Contains(buf.String(), "equivalent resistance Req:") {
+		t.Errorf("report missing resistance line:\n%s", buf.String())
+	}
+}

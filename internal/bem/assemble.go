@@ -1,6 +1,7 @@
 package bem
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"runtime"
@@ -189,6 +190,14 @@ func (a *Assembler) NumPairs() int {
 // configured loop strategy, schedule and assembly mode. The returned
 // statistics describe how the parallel loop distributed its work.
 func (a *Assembler) Matrix() (*linalg.SymMatrix, sched.Stats, error) {
+	return a.MatrixCtx(context.Background())
+}
+
+// MatrixCtx is Matrix with cooperative cancellation: the parallel pair loop
+// observes ctx at every schedule chunk boundary (see sched.ForStatsCtx), so
+// an abandoned request stops burning cores after at most one element-pair
+// cycle. On cancellation the matrix is discarded and ctx.Err() is returned.
+func (a *Assembler) MatrixCtx(ctx context.Context) (*linalg.SymMatrix, sched.Stats, error) {
 	m := len(a.mesh.Elements)
 	k := a.k
 	r := linalg.NewSymMatrix(a.mesh.NumDoF)
@@ -198,10 +207,13 @@ func (a *Assembler) Matrix() (*linalg.SymMatrix, sched.Stats, error) {
 		// The paper's transformation: compute all elemental matrices into
 		// flat storage inside the parallel loop, assemble sequentially after.
 		store := make([]float64, a.NumPairs()*k*k)
-		stats := a.runPairLoop(func(beta, alpha int, scratch *pairScratch) {
+		stats, err := a.runPairLoop(ctx, func(beta, alpha int, scratch *pairScratch) {
 			idx := (beta*(beta+1)/2 + alpha) * k * k
 			a.pairMatrix(beta, alpha, store[idx:idx+k*k], scratch)
 		})
+		if err != nil {
+			return nil, stats, err
+		}
 		for beta := 0; beta < m; beta++ {
 			for alpha := 0; alpha <= beta; alpha++ {
 				idx := (beta*(beta+1)/2 + alpha) * k * k
@@ -212,13 +224,16 @@ func (a *Assembler) Matrix() (*linalg.SymMatrix, sched.Stats, error) {
 
 	case MutexAssemble:
 		var mu sync.Mutex
-		stats := a.runPairLoop(func(beta, alpha int, scratch *pairScratch) {
+		stats, err := a.runPairLoop(ctx, func(beta, alpha int, scratch *pairScratch) {
 			buf := scratch.elemental
 			a.pairMatrix(beta, alpha, buf, scratch)
 			mu.Lock()
 			a.assemblePair(r, beta, alpha, buf)
 			mu.Unlock()
 		})
+		if err != nil {
+			return nil, stats, err
+		}
 		return r, stats, nil
 
 	default:
@@ -244,8 +259,9 @@ func (a *Assembler) newScratch() *pairScratch {
 }
 
 // runPairLoop executes body over every pair (β, α ≤ β) under the configured
-// loop strategy and schedule, giving each worker its own scratch.
-func (a *Assembler) runPairLoop(body func(beta, alpha int, scratch *pairScratch)) sched.Stats {
+// loop strategy and schedule, giving each worker its own scratch. ctx is
+// observed at chunk boundaries (and between columns for InnerLoop).
+func (a *Assembler) runPairLoop(ctx context.Context, body func(beta, alpha int, scratch *pairScratch)) (sched.Stats, error) {
 	m := len(a.mesh.Elements)
 	p := a.opt.Workers
 	if p <= 0 {
@@ -279,7 +295,7 @@ func (a *Assembler) runPairLoop(body func(beta, alpha int, scratch *pairScratch)
 		// β+1 rows, so cycle sizes decrease linearly — exactly the
 		// granularity situation of §6.2. Columns are iterated largest first
 		// (i = 0 → β = M−1) so late chunks are small.
-		return sched.ForStats(m, p, a.opt.Schedule, func(i, w int) {
+		return sched.ForStatsCtx(ctx, m, p, a.opt.Schedule, func(i, w int) {
 			beta := m - 1 - i
 			s := getScratch(w)
 			start := time.Now()
@@ -299,7 +315,7 @@ func (a *Assembler) runPairLoop(body func(beta, alpha int, scratch *pairScratch)
 		// one synchronization barrier per column.
 		var agg sched.Stats
 		for beta := m - 1; beta >= 0; beta-- {
-			st := sched.ForStats(beta+1, p, a.opt.Schedule, func(alpha, w int) {
+			st, err := sched.ForStatsCtx(ctx, beta+1, p, a.opt.Schedule, func(alpha, w int) {
 				start := time.Now()
 				body(beta, alpha, getScratch(w))
 				wi := w
@@ -319,8 +335,11 @@ func (a *Assembler) runPairLoop(body func(beta, alpha int, scratch *pairScratch)
 				agg.PerWorker[i] += st.PerWorker[i]
 				agg.ChunksPerWorker[i] += st.ChunksPerWorker[i]
 			}
+			if err != nil {
+				return agg, err
+			}
 		}
-		return agg
+		return agg, nil
 	default:
 		panic(fmt.Sprintf("bem: unknown loop strategy %v", a.opt.Loop))
 	}

@@ -1,6 +1,7 @@
 package bem
 
 import (
+	"context"
 	"math"
 	"runtime"
 	"sync"
@@ -401,7 +402,16 @@ func (s BatchStats) PointsPerSec() float64 {
 // arithmetic is identical to PotentialAt regardless of worker count, so
 // results are bit-identical across schedules and parallel widths.
 func (fe *FieldEvaluator) PotentialBatch(points []geom.Vec3, sigma []float64, scale float64, out []float64, opt BatchOptions) BatchStats {
-	return fe.runBatch(len(points), opt, func(i int) {
+	//lint:ignore errdrop background context never cancels, so the error is always nil
+	st, _ := fe.PotentialBatchCtx(context.Background(), points, sigma, scale, out, opt)
+	return st
+}
+
+// PotentialBatchCtx is PotentialBatch with cooperative cancellation at point
+// (chunk) boundaries. On cancellation out is partially filled and ctx.Err()
+// is returned; callers must discard the raster.
+func (fe *FieldEvaluator) PotentialBatchCtx(ctx context.Context, points []geom.Vec3, sigma []float64, scale float64, out []float64, opt BatchOptions) (BatchStats, error) {
+	return fe.runBatch(ctx, len(points), opt, func(i int) {
 		out[i] = scale * fe.PotentialAt(points[i], sigma)
 	})
 }
@@ -409,13 +419,21 @@ func (fe *FieldEvaluator) PotentialBatch(points []geom.Vec3, sigma []float64, sc
 // GradBatch evaluates ∇V(points[i]) (per unit GPR, unscaled) into out[i].
 // out must have len(points).
 func (fe *FieldEvaluator) GradBatch(points []geom.Vec3, sigma []float64, out []geom.Vec3, opt BatchOptions) BatchStats {
-	return fe.runBatch(len(points), opt, func(i int) {
+	//lint:ignore errdrop background context never cancels, so the error is always nil
+	st, _ := fe.GradBatchCtx(context.Background(), points, sigma, out, opt)
+	return st
+}
+
+// GradBatchCtx is GradBatch with cooperative cancellation, mirroring
+// PotentialBatchCtx.
+func (fe *FieldEvaluator) GradBatchCtx(ctx context.Context, points []geom.Vec3, sigma []float64, out []geom.Vec3, opt BatchOptions) (BatchStats, error) {
+	return fe.runBatch(ctx, len(points), opt, func(i int) {
 		out[i] = fe.GradientAt(points[i], sigma)
 	})
 }
 
 // runBatch distributes body over n points with per-worker busy tracking.
-func (fe *FieldEvaluator) runBatch(n int, opt BatchOptions, body func(i int)) BatchStats {
+func (fe *FieldEvaluator) runBatch(ctx context.Context, n int, opt BatchOptions, body func(i int)) (BatchStats, error) {
 	opt = opt.withDefaults()
 	maxW := opt.Workers
 	if maxW <= 0 {
@@ -423,7 +441,7 @@ func (fe *FieldEvaluator) runBatch(n int, opt BatchOptions, body func(i int)) Ba
 	}
 	busy := make([]time.Duration, maxW+1)
 	start := time.Now()
-	st := sched.ForStats(n, opt.Workers, opt.Schedule, func(i, wk int) {
+	st, err := sched.ForStatsCtx(ctx, n, opt.Workers, opt.Schedule, func(i, wk int) {
 		t0 := time.Now()
 		body(i)
 		if wk >= len(busy) {
@@ -431,5 +449,5 @@ func (fe *FieldEvaluator) runBatch(n int, opt BatchOptions, body func(i int)) Ba
 		}
 		busy[wk] += time.Since(t0)
 	})
-	return BatchStats{Sched: st, Busy: busy[:st.Workers], Wall: time.Since(start)}
+	return BatchStats{Sched: st, Busy: busy[:st.Workers], Wall: time.Since(start)}, err
 }

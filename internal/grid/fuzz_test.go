@@ -1,0 +1,51 @@
+package grid
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// FuzzParseGrid is the native-fuzzing counterpart of TestReadNeverPanics:
+// arbitrary byte soup through the text parser. Properties: no panic; an
+// accepted grid validates, round-trips through Write/Read, and carries only
+// finite geometry.
+func FuzzParseGrid(f *testing.F) {
+	f.Add("conductor 0 0 0.8 10 0 0.8 0.006\n")
+	f.Add("rod 5 5 0.8 2.5 0.007\n")
+	f.Add("name barbera\n# comment\nconductor 0 0 0.8 10 0 0.8 0.006\nrod 0 0 0.8 1.5 0.007\n")
+	f.Add("conductor NaN 0 0.8 10 0 0.8 0.006")
+	f.Add("conductor 0 0 0.8 10 0 0.8 -0.006")
+	f.Add("conductor 1e308 0 0.8 -1e308 0 0.8 0.006")
+	f.Add("rod 0 0 0.8\nconductor 1 2 3")
+	f.Add("\x00\xff conductor")
+	f.Fuzz(func(t *testing.T, input string) {
+		g, err := Read(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		if verr := g.Validate(); verr != nil {
+			t.Fatalf("Read accepted a grid that fails Validate: %v\ninput: %q", verr, input)
+		}
+		for i, c := range g.Conductors {
+			for _, v := range []float64{c.Seg.A.X, c.Seg.A.Y, c.Seg.A.Z, c.Seg.B.X, c.Seg.B.Y, c.Seg.B.Z, c.Radius} {
+				if math.IsNaN(v) || math.IsInf(v, 0) {
+					t.Fatalf("conductor %d has non-finite geometry %g\ninput: %q", i, v, input)
+				}
+			}
+		}
+		// Round trip: the serialization of an accepted grid must parse back
+		// to the same conductor count (Write output is canonical).
+		var sb strings.Builder
+		if werr := Write(&sb, g); werr != nil {
+			t.Fatalf("Write failed on accepted grid: %v", werr)
+		}
+		g2, rerr := Read(strings.NewReader(sb.String()))
+		if rerr != nil {
+			t.Fatalf("round trip failed: %v\nserialized: %q", rerr, sb.String())
+		}
+		if len(g2.Conductors) != len(g.Conductors) {
+			t.Fatalf("round trip changed conductor count %d → %d", len(g.Conductors), len(g2.Conductors))
+		}
+	})
+}

@@ -2,6 +2,7 @@ package post
 
 import (
 	"bufio"
+	"context"
 	"fmt"
 	"io"
 	"math"
@@ -118,6 +119,15 @@ func WriteLeakageSummary(w io.Writer, rep LeakageReport, n int) error {
 // 5.2/5.4; its maxima sit at the grid edges and corners where step hazards
 // concentrate.
 func EFieldRaster(a *bem.Assembler, sigma []float64, scale float64, x0, y0, x1, y1 float64, opt SurfaceOptions) *Raster {
+	//lint:ignore errdrop background context never cancels, so the error is always nil
+	r, _ := EFieldRasterCtx(context.Background(), a, sigma, scale, x0, y0, x1, y1, opt)
+	return r
+}
+
+// EFieldRasterCtx is EFieldRaster with cooperative cancellation at raster-
+// point boundaries; on cancellation the partial raster is discarded and
+// ctx.Err() returned.
+func EFieldRasterCtx(ctx context.Context, a *bem.Assembler, sigma []float64, scale float64, x0, y0, x1, y1 float64, opt SurfaceOptions) (*Raster, error) {
 	opt = opt.withDefaults()
 	r := &Raster{
 		X0: x0, Y0: y0,
@@ -134,20 +144,30 @@ func EFieldRaster(a *bem.Assembler, sigma []float64, scale float64, x0, y0, x1, 
 		}
 	}
 	grads := make([]geom.Vec3, len(pts))
-	a.Evaluator().GradBatch(pts, sigma, grads, batchOpt(opt))
+	if _, err := a.Evaluator().GradBatchCtx(ctx, pts, sigma, grads, batchOpt(opt)); err != nil {
+		return nil, err
+	}
 	// E = −∇V, so |E_h| = |∇V_h| — the sign never survives the magnitude.
 	for i, g := range grads {
 		r.V[i] = scale * math.Hypot(g.X, g.Y)
 	}
-	return r
+	return r, nil
 }
 
 // EFieldSurface is EFieldRaster over the mesh bounds plus opt.Margin — the
 // step-voltage map companion of SurfacePotential.
 func EFieldSurface(a *bem.Assembler, mesh interface{ Bounds() geom.AABB }, sigma []float64, scale float64, opt SurfaceOptions) *Raster {
+	//lint:ignore errdrop background context never cancels, so the error is always nil
+	r, _ := EFieldSurfaceCtx(context.Background(), a, mesh, sigma, scale, opt)
+	return r
+}
+
+// EFieldSurfaceCtx is EFieldSurface with cooperative cancellation (see
+// EFieldRasterCtx).
+func EFieldSurfaceCtx(ctx context.Context, a *bem.Assembler, mesh interface{ Bounds() geom.AABB }, sigma []float64, scale float64, opt SurfaceOptions) (*Raster, error) {
 	opt = opt.withDefaults()
 	b := mesh.Bounds()
-	return EFieldRaster(a, sigma, scale,
+	return EFieldRasterCtx(ctx, a, sigma, scale,
 		b.Min.X-opt.Margin, b.Min.Y-opt.Margin,
 		b.Max.X+opt.Margin, b.Max.Y+opt.Margin, opt)
 }

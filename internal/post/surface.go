@@ -10,6 +10,7 @@
 package post
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -78,9 +79,18 @@ func (o SurfaceOptions) withDefaults() SurfaceOptions {
 // mesh bounds plus margin, distributing raster rows over workers. sigma is
 // the solved DoF vector (per unit GPR); scale is typically the GPR.
 func SurfacePotential(a *bem.Assembler, mesh interface{ Bounds() geom.AABB }, sigma []float64, scale float64, opt SurfaceOptions) *Raster {
+	//lint:ignore errdrop background context never cancels, so the error is always nil
+	r, _ := SurfacePotentialCtx(context.Background(), a, mesh, sigma, scale, opt)
+	return r
+}
+
+// SurfacePotentialCtx is SurfacePotential with cooperative cancellation at
+// raster-point boundaries; on cancellation the partial raster is discarded
+// and ctx.Err() returned.
+func SurfacePotentialCtx(ctx context.Context, a *bem.Assembler, mesh interface{ Bounds() geom.AABB }, sigma []float64, scale float64, opt SurfaceOptions) (*Raster, error) {
 	opt = opt.withDefaults()
 	b := mesh.Bounds()
-	return SurfacePotentialRect(a, sigma, scale,
+	return SurfacePotentialRectCtx(ctx, a, sigma, scale,
 		b.Min.X-opt.Margin, b.Min.Y-opt.Margin,
 		b.Max.X+opt.Margin, b.Max.Y+opt.Margin, opt)
 }
@@ -88,6 +98,14 @@ func SurfacePotential(a *bem.Assembler, mesh interface{ Bounds() geom.AABB }, si
 // SurfacePotentialRect samples V·scale on an explicit rectangle
 // [x0, x1] × [y0, y1] at z = 0 through the batched field evaluator.
 func SurfacePotentialRect(a *bem.Assembler, sigma []float64, scale float64, x0, y0, x1, y1 float64, opt SurfaceOptions) *Raster {
+	//lint:ignore errdrop background context never cancels, so the error is always nil
+	r, _ := SurfacePotentialRectCtx(context.Background(), a, sigma, scale, x0, y0, x1, y1, opt)
+	return r
+}
+
+// SurfacePotentialRectCtx is SurfacePotentialRect with cooperative
+// cancellation (see SurfacePotentialCtx).
+func SurfacePotentialRectCtx(ctx context.Context, a *bem.Assembler, sigma []float64, scale float64, x0, y0, x1, y1 float64, opt SurfaceOptions) (*Raster, error) {
 	opt = opt.withDefaults()
 	r := &Raster{
 		X0: x0, Y0: y0,
@@ -103,8 +121,10 @@ func SurfacePotentialRect(a *bem.Assembler, sigma []float64, scale float64, x0, 
 			pts[j*opt.NX+i] = geom.V(r.X0+float64(i)*r.DX, y, 0)
 		}
 	}
-	a.Evaluator().PotentialBatch(pts, sigma, scale, r.V, batchOpt(opt))
-	return r
+	if _, err := a.Evaluator().PotentialBatchCtx(ctx, pts, sigma, scale, r.V, batchOpt(opt)); err != nil {
+		return nil, err
+	}
+	return r, nil
 }
 
 // batchOpt forwards the worker/schedule knobs of a SurfaceOptions to the

@@ -1,6 +1,7 @@
 package post
 
 import (
+	"context"
 	"math"
 
 	"earthing/internal/bem"
@@ -36,6 +37,15 @@ func ComputeVoltages(a *bem.Assembler, m *grid.Mesh, sigma []float64, gpr float6
 // for the underlying surface raster (only the Workers and Schedule fields of
 // opt are consulted; the raster geometry is fixed by stepRes).
 func ComputeVoltagesOpt(a *bem.Assembler, m *grid.Mesh, sigma []float64, gpr float64, stepRes float64, opt SurfaceOptions) Voltages {
+	//lint:ignore errdrop background context never cancels, so the error is always nil
+	v, _ := ComputeVoltagesCtx(context.Background(), a, m, sigma, gpr, stepRes, opt)
+	return v
+}
+
+// ComputeVoltagesCtx is ComputeVoltagesOpt with cooperative cancellation of
+// the underlying raster evaluation; on cancellation the zero Voltages and
+// ctx.Err() are returned.
+func ComputeVoltagesCtx(ctx context.Context, a *bem.Assembler, m *grid.Mesh, sigma []float64, gpr float64, stepRes float64, opt SurfaceOptions) (Voltages, error) {
 	if stepRes <= 0 {
 		stepRes = 1
 	}
@@ -51,8 +61,11 @@ func ComputeVoltagesOpt(a *bem.Assembler, m *grid.Mesh, sigma []float64, gpr flo
 	if ny < 2 {
 		ny = 2
 	}
-	r := SurfacePotentialRect(a, sigma, gpr, x0, y0, x1, y1,
+	r, err := SurfacePotentialRectCtx(ctx, a, sigma, gpr, x0, y0, x1, y1,
 		SurfaceOptions{NX: nx, NY: ny, Workers: opt.Workers, Schedule: opt.Schedule})
+	if err != nil {
+		return Voltages{}, err
+	}
 
 	v := Voltages{GPR: gpr}
 	// Step voltage: adjacent raster samples stepRes apart (axis-aligned
@@ -89,7 +102,7 @@ func ComputeVoltagesOpt(a *bem.Assembler, m *grid.Mesh, sigma []float64, gpr flo
 			}
 		}
 	}
-	return v
+	return v, nil
 }
 
 // horizontalDistToMesh returns the distance from surface point (x, y) to

@@ -10,6 +10,7 @@
 package sched
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"strconv"
@@ -142,6 +143,60 @@ func For(n, p int, s Schedule, body func(i int)) {
 // ForStats is For with the worker id passed to the body and execution
 // statistics returned.
 func ForStats(n, p int, s Schedule, body func(i, worker int)) Stats {
+	//lint:ignore errdrop nil context never cancels, so the error is always nil
+	st, _ := forStats(nil, n, p, s, body)
+	return st
+}
+
+// ForCtx is For with cooperative cancellation: workers observe ctx at every
+// chunk boundary and stop claiming new chunks once it is done. Iterations
+// already dispatched within a chunk still run to completion (the loop bodies
+// in this codebase are single element pairs or field points, so abandonment
+// latency is one body call plus one chunk). Returns ctx.Err() if the loop was
+// cut short, nil if every iteration ran.
+func ForCtx(ctx context.Context, n, p int, s Schedule, body func(i int)) error {
+	_, err := ForStatsCtx(ctx, n, p, s, func(i, _ int) { body(i) })
+	return err
+}
+
+// ForStatsCtx is ForStats with the cancellation semantics of ForCtx. The
+// returned Stats reflect the iterations actually executed, which is fewer
+// than n when err is non-nil.
+func ForStatsCtx(ctx context.Context, n, p int, s Schedule, body func(i, worker int)) (Stats, error) {
+	return forStats(ctx, n, p, s, body)
+}
+
+// canceller adapts a context into the cheap per-chunk poll the inner loops
+// use: a receive-with-default on Done (nil for background contexts, where the
+// select always falls through). aborted records whether any worker actually
+// cut its loop short, so a context cancelled after the last iteration does
+// not spuriously fail a completed loop.
+type canceller struct {
+	done    <-chan struct{}
+	aborted atomic.Bool
+}
+
+// stop reports whether the loop should abandon further chunks.
+func (c *canceller) stop() bool {
+	if c == nil {
+		return false
+	}
+	select {
+	case <-c.done:
+		c.aborted.Store(true)
+		return true
+	default:
+		return false
+	}
+}
+
+func forStats(ctx context.Context, n, p int, s Schedule, body func(i, worker int)) (Stats, error) {
+	var cn *canceller
+	if ctx != nil {
+		if done := ctx.Done(); done != nil {
+			cn = &canceller{done: done}
+		}
+	}
 	if p <= 0 {
 		p = runtime.GOMAXPROCS(0)
 	}
@@ -150,43 +205,57 @@ func ForStats(n, p int, s Schedule, body func(i, worker int)) Stats {
 	}
 	st := Stats{Workers: p, Iterations: n}
 	if n == 0 {
-		return st
+		return st, nil
 	}
 	st.PerWorker = make([]int, p)
 	st.ChunksPerWorker = make([]int, p)
 	if p == 1 {
+		// Sequential path: every iteration is its own chunk boundary.
+		count := 0
 		for i := 0; i < n; i++ {
+			if cn.stop() {
+				break
+			}
 			body(i, 0)
+			count++
 		}
-		st.PerWorker[0] = n
+		st.PerWorker[0] = count
 		st.ChunksPerWorker[0] = 1
-		return st
+		return st, cancelErr(ctx, cn)
 	}
 
 	switch s.Kind {
 	case Static:
-		runStatic(n, p, s.Chunk, body, &st)
+		runStatic(n, p, s.Chunk, body, &st, cn)
 	case Dynamic:
 		c := s.Chunk
 		if c < 1 {
 			c = 1
 		}
-		runDynamic(n, p, c, body, &st)
+		runDynamic(n, p, c, body, &st, cn)
 	case Guided:
 		c := s.Chunk
 		if c < 1 {
 			c = 1
 		}
-		runGuided(n, p, c, body, &st)
+		runGuided(n, p, c, body, &st, cn)
 	default:
 		panic(fmt.Sprintf("sched: unknown schedule kind %d", s.Kind))
 	}
-	return st
+	return st, cancelErr(ctx, cn)
+}
+
+// cancelErr maps an aborted loop to its context error.
+func cancelErr(ctx context.Context, cn *canceller) error {
+	if cn != nil && cn.aborted.Load() {
+		return ctx.Err()
+	}
+	return nil
 }
 
 // runStatic implements schedule(static) and schedule(static,c): the full
 // assignment of iterations to workers is fixed before the loop starts.
-func runStatic(n, p, chunk int, body func(i, w int), st *Stats) {
+func runStatic(n, p, chunk int, body func(i, w int), st *Stats, cn *canceller) {
 	var wg sync.WaitGroup
 	wg.Add(p)
 	for w := 0; w < p; w++ {
@@ -194,13 +263,19 @@ func runStatic(n, p, chunk int, body func(i, w int), st *Stats) {
 			defer wg.Done()
 			count, chunks := 0, 0
 			if chunk < 1 {
-				// One contiguous block per worker, sizes differing by ≤ 1.
+				// One contiguous block per worker, sizes differing by ≤ 1;
+				// cancellation is polled every blockCheck iterations so a
+				// pre-split block does not run to completion after ctx ends.
+				const blockCheck = 64
 				lo := w * n / p
 				hi := (w + 1) * n / p
 				if hi > lo {
 					chunks = 1
 				}
 				for i := lo; i < hi; i++ {
+					if (i-lo)%blockCheck == 0 && cn.stop() {
+						break
+					}
 					body(i, w)
 					count++
 				}
@@ -208,6 +283,9 @@ func runStatic(n, p, chunk int, body func(i, w int), st *Stats) {
 				// Fixed chunks dealt round-robin: worker w owns chunks
 				// w, w+p, w+2p, …
 				for base := w * chunk; base < n; base += p * chunk {
+					if cn.stop() {
+						break
+					}
 					chunks++
 					hi := base + chunk
 					if hi > n {
@@ -228,7 +306,7 @@ func runStatic(n, p, chunk int, body func(i, w int), st *Stats) {
 
 // runDynamic implements schedule(dynamic,c): workers atomically claim the
 // next chunk of c iterations when they become idle.
-func runDynamic(n, p, chunk int, body func(i, w int), st *Stats) {
+func runDynamic(n, p, chunk int, body func(i, w int), st *Stats, cn *canceller) {
 	var next int64
 	var wg sync.WaitGroup
 	wg.Add(p)
@@ -239,6 +317,11 @@ func runDynamic(n, p, chunk int, body func(i, w int), st *Stats) {
 			for {
 				base := int(atomic.AddInt64(&next, int64(chunk))) - chunk
 				if base >= n {
+					break
+				}
+				// Poll only while work remains, so a context cancelled after
+				// the final chunk does not fail a completed loop.
+				if cn.stop() {
 					break
 				}
 				chunks++
@@ -262,7 +345,7 @@ func runDynamic(n, p, chunk int, body func(i, w int), st *Stats) {
 // remaining/(2p) — the proportion common OpenMP runtimes use — and decay
 // exponentially, never below c. A mutex serializes the (cheap) chunk-size
 // computation; the loop bodies run fully in parallel.
-func runGuided(n, p, minChunk int, body func(i, w int), st *Stats) {
+func runGuided(n, p, minChunk int, body func(i, w int), st *Stats, cn *canceller) {
 	var mu sync.Mutex
 	next := 0
 	grab := func() (lo, hi int) {
@@ -293,6 +376,10 @@ func runGuided(n, p, minChunk int, body func(i, w int), st *Stats) {
 			for {
 				lo, hi := grab()
 				if lo >= hi {
+					break
+				}
+				// As in runDynamic: poll only while work remains.
+				if cn.stop() {
 					break
 				}
 				chunks++

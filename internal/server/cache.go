@@ -1,0 +1,87 @@
+package server
+
+import (
+	"container/list"
+	"sync"
+
+	"earthing"
+)
+
+// entry is one cached unit-GPR solve keyed by its canonical scenario key.
+type entry struct {
+	key string
+	res *earthing.Result
+}
+
+// lruCache is a size-bounded LRU of solved systems. A hit hands back the
+// factorized, solved *earthing.Result — everything downstream (resistance,
+// rasters, safety voltages) is pure post-processing over Sigma and the
+// assembler, so a hit skips both matrix generation and the Cholesky solve
+// entirely.
+//
+// Results are stored at unit GPR. Because the Galerkin system is linear in
+// the imposed boundary potential (§2 of the paper), the response for any GPR
+// is the cached solution scaled — one entry serves every fault level.
+//
+// The cache is safe for concurrent use. Cached results are shared across
+// requests; callers must treat them as immutable (the post-processing
+// engines only read Sigma and the assembler's precomputed element data).
+type lruCache struct {
+	mu    sync.Mutex
+	max   int
+	order *list.List // front = most recently used; values are *entry
+	items map[string]*list.Element
+}
+
+// newLRUCache returns a cache bounded to max entries (max ≤ 0 disables
+// caching: every get misses and put is a no-op).
+func newLRUCache(max int) *lruCache {
+	return &lruCache{
+		max:   max,
+		order: list.New(),
+		items: make(map[string]*list.Element),
+	}
+}
+
+// get returns the cached result for key, promoting it to most recently used.
+func (c *lruCache) get(key string) (*earthing.Result, bool) {
+	if c.max <= 0 {
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		return nil, false
+	}
+	c.order.MoveToFront(el)
+	return el.Value.(*entry).res, true
+}
+
+// put inserts (or refreshes) key, evicting the least recently used entry
+// when over capacity.
+func (c *lruCache) put(key string, res *earthing.Result) {
+	if c.max <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		el.Value.(*entry).res = res
+		c.order.MoveToFront(el)
+		return
+	}
+	c.items[key] = c.order.PushFront(&entry{key: key, res: res})
+	for c.order.Len() > c.max {
+		tail := c.order.Back()
+		c.order.Remove(tail)
+		delete(c.items, tail.Value.(*entry).key)
+	}
+}
+
+// len reports the current number of cached systems.
+func (c *lruCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}

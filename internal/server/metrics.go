@@ -1,0 +1,106 @@
+package server
+
+import (
+	"expvar"
+	"sync/atomic"
+)
+
+// Metrics holds the server's observability counters. All fields are updated
+// atomically; a consistent snapshot is not needed (each counter is
+// independently meaningful), so reads are plain atomic loads.
+//
+// The struct is per-Server rather than package-global expvar variables so
+// tests can spin up many servers without tripping expvar's duplicate-name
+// panic; cmd/groundd publishes one server's Metrics into expvar at startup
+// (see PublishExpvar).
+type Metrics struct {
+	// Request counters by endpoint.
+	SolveRequests  atomic.Int64
+	RasterRequests atomic.Int64
+	SafetyRequests atomic.Int64
+
+	// Cache accounting. Assemblies counts full pipeline runs (matrix
+	// generation + factorization); on a pure cache hit it does not move —
+	// the acceptance check for "cache hit performs no assembly".
+	CacheHits   atomic.Int64
+	CacheMisses atomic.Int64
+	Assemblies  atomic.Int64
+
+	// Load-shedding outcomes.
+	RejectedQueueFull atomic.Int64 // 429: admission queue at capacity
+	DeadlineExceeded  atomic.Int64 // 504: deadline elapsed before/while solving
+	ClientCancelled   atomic.Int64 // 499: client went away
+
+	// QueueDepth is the current number of requests admitted but not yet
+	// holding a worker slot; BusyWorkers the number of slots in use.
+	QueueDepth  atomic.Int64
+	BusyWorkers atomic.Int64
+
+	// Per-stage wall time accumulators, nanoseconds (summed across
+	// requests; divide by Assemblies for mean cost per cold solve).
+	AssembleNanos atomic.Int64 // matrix generation + solve (cold path)
+	PostNanos     atomic.Int64 // rasters, voltages, serialization
+}
+
+// Snapshot is a plain-value copy of the counters for JSON serialization.
+type Snapshot struct {
+	SolveRequests     int64 `json:"solveRequests"`
+	RasterRequests    int64 `json:"rasterRequests"`
+	SafetyRequests    int64 `json:"safetyRequests"`
+	CacheHits         int64 `json:"cacheHits"`
+	CacheMisses       int64 `json:"cacheMisses"`
+	CacheEntries      int   `json:"cacheEntries"`
+	Assemblies        int64 `json:"assemblies"`
+	RejectedQueueFull int64 `json:"rejectedQueueFull"`
+	DeadlineExceeded  int64 `json:"deadlineExceeded"`
+	ClientCancelled   int64 `json:"clientCancelled"`
+	QueueDepth        int64 `json:"queueDepth"`
+	BusyWorkers       int64 `json:"busyWorkers"`
+	AssembleNanos     int64 `json:"assembleNanos"`
+	PostNanos         int64 `json:"postNanos"`
+}
+
+// snapshot captures the counters plus the cache size.
+func (m *Metrics) snapshot(cacheEntries int) Snapshot {
+	return Snapshot{
+		SolveRequests:     m.SolveRequests.Load(),
+		RasterRequests:    m.RasterRequests.Load(),
+		SafetyRequests:    m.SafetyRequests.Load(),
+		CacheHits:         m.CacheHits.Load(),
+		CacheMisses:       m.CacheMisses.Load(),
+		CacheEntries:      cacheEntries,
+		Assemblies:        m.Assemblies.Load(),
+		RejectedQueueFull: m.RejectedQueueFull.Load(),
+		DeadlineExceeded:  m.DeadlineExceeded.Load(),
+		ClientCancelled:   m.ClientCancelled.Load(),
+		QueueDepth:        m.QueueDepth.Load(),
+		BusyWorkers:       m.BusyWorkers.Load(),
+		AssembleNanos:     m.AssembleNanos.Load(),
+		PostNanos:         m.PostNanos.Load(),
+	}
+}
+
+// PublishExpvar exposes the server's counters under the "groundd" expvar map
+// (visible at /debug/vars). Call at most once per process: expvar panics on
+// duplicate names, which is why the counters live on the Server rather than
+// in package-level expvar variables.
+func (s *Server) PublishExpvar() {
+	m := expvar.NewMap("groundd")
+	pub := func(name string, f func() int64) {
+		m.Set(name, expvar.Func(func() any { return f() }))
+	}
+	pub("solveRequests", s.metrics.SolveRequests.Load)
+	pub("rasterRequests", s.metrics.RasterRequests.Load)
+	pub("safetyRequests", s.metrics.SafetyRequests.Load)
+	pub("cacheHits", s.metrics.CacheHits.Load)
+	pub("cacheMisses", s.metrics.CacheMisses.Load)
+	pub("assemblies", s.metrics.Assemblies.Load)
+	pub("rejectedQueueFull", s.metrics.RejectedQueueFull.Load)
+	pub("deadlineExceeded", s.metrics.DeadlineExceeded.Load)
+	pub("clientCancelled", s.metrics.ClientCancelled.Load)
+	pub("queueDepth", s.metrics.QueueDepth.Load)
+	pub("busyWorkers", s.metrics.BusyWorkers.Load)
+	pub("assembleNanos", s.metrics.AssembleNanos.Load)
+	pub("postNanos", s.metrics.PostNanos.Load)
+	m.Set("cacheEntries", expvar.Func(func() any { return s.cache.len() }))
+}

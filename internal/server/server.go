@@ -1,0 +1,555 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/pprof"
+	"runtime"
+	"time"
+
+	"earthing"
+)
+
+// StatusClientClosedRequest is the (de facto standard) status for requests
+// abandoned by the client before the solve finished.
+const StatusClientClosedRequest = 499
+
+// Config configures a Server. The zero value serves with GOMAXPROCS worker
+// slots, a queue of 4× that, a 30 s default / 120 s maximum deadline and a
+// 64-entry system cache.
+type Config struct {
+	// MaxConcurrent bounds the number of scenarios solving or
+	// post-processing at once (default GOMAXPROCS). Each admitted request
+	// runs its parallel loops at the width the scenario asks for, so this
+	// is a request-level bound, not a core-level one.
+	MaxConcurrent int
+	// QueueDepth bounds how many admitted requests may wait for a slot
+	// (default 4 × MaxConcurrent). Beyond it the server sheds load with 429
+	// instead of building an unbounded backlog.
+	QueueDepth int
+	// DefaultTimeout applies when a request names none (default 30 s);
+	// MaxTimeout clamps what a request may ask for (default 120 s).
+	DefaultTimeout time.Duration
+	MaxTimeout     time.Duration
+	// CacheEntries bounds the LRU of solved systems (default 64; negative
+	// disables caching).
+	CacheEntries int
+	// Workers is the parallel width for scenarios that do not set one
+	// (default GOMAXPROCS).
+	Workers int
+	// EnablePprof mounts net/http/pprof under /debug/pprof/.
+	EnablePprof bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxConcurrent <= 0 {
+		c.MaxConcurrent = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth == 0 {
+		c.QueueDepth = 4 * c.MaxConcurrent
+	}
+	if c.DefaultTimeout <= 0 {
+		c.DefaultTimeout = 30 * time.Second
+	}
+	if c.MaxTimeout <= 0 {
+		c.MaxTimeout = 120 * time.Second
+	}
+	if c.CacheEntries == 0 {
+		c.CacheEntries = 64
+	}
+	return c
+}
+
+// Server is the grounding-analysis HTTP service. Create with New; it
+// implements http.Handler.
+type Server struct {
+	cfg     Config
+	cache   *lruCache
+	metrics Metrics
+	// slots is the admission semaphore: holding a token is the licence to
+	// run a solve or a post-processing raster.
+	slots chan struct{}
+	mux   *http.ServeMux
+}
+
+// New constructs a Server.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:   cfg,
+		cache: newLRUCache(cfg.CacheEntries),
+		slots: make(chan struct{}, cfg.MaxConcurrent),
+		mux:   http.NewServeMux(),
+	}
+	s.mux.HandleFunc("POST /v1/solve", s.handleSolve)
+	s.mux.HandleFunc("POST /v1/raster", s.handleRaster)
+	s.mux.HandleFunc("POST /v1/safety", s.handleSafety)
+	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		//lint:ignore errdrop a failed health-probe write has no one left to report to
+		fmt.Fprintln(w, "ok")
+	})
+	if cfg.EnablePprof {
+		s.mux.HandleFunc("/debug/pprof/", pprof.Index)
+		s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// Counters exposes the metrics for tests and for expvar publication.
+func (s *Server) Counters() *Metrics { return &s.metrics }
+
+// httpError carries a status code with the message reported to the client.
+type httpError struct {
+	status int
+	msg    string
+}
+
+func (e *httpError) Error() string { return e.msg }
+
+func badRequest(err error) *httpError {
+	return &httpError{status: http.StatusBadRequest, msg: err.Error()}
+}
+
+// writeError emits the JSON error envelope.
+func (s *Server) writeError(w http.ResponseWriter, he *httpError) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(he.status)
+	//lint:ignore errdrop encode-to-client failure means the client is gone; nothing to do
+	json.NewEncoder(w).Encode(map[string]string{"error": he.msg})
+}
+
+// writeJSON emits a 200 with v as the body and the cache disposition in a
+// header. The disposition deliberately travels out-of-band: response BODIES
+// are bit-identical between cache hits and fresh solves, which is the
+// determinism contract the test suite pins down.
+func (s *Server) writeJSON(w http.ResponseWriter, cacheHit bool, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	if cacheHit {
+		w.Header().Set("X-Groundd-Cache", "hit")
+	} else {
+		w.Header().Set("X-Groundd-Cache", "miss")
+	}
+	//lint:ignore errdrop encode-to-client failure means the client is gone; nothing to do
+	json.NewEncoder(w).Encode(v)
+}
+
+// requestCtx derives the request's working context from its deadline knob.
+func (s *Server) requestCtx(r *http.Request, timeoutMs int) (context.Context, context.CancelFunc, *httpError) {
+	if timeoutMs < 0 {
+		return nil, nil, badRequest(fmt.Errorf("timeoutMs %d must be non-negative", timeoutMs))
+	}
+	d := s.cfg.DefaultTimeout
+	if timeoutMs > 0 {
+		d = time.Duration(timeoutMs) * time.Millisecond
+	}
+	if d > s.cfg.MaxTimeout {
+		d = s.cfg.MaxTimeout
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), d)
+	return ctx, cancel, nil
+}
+
+// mapCtxErr translates a cancellation into the load-shedding status codes,
+// bumping the matching counter.
+func (s *Server) mapCtxErr(err error) *httpError {
+	if errors.Is(err, context.DeadlineExceeded) {
+		s.metrics.DeadlineExceeded.Add(1)
+		return &httpError{status: http.StatusGatewayTimeout, msg: "deadline exceeded"}
+	}
+	if errors.Is(err, context.Canceled) {
+		s.metrics.ClientCancelled.Add(1)
+		return &httpError{status: StatusClientClosedRequest, msg: "client cancelled"}
+	}
+	return &httpError{status: http.StatusInternalServerError, msg: err.Error()}
+}
+
+// acquire admits the request to a worker slot, waiting in the bounded queue
+// if all slots are busy. It returns a release func on success; otherwise the
+// 429/504/499 error to report.
+func (s *Server) acquire(ctx context.Context) (func(), *httpError) {
+	release := func() {
+		<-s.slots
+		s.metrics.BusyWorkers.Add(-1)
+	}
+	// Fast path: a slot is free.
+	select {
+	case s.slots <- struct{}{}:
+		s.metrics.BusyWorkers.Add(1)
+		return release, nil
+	default:
+	}
+	// Join the bounded queue or shed immediately.
+	if s.metrics.QueueDepth.Add(1) > int64(s.cfg.QueueDepth) {
+		s.metrics.QueueDepth.Add(-1)
+		s.metrics.RejectedQueueFull.Add(1)
+		return nil, &httpError{status: http.StatusTooManyRequests, msg: "queue full"}
+	}
+	defer s.metrics.QueueDepth.Add(-1)
+	select {
+	case s.slots <- struct{}{}:
+		s.metrics.BusyWorkers.Add(1)
+		return release, nil
+	case <-ctx.Done():
+		return nil, s.mapCtxErr(ctx.Err())
+	}
+}
+
+// solved obtains the unit-GPR solution for a scenario: from the cache when
+// present, otherwise by admitting the request to a slot and running the full
+// pipeline. On the miss path the slot is HELD when solved returns, so the
+// caller's post-processing runs under the same admission token; on a hit the
+// returned release is a no-op (cached post-processing for /v1/solve is a few
+// arithmetic operations). needSlot forces slot acquisition even on a hit,
+// for endpoints whose post-processing is itself a parallel field evaluation.
+func (s *Server) solved(ctx context.Context, b *built, needSlot bool) (res *earthing.Result, hit bool, release func(), herr *httpError) {
+	noop := func() {}
+	if r, ok := s.cache.get(b.key); ok {
+		s.metrics.CacheHits.Add(1)
+		if !needSlot {
+			return r, true, noop, nil
+		}
+		rel, herr := s.acquire(ctx)
+		if herr != nil {
+			return nil, true, noop, herr
+		}
+		return r, true, rel, nil
+	}
+	s.metrics.CacheMisses.Add(1)
+	rel, herr := s.acquire(ctx)
+	if herr != nil {
+		return nil, false, noop, herr
+	}
+	// Double-check: another request may have solved this scenario while we
+	// queued for the slot.
+	if r, ok := s.cache.get(b.key); ok {
+		s.metrics.CacheHits.Add(1)
+		if !needSlot {
+			rel()
+			return r, true, noop, nil
+		}
+		return r, true, rel, nil
+	}
+	start := time.Now()
+	r, err := earthing.AnalyzeCtx(ctx, b.grid, b.model, b.cfg)
+	if err != nil {
+		rel()
+		if ctx.Err() != nil {
+			return nil, false, noop, s.mapCtxErr(ctx.Err())
+		}
+		return nil, false, noop, &httpError{status: http.StatusUnprocessableEntity, msg: err.Error()}
+	}
+	s.metrics.Assemblies.Add(1)
+	s.metrics.AssembleNanos.Add(int64(time.Since(start)))
+	s.cache.put(b.key, r)
+	return r, false, rel, nil
+}
+
+// --- /v1/solve ---
+
+// SolveRequest is a Scenario plus the request deadline.
+type SolveRequest struct {
+	Scenario
+	// TimeoutMs bounds this request's wall time (0 = server default).
+	TimeoutMs int `json:"timeoutMs,omitempty"`
+}
+
+// SolveResponse reports the design parameters of eq. 2.2 at the requested
+// GPR.
+type SolveResponse struct {
+	Key string `json:"key"`
+	// GPR echoes the ground potential rise the results are scaled to.
+	GPR float64 `json:"gpr"`
+	// ReqOhms is the equivalent grounding resistance (GPR-independent).
+	ReqOhms float64 `json:"reqOhms"`
+	// CurrentAmps is the total fault current at this GPR.
+	CurrentAmps float64 `json:"currentAmps"`
+	// Elements and DoF describe the discretization that was solved.
+	Elements int      `json:"elements"`
+	DoF      int      `json:"dof"`
+	Warnings []string `json:"warnings,omitempty"`
+}
+
+func decode[T any](r *http.Request, into *T) *httpError {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(into); err != nil {
+		return badRequest(fmt.Errorf("bad request body: %w", err))
+	}
+	return nil
+}
+
+func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
+	s.metrics.SolveRequests.Add(1)
+	var req SolveRequest
+	if herr := decode(r, &req); herr != nil {
+		s.writeError(w, herr)
+		return
+	}
+	b, err := req.Scenario.build(s.cfg.Workers)
+	if err != nil {
+		s.writeError(w, badRequest(err))
+		return
+	}
+	ctx, cancel, herr := s.requestCtx(r, req.TimeoutMs)
+	if herr != nil {
+		s.writeError(w, herr)
+		return
+	}
+	defer cancel()
+	res, hit, release, herr := s.solved(ctx, b, false)
+	if herr != nil {
+		s.writeError(w, herr)
+		return
+	}
+	defer release()
+	s.writeJSON(w, hit, SolveResponse{
+		Key:         b.key,
+		GPR:         b.gpr,
+		ReqOhms:     res.Req,
+		CurrentAmps: b.gpr / res.Req,
+		Elements:    len(res.Mesh.Elements),
+		DoF:         len(res.Sigma),
+		Warnings:    res.Warnings,
+	})
+}
+
+// --- /v1/raster ---
+
+// RasterRequest asks for a sampled surface field of the solved scenario.
+type RasterRequest struct {
+	Scenario
+	TimeoutMs int `json:"timeoutMs,omitempty"`
+	// Kind is "potential" (default; the contour-plot field of Figs. 5.2/5.4)
+	// or "step" (the per-metre step-voltage magnitude |E_h|·1 m).
+	Kind string `json:"kind,omitempty"`
+	// NX, NY are the raster dimensions (default 64 × 64, capped at 512).
+	NX int `json:"nx,omitempty"`
+	NY int `json:"ny,omitempty"`
+	// Margin extends the raster beyond the grid bounds (metres, default 15).
+	Margin float64 `json:"margin,omitempty"`
+}
+
+// RasterResponse carries the sampled field, row-major
+// (V[j*NX+i] at (X0+i·DX, Y0+j·DY)), in volts at the requested GPR.
+type RasterResponse struct {
+	Key  string    `json:"key"`
+	Kind string    `json:"kind"`
+	GPR  float64   `json:"gpr"`
+	X0   float64   `json:"x0"`
+	Y0   float64   `json:"y0"`
+	DX   float64   `json:"dx"`
+	DY   float64   `json:"dy"`
+	NX   int       `json:"nx"`
+	NY   int       `json:"ny"`
+	V    []float64 `json:"v"`
+}
+
+func (s *Server) handleRaster(w http.ResponseWriter, r *http.Request) {
+	s.metrics.RasterRequests.Add(1)
+	var req RasterRequest
+	if herr := decode(r, &req); herr != nil {
+		s.writeError(w, herr)
+		return
+	}
+	kind := req.Kind
+	if kind == "" {
+		kind = "potential"
+	}
+	if kind != "potential" && kind != "step" {
+		s.writeError(w, badRequest(fmt.Errorf("unknown raster kind %q (want potential or step)", req.Kind)))
+		return
+	}
+	if req.NX < 0 || req.NY < 0 || req.NX > 512 || req.NY > 512 {
+		s.writeError(w, badRequest(fmt.Errorf("raster size %d × %d out of range (max 512)", req.NX, req.NY)))
+		return
+	}
+	if req.Margin < 0 {
+		s.writeError(w, badRequest(fmt.Errorf("margin %g must be non-negative", req.Margin)))
+		return
+	}
+	b, err := req.Scenario.build(s.cfg.Workers)
+	if err != nil {
+		s.writeError(w, badRequest(err))
+		return
+	}
+	ctx, cancel, herr := s.requestCtx(r, req.TimeoutMs)
+	if herr != nil {
+		s.writeError(w, herr)
+		return
+	}
+	defer cancel()
+	// Raster evaluation is a parallel field sweep comparable in weight to a
+	// small assembly, so even cache hits hold a slot.
+	res, hit, release, herr := s.solved(ctx, b, true)
+	if herr != nil {
+		s.writeError(w, herr)
+		return
+	}
+	defer release()
+
+	start := time.Now()
+	opt := earthing.SurfaceOptions{
+		NX: req.NX, NY: req.NY, Margin: req.Margin,
+		Workers: b.cfg.BEM.Workers, Schedule: b.cfg.BEM.Schedule,
+	}
+	// res is the cached unit-GPR solution; scaled holds the request's GPR so
+	// the raster comes out in physical volts without mutating the shared
+	// cache entry.
+	scaled := *res
+	scaled.GPR = b.gpr
+	var raster *earthing.Raster
+	if kind == "potential" {
+		raster, err = earthing.SurfacePotentialCtx(ctx, &scaled, opt)
+	} else {
+		raster, err = earthing.StepVoltageMapCtx(ctx, &scaled, opt)
+	}
+	if err != nil {
+		s.writeError(w, s.mapCtxErr(err))
+		return
+	}
+	s.metrics.PostNanos.Add(int64(time.Since(start)))
+	s.writeJSON(w, hit, RasterResponse{
+		Key: b.key, Kind: kind, GPR: b.gpr,
+		X0: raster.X0, Y0: raster.Y0, DX: raster.DX, DY: raster.DY,
+		NX: raster.NX, NY: raster.NY, V: raster.V,
+	})
+}
+
+// --- /v1/safety ---
+
+// CriteriaSpec is the JSON form of the IEEE Std 80 tolerable-limit inputs.
+type CriteriaSpec struct {
+	// FaultDurationS is the shock/clearing time in seconds.
+	FaultDurationS float64 `json:"faultDurationS"`
+	// SoilRho is the native surface soil resistivity, Ω·m.
+	SoilRho float64 `json:"soilRho"`
+	// SurfaceRho/SurfaceThicknessM describe the crushed-rock layer (0 = none).
+	SurfaceRho        float64 `json:"surfaceRho,omitempty"`
+	SurfaceThicknessM float64 `json:"surfaceThicknessM,omitempty"`
+	// Weight is "50kg" (default) or "70kg".
+	Weight string `json:"weight,omitempty"`
+}
+
+func (c CriteriaSpec) criteria() (earthing.SafetyCriteria, error) {
+	crit := earthing.SafetyCriteria{
+		FaultDuration:    c.FaultDurationS,
+		SoilRho:          c.SoilRho,
+		SurfaceRho:       c.SurfaceRho,
+		SurfaceThickness: c.SurfaceThicknessM,
+	}
+	switch c.Weight {
+	case "", "50kg":
+		crit.Weight = earthing.Body50kg
+	case "70kg":
+		crit.Weight = earthing.Body70kg
+	default:
+		return crit, fmt.Errorf("safety: unknown body weight %q (want 50kg or 70kg)", c.Weight)
+	}
+	return crit, crit.Validate()
+}
+
+// SafetyRequest asks for touch/step/mesh voltages of the solved scenario
+// checked against IEEE Std 80 limits.
+type SafetyRequest struct {
+	Scenario
+	TimeoutMs int          `json:"timeoutMs,omitempty"`
+	Criteria  CriteriaSpec `json:"criteria"`
+	// StepResM is the surface sampling resolution in metres (default 1, the
+	// IEEE step distance).
+	StepResM float64 `json:"stepResM,omitempty"`
+}
+
+// SafetyResponse reports computed voltages, the tolerable limits and the
+// verdict.
+type SafetyResponse struct {
+	Key string  `json:"key"`
+	GPR float64 `json:"gpr"`
+	// Computed worst-case voltages at this GPR (volts).
+	StepV  float64 `json:"stepV"`
+	TouchV float64 `json:"touchV"`
+	MeshV  float64 `json:"meshV"`
+	// Tolerable limits (volts); mesh shares the touch limit.
+	StepLimitV  float64 `json:"stepLimitV"`
+	TouchLimitV float64 `json:"touchLimitV"`
+	StepOK      bool    `json:"stepOK"`
+	TouchOK     bool    `json:"touchOK"`
+	MeshOK      bool    `json:"meshOK"`
+	Safe        bool    `json:"safe"`
+}
+
+func (s *Server) handleSafety(w http.ResponseWriter, r *http.Request) {
+	s.metrics.SafetyRequests.Add(1)
+	var req SafetyRequest
+	if herr := decode(r, &req); herr != nil {
+		s.writeError(w, herr)
+		return
+	}
+	crit, err := req.Criteria.criteria()
+	if err != nil {
+		s.writeError(w, badRequest(err))
+		return
+	}
+	if req.StepResM < 0 {
+		s.writeError(w, badRequest(fmt.Errorf("stepResM %g must be non-negative", req.StepResM)))
+		return
+	}
+	b, err := req.Scenario.build(s.cfg.Workers)
+	if err != nil {
+		s.writeError(w, badRequest(err))
+		return
+	}
+	ctx, cancel, herr := s.requestCtx(r, req.TimeoutMs)
+	if herr != nil {
+		s.writeError(w, herr)
+		return
+	}
+	defer cancel()
+	res, hit, release, herr := s.solved(ctx, b, true)
+	if herr != nil {
+		s.writeError(w, herr)
+		return
+	}
+	defer release()
+
+	start := time.Now()
+	scaled := *res
+	scaled.GPR = b.gpr
+	volt, err := earthing.ComputeVoltagesCtx(ctx, &scaled, req.StepResM,
+		earthing.SurfaceOptions{Workers: b.cfg.BEM.Workers, Schedule: b.cfg.BEM.Schedule})
+	if err != nil {
+		s.writeError(w, s.mapCtxErr(err))
+		return
+	}
+	verdict, err := crit.Check(volt.MaxStep, volt.MaxTouch, volt.MaxMesh)
+	if err != nil {
+		s.writeError(w, badRequest(err))
+		return
+	}
+	s.metrics.PostNanos.Add(int64(time.Since(start)))
+	s.writeJSON(w, hit, SafetyResponse{
+		Key: b.key, GPR: b.gpr,
+		StepV: volt.MaxStep, TouchV: volt.MaxTouch, MeshV: volt.MaxMesh,
+		StepLimitV: verdict.StepLimit, TouchLimitV: verdict.TouchLimit,
+		StepOK: verdict.StepOK, TouchOK: verdict.TouchOK, MeshOK: verdict.MeshOK,
+		Safe: verdict.Safe(),
+	})
+}
+
+// --- /v1/stats ---
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	//lint:ignore errdrop encode-to-client failure means the client is gone; nothing to do
+	json.NewEncoder(w).Encode(s.metrics.snapshot(s.cache.len()))
+}
