@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -103,7 +104,7 @@ func main() {
 			opt.Criteria = tg.Safety
 			// Re-analyze at the design-fault GPR so the report's potentials
 			// and voltages are at fault scale.
-			reportRes, err = earthing.Analyze(best.Grid, model, earthing.Config{GPR: best.GPR})
+			reportRes, err = earthing.Analyze(context.Background(), best.Grid, model, earthing.Config{GPR: best.GPR})
 			if err != nil {
 				fmt.Fprintln(os.Stderr, "designer:", err)
 				os.Exit(1)

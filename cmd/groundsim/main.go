@@ -9,9 +9,17 @@
 //	groundsim -builtin barbera -soil two-layer -gamma1 0.005 -gamma2 0.016 -h1 1.0 -gpr 10000
 //	groundsim -grid mygrid.txt -soil uniform -gamma1 0.02 -surface out.csv
 //	groundsim -builtin balaidos -soil uniform -gamma1 0.02 -check -fault-t 0.5
+//	groundsim -builtin balaidos -sweep scenarios.json -gpr 10000
+//
+// The -sweep mode batch-solves many soil/GPR variants of one grid through
+// the sweep engine (one assembly per distinct soil model, amortized
+// meshing); the scenario file is a JSON array of {id, soil, gpr} objects
+// with the same soil spec as the groundd server.
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -23,6 +31,7 @@ import (
 	"earthing"
 	"earthing/internal/fsio"
 	"earthing/internal/report"
+	"earthing/internal/server"
 )
 
 func main() {
@@ -49,6 +58,8 @@ func run(args []string, stdout io.Writer) error {
 		maxLen   = fs.Float64("maxlen", 0, "max element length in m (0 = one element per conductor)")
 		workers  = fs.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
 		schedule = fs.String("schedule", "dynamic,1", "loop schedule: static|dynamic|guided[,chunk]")
+		sweep    = fs.String("sweep", "", "JSON scenario file for a batch solve ([{id, soil, gpr}, ...]); - for stdin")
+		scaled   = fs.Bool("scaled", false, "with -sweep: allow proportional-soil reuse (exact, not bit-identical)")
 		surface  = fs.String("surface", "", "write surface potential raster CSV to this file")
 		stepmap  = fs.String("stepmap", "", "write per-metre step voltage raster CSV to this file")
 		ascii    = fs.Bool("ascii", false, "print an ASCII surface potential map")
@@ -74,16 +85,26 @@ func run(args []string, stdout io.Writer) error {
 	if err != nil {
 		return err
 	}
-	model, err := buildSoil(*soilKind, *gamma1, *gamma2, *h1, *multi)
-	if err != nil {
-		return err
-	}
 	sch, err := earthing.ParseSchedule(*schedule)
 	if err != nil {
 		return err
 	}
+	ctx := context.Background()
 
-	res, err := earthing.Analyze(g, model, earthing.Config{
+	if *sweep != "" {
+		cfg := earthing.Config{
+			GPR:        *gpr,
+			MaxElemLen: *maxLen,
+			BEM:        earthing.BEMOptions{Workers: *workers, Schedule: sch},
+		}
+		return runSweep(ctx, g, *sweep, cfg, *scaled, *jsonOut, stdout)
+	}
+
+	model, err := buildSoil(*soilKind, *gamma1, *gamma2, *h1, *multi)
+	if err != nil {
+		return err
+	}
+	res, err := earthing.Analyze(ctx, g, model, earthing.Config{
 		GPR:        *gpr,
 		MaxElemLen: *maxLen,
 		BEM:        earthing.BEMOptions{Workers: *workers, Schedule: sch},
@@ -100,7 +121,10 @@ func run(args []string, stdout io.Writer) error {
 	}
 
 	if *surface != "" || *ascii {
-		r := earthing.SurfacePotential(res, earthing.SurfaceOptions{Workers: *workers})
+		r, err := earthing.SurfacePotential(ctx, res, earthing.SurfaceOptions{Workers: *workers})
+		if err != nil {
+			return err
+		}
 		if *ascii {
 			if err := earthing.WriteRasterASCII(stdout, r); err != nil {
 				return err
@@ -119,8 +143,11 @@ func run(args []string, stdout io.Writer) error {
 	}
 
 	if *stepmap != "" {
-		r := earthing.StepVoltageMap(res, earthing.SurfaceOptions{Workers: *workers})
-		err := fsio.WriteFile(*stepmap, func(f io.Writer) error {
+		r, err := earthing.StepVoltageMap(ctx, res, earthing.SurfaceOptions{Workers: *workers})
+		if err != nil {
+			return err
+		}
+		err = fsio.WriteFile(*stepmap, func(f io.Writer) error {
 			return earthing.WriteRasterCSV(f, r)
 		})
 		if err != nil {
@@ -174,7 +201,10 @@ func run(args []string, stdout io.Writer) error {
 	}
 
 	if *check {
-		v := earthing.ComputeVoltages(res, 1)
+		v, err := earthing.ComputeVoltages(ctx, res, 1, earthing.SurfaceOptions{Workers: *workers})
+		if err != nil {
+			return err
+		}
 		crit := earthing.SafetyCriteria{
 			FaultDuration:    *faultT,
 			SoilRho:          1 / *gamma1,
@@ -191,6 +221,84 @@ func run(args []string, stdout io.Writer) error {
 			//lint:ignore errdrop transcript status line; a failed console write has no recovery path
 			fmt.Fprintln(stdout, "DESIGN NOT SAFE — increase conductor density, add rods, or improve the surface layer")
 		}
+	}
+	return nil
+}
+
+// sweepSpec is one line of the -sweep scenario file: the soil in the same
+// JSON spec the groundd server accepts, plus an optional id and GPR (0
+// inherits the -gpr flag).
+type sweepSpec struct {
+	ID   string          `json:"id,omitempty"`
+	Soil server.SoilSpec `json:"soil"`
+	GPR  float64         `json:"gpr,omitempty"`
+}
+
+// runSweep executes the batch mode: all scenarios of the file against one
+// grid, solved through the sweep engine. With -json every result streams as
+// one NDJSON line the moment it completes; otherwise a summary table in
+// scenario order is printed at the end.
+func runSweep(ctx context.Context, g *earthing.Grid, file string, cfg earthing.Config, scaled, jsonOut bool, stdout io.Writer) error {
+	var rd io.Reader
+	if file == "-" {
+		rd = os.Stdin
+	} else {
+		f, err := os.Open(file)
+		if err != nil {
+			return err
+		}
+		//lint:ignore errdrop read-only descriptor; Close cannot lose data and the specs are already parsed
+		defer f.Close()
+		rd = f
+	}
+	dec := json.NewDecoder(rd)
+	dec.DisallowUnknownFields()
+	var specs []sweepSpec
+	if err := dec.Decode(&specs); err != nil {
+		return fmt.Errorf("-sweep %s: %w", file, err)
+	}
+	if len(specs) == 0 {
+		return fmt.Errorf("-sweep %s: no scenarios", file)
+	}
+
+	scens := make([]earthing.SweepScenario, len(specs))
+	models := make([]earthing.SoilModel, len(specs))
+	for i, sp := range specs {
+		model, err := sp.Soil.Build()
+		if err != nil {
+			return fmt.Errorf("-sweep scenario %d: %w", i, err)
+		}
+		models[i] = model
+		scens[i] = earthing.SweepScenario{ID: sp.ID, Soil: model, GPR: sp.GPR}
+	}
+	var opts []earthing.Option
+	if scaled {
+		opts = append(opts, earthing.WithScaledReuse())
+	}
+
+	if jsonOut {
+		enc := json.NewEncoder(stdout)
+		return earthing.SweepStream(ctx, g, scens, cfg, func(r earthing.SweepResult) error {
+			return enc.Encode(map[string]any{
+				"id": r.ID, "index": r.Index, "reuse": r.Reuse,
+				"gpr": r.Res.GPR, "reqOhms": r.Res.Req, "currentAmps": r.Res.Current,
+				"elements": len(r.Res.Mesh.Elements), "dof": len(r.Res.Sigma),
+				"wallMs": float64(r.Wall) / 1e6,
+			})
+		}, opts...)
+	}
+
+	results, err := earthing.Sweep(ctx, g, scens, cfg, opts...)
+	if err != nil {
+		return err
+	}
+	//lint:ignore errdrop transcript table; a failed console write has no recovery path
+	fmt.Fprintf(stdout, "%-12s %-40s %-10s %12s %10s %12s\n",
+		"id", "soil", "reuse", "Req (ohm)", "I (kA)", "GPR (V)")
+	for i, r := range results {
+		//lint:ignore errdrop transcript table; a failed console write has no recovery path
+		fmt.Fprintf(stdout, "%-12s %-40s %-10s %12.4f %10.2f %12.0f\n",
+			r.ID, models[i].Describe(), r.Reuse, r.Res.Req, r.Res.Current/1000, r.Res.GPR)
 	}
 	return nil
 }

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"flag"
 	"os"
 	"path/filepath"
@@ -78,6 +79,100 @@ func TestGoldenTranscripts(t *testing.T) {
 			}
 			checkGolden(t, tc.name, filterTimings(buf.String()))
 		})
+	}
+}
+
+// sweepSpecsJSON is the -sweep scenario file used by the batch-mode tests:
+// two GPR variants of one soil (exercising solve reuse) plus a distinct
+// two-layer model (its own assembly).
+const sweepSpecsJSON = `[
+	{"id": "uniform", "soil": {"kind": "uniform", "gamma1": 0.020}},
+	{"id": "uniform-2x", "soil": {"kind": "uniform", "gamma1": 0.020}, "gpr": 20000},
+	{"id": "two-layer", "soil": {"kind": "two-layer", "gamma1": 0.0025, "gamma2": 0.020, "h1": 0.7}}
+]`
+
+func writeSweepFile(t *testing.T) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "sweep.json")
+	if err := os.WriteFile(path, []byte(sweepSpecsJSON), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestSweepModeGolden pins the batch-mode table for the Balaidos grid at one
+// worker (bit-reproducible PCG): the table carries no wall times, so the
+// transcript is fully deterministic.
+func TestSweepModeGolden(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{"-builtin", "balaidos", "-sweep", writeSweepFile(t),
+		"-gpr", "10000", "-workers", "1"}, &buf)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "solve") {
+		t.Errorf("GPR variant not served from solve reuse:\n%s", out)
+	}
+	checkGolden(t, "groundsim-sweep-balaidos", out)
+}
+
+// TestSweepModeJSON checks the streaming NDJSON output: one line per
+// scenario with the reuse tier and Ohm's-law-consistent numbers.
+func TestSweepModeJSON(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{"-builtin", "balaidos", "-sweep", writeSweepFile(t),
+		"-gpr", "10000", "-workers", "1", "-json"}, &buf)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	dec := json.NewDecoder(&buf)
+	reuse := map[string]string{}
+	for dec.More() {
+		var line struct {
+			ID          string  `json:"id"`
+			Reuse       string  `json:"reuse"`
+			GPR         float64 `json:"gpr"`
+			ReqOhms     float64 `json:"reqOhms"`
+			CurrentAmps float64 `json:"currentAmps"`
+		}
+		if err := dec.Decode(&line); err != nil {
+			t.Fatal(err)
+		}
+		reuse[line.ID] = line.Reuse
+		if line.ReqOhms <= 0 || line.GPR <= 0 {
+			t.Errorf("implausible line: %+v", line)
+		}
+	}
+	want := map[string]string{"uniform": "assembled", "uniform-2x": "solve", "two-layer": "assembled"}
+	for id, r := range want {
+		if reuse[id] != r {
+			t.Errorf("scenario %s: reuse %q, want %q", id, reuse[id], r)
+		}
+	}
+}
+
+// TestSweepModeBadInput: malformed scenario files surface as errors.
+func TestSweepModeBadInput(t *testing.T) {
+	dir := t.TempDir()
+	for name, content := range map[string]string{
+		"empty.json":   `[]`,
+		"badsoil.json": `[{"soil": {"kind": "uniform", "gamma1": -1}}]`,
+		"unknown.json": `[{"soil": {"kind": "uniform", "gamma1": 0.02}, "bogus": 1}]`,
+		"notjson.json": `scenario: nope`,
+	} {
+		path := filepath.Join(dir, name)
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := run([]string{"-builtin", "barbera", "-sweep", path}, &buf); err == nil {
+			t.Errorf("%s accepted, want error", name)
+		}
+	}
+	var buf bytes.Buffer
+	if err := run([]string{"-builtin", "barbera", "-sweep", filepath.Join(dir, "missing.json")}, &buf); err == nil {
+		t.Error("missing sweep file accepted")
 	}
 }
 

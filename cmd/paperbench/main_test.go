@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"flag"
 	"os"
 	"path/filepath"
@@ -54,6 +55,44 @@ func TestGoldenPlanFigures(t *testing.T) {
 		t.Fatalf("run: %v", err)
 	}
 	checkGolden(t, "paperbench-plan-figures", buf.String())
+}
+
+// TestSweepBenchSmoke drives the -exp sweep benchmark end to end at quick
+// fidelity and checks the recorded JSON: the batch side must assemble one
+// system per soil model (3 of 9 scenarios), match the sequential loop bit
+// for bit, and come out ahead on wall time.
+func TestSweepBenchSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the 9-scenario Balaidos workload twice")
+	}
+	jsonPath := filepath.Join(t.TempDir(), "BENCH_sweep.json")
+	var buf bytes.Buffer
+	if err := run([]string{"-exp", "sweep", "-quick", "-json", jsonPath}, &buf); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	data, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb struct {
+		Scenarios            int     `json:"scenarios"`
+		SequentialAssemblies int     `json:"sequential_assemblies"`
+		SweepAssemblies      int     `json:"sweep_assemblies"`
+		Speedup              float64 `json:"speedup"`
+		BitIdentical         bool    `json:"bit_identical"`
+	}
+	if err := json.Unmarshal(data, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if sb.Scenarios != 9 || sb.SequentialAssemblies != 9 || sb.SweepAssemblies != 3 {
+		t.Errorf("assembly accounting off: %+v", sb)
+	}
+	if !sb.BitIdentical {
+		t.Error("sweep results not bit-identical to sequential Analyze")
+	}
+	if sb.Speedup <= 1 {
+		t.Errorf("sweep slower than sequential loop: speedup %.2f", sb.Speedup)
+	}
 }
 
 func TestRunRejectsBadFlags(t *testing.T) {

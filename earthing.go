@@ -14,8 +14,13 @@
 //
 //	g := earthing.RectGrid(0, 0, 60, 60, 7, 7, 0.8, 0.006)
 //	model := earthing.TwoLayerSoil(0.005, 0.016, 1.0) // γ1, γ2 (Ω·m)⁻¹, h (m)
-//	res, err := earthing.Analyze(g, model, earthing.Config{GPR: 10_000})
+//	res, err := earthing.Analyze(ctx, g, model, earthing.Config{GPR: 10_000})
 //	// res.Req (Ω), res.Current (A), res.PotentialAt(...) (V)
+//
+// All entry points are context-first: cancellation is observed at schedule
+// chunk boundaries during matrix generation and at raster-point boundaries
+// during post-processing. Use context.Background() when you don't need it.
+// Many scenario variants of one grid solve fastest as a batch — see Sweep.
 //
 // The deeper packages remain internal; everything a downstream design tool
 // needs is re-exported here.
@@ -171,32 +176,38 @@ func ParseSchedule(s string) (Schedule, error) { return sched.ParseSchedule(s) }
 
 // Analyze runs the full pipeline — preprocessing (interface splitting,
 // discretization), parallel matrix generation, solve, results — on a grid.
-func Analyze(g *Grid, model SoilModel, cfg Config) (*Result, error) {
-	return core.Analyze(g, model, cfg)
+// The parallel matrix-generation loop observes ctx at schedule chunk
+// boundaries, so an abandoned analysis stops burning cores mid-assembly;
+// the error wraps ctx.Err() when cut short. Options are applied on top of
+// cfg (see Option).
+func Analyze(ctx context.Context, g *Grid, model SoilModel, cfg Config, opts ...Option) (*Result, error) {
+	return core.AnalyzeCtx(ctx, g, model, applyOptions(cfg, opts).cfg)
 }
 
-// AnalyzeCtx is Analyze with cooperative cancellation: the parallel matrix-
-// generation loop observes ctx at schedule chunk boundaries, so an abandoned
-// analysis stops burning cores mid-assembly. Returns ctx.Err() when cut
-// short.
+// AnalyzeCtx forwards to Analyze.
+//
+// Deprecated: Analyze is context-first now; call it directly.
 func AnalyzeCtx(ctx context.Context, g *Grid, model SoilModel, cfg Config) (*Result, error) {
-	return core.AnalyzeCtx(ctx, g, model, cfg)
+	return Analyze(ctx, g, model, cfg)
 }
 
-// AnalyzeMesh analyzes an explicitly discretized mesh.
-func AnalyzeMesh(m *Mesh, model SoilModel, cfg Config) (*Result, error) {
-	return core.AnalyzeMesh(m, model, cfg)
+// AnalyzeMesh analyzes an explicitly discretized mesh, with the
+// cancellation semantics of Analyze.
+func AnalyzeMesh(ctx context.Context, m *Mesh, model SoilModel, cfg Config, opts ...Option) (*Result, error) {
+	return core.AnalyzeMeshCtx(ctx, m, model, applyOptions(cfg, opts).cfg)
 }
 
-// AnalyzeMeshCtx is AnalyzeMesh with the cancellation semantics of
-// AnalyzeCtx.
+// AnalyzeMeshCtx forwards to AnalyzeMesh.
+//
+// Deprecated: AnalyzeMesh is context-first now; call it directly.
 func AnalyzeMeshCtx(ctx context.Context, m *Mesh, model SoilModel, cfg Config) (*Result, error) {
-	return core.AnalyzeMeshCtx(ctx, m, model, cfg)
+	return AnalyzeMesh(ctx, m, model, cfg)
 }
 
-// AnalyzeReader parses a grid from its text format and analyzes it.
-func AnalyzeReader(r io.Reader, model SoilModel, cfg Config) (*Result, error) {
-	return core.AnalyzeReader(r, model, cfg)
+// AnalyzeReader parses a grid from its text format and analyzes it, with
+// the cancellation semantics of Analyze.
+func AnalyzeReader(ctx context.Context, r io.Reader, model SoilModel, cfg Config, opts ...Option) (*Result, error) {
+	return core.AnalyzeReaderCtx(ctx, r, model, applyOptions(cfg, opts).cfg)
 }
 
 // Post-processing re-exports.
@@ -213,14 +224,16 @@ type (
 
 // SurfacePotential samples the earth-surface potential of a solved analysis
 // over its grid footprint (plus margin), in volts at the configured GPR.
-func SurfacePotential(res *Result, opt SurfaceOptions) *Raster {
-	return post.SurfacePotential(res.Assembler(), res.Mesh, res.Sigma, res.GPR, opt)
+// Cancellation is observed at raster-point boundaries.
+func SurfacePotential(ctx context.Context, res *Result, opt SurfaceOptions) (*Raster, error) {
+	return post.SurfacePotentialCtx(ctx, res.Assembler(), res.Mesh, res.Sigma, res.GPR, opt)
 }
 
-// SurfacePotentialCtx is SurfacePotential with cooperative cancellation at
-// raster-point boundaries.
+// SurfacePotentialCtx forwards to SurfacePotential.
+//
+// Deprecated: SurfacePotential is context-first now; call it directly.
 func SurfacePotentialCtx(ctx context.Context, res *Result, opt SurfaceOptions) (*Raster, error) {
-	return post.SurfacePotentialCtx(ctx, res.Assembler(), res.Mesh, res.Sigma, res.GPR, opt)
+	return SurfacePotential(ctx, res, opt)
 }
 
 // PotentialProfile samples the surface potential along a straight line.
@@ -231,26 +244,31 @@ func PotentialProfile(res *Result, x0, y0, x1, y1 float64, n int) (s, v []float6
 // StepVoltageMap samples the per-metre step voltage |E_h|·1 m over the grid
 // footprint (plus margin) at the configured GPR — the gradient counterpart
 // of SurfacePotential, evaluated through the batched field engine.
-func StepVoltageMap(res *Result, opt SurfaceOptions) *Raster {
-	return post.EFieldSurface(res.Assembler(), res.Mesh, res.Sigma, res.GPR, opt)
-}
-
-// StepVoltageMapCtx is StepVoltageMap with cooperative cancellation at
-// raster-point boundaries.
-func StepVoltageMapCtx(ctx context.Context, res *Result, opt SurfaceOptions) (*Raster, error) {
+// Cancellation is observed at raster-point boundaries.
+func StepVoltageMap(ctx context.Context, res *Result, opt SurfaceOptions) (*Raster, error) {
 	return post.EFieldSurfaceCtx(ctx, res.Assembler(), res.Mesh, res.Sigma, res.GPR, opt)
 }
 
-// ComputeVoltages estimates touch, step and mesh voltages from a solved
-// analysis (raster resolution stepRes metres; ≤ 0 selects 1 m).
-func ComputeVoltages(res *Result, stepRes float64) Voltages {
-	return post.ComputeVoltages(res.Assembler(), res.Mesh, res.Sigma, res.GPR, stepRes)
+// StepVoltageMapCtx forwards to StepVoltageMap.
+//
+// Deprecated: StepVoltageMap is context-first now; call it directly.
+func StepVoltageMapCtx(ctx context.Context, res *Result, opt SurfaceOptions) (*Raster, error) {
+	return StepVoltageMap(ctx, res, opt)
 }
 
-// ComputeVoltagesCtx is ComputeVoltages with cooperative cancellation of the
-// underlying raster evaluation, plus worker/schedule knobs.
-func ComputeVoltagesCtx(ctx context.Context, res *Result, stepRes float64, opt SurfaceOptions) (Voltages, error) {
+// ComputeVoltages estimates touch, step and mesh voltages from a solved
+// analysis (raster resolution stepRes metres; ≤ 0 selects 1 m), with
+// cooperative cancellation of the underlying raster evaluation plus
+// worker/schedule knobs via opt.
+func ComputeVoltages(ctx context.Context, res *Result, stepRes float64, opt SurfaceOptions) (Voltages, error) {
 	return post.ComputeVoltagesCtx(ctx, res.Assembler(), res.Mesh, res.Sigma, res.GPR, stepRes, opt)
+}
+
+// ComputeVoltagesCtx forwards to ComputeVoltages.
+//
+// Deprecated: ComputeVoltages is context-first now; call it directly.
+func ComputeVoltagesCtx(ctx context.Context, res *Result, stepRes float64, opt SurfaceOptions) (Voltages, error) {
+	return ComputeVoltages(ctx, res, stepRes, opt)
 }
 
 // Contours extracts equipotential polylines from a raster.

@@ -1,6 +1,7 @@
 package earthing_test
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"strings"
@@ -13,7 +14,7 @@ func TestFacadeEndToEnd(t *testing.T) {
 	g := earthing.RectGrid(0, 0, 20, 20, 3, 3, 0.8, 0.006)
 	g.AddRod(10, 10, 0.8, 2, 0.007)
 	model := earthing.TwoLayerSoil(0.005, 0.016, 1.0)
-	res, err := earthing.Analyze(g, model, earthing.Config{GPR: 10_000})
+	res, err := earthing.Analyze(context.Background(), g, model, earthing.Config{GPR: 10_000})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -24,7 +25,10 @@ func TestFacadeEndToEnd(t *testing.T) {
 		t.Errorf("potential over grid center = %v", v)
 	}
 
-	r := earthing.SurfacePotential(res, earthing.SurfaceOptions{NX: 12, NY: 12})
+	r, err := earthing.SurfacePotential(context.Background(), res, earthing.SurfaceOptions{NX: 12, NY: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(r.V) != 144 {
 		t.Error("raster size wrong")
 	}
@@ -32,7 +36,10 @@ func TestFacadeEndToEnd(t *testing.T) {
 	if len(lines) == 0 {
 		t.Error("no contour lines")
 	}
-	v := earthing.ComputeVoltages(res, 2)
+	v, err := earthing.ComputeVoltages(context.Background(), res, 2, earthing.SurfaceOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if v.MaxTouch <= 0 {
 		t.Error("no touch voltage computed")
 	}
@@ -92,11 +99,11 @@ func TestFacadeBuiltinsAndSoils(t *testing.T) {
 func TestFacadeSolverAndOptions(t *testing.T) {
 	g := earthing.RectGrid(0, 0, 15, 15, 2, 2, 0.8, 0.006)
 	model := earthing.UniformSoil(0.02)
-	a, err := earthing.Analyze(g, model, earthing.Config{Solver: earthing.Cholesky})
+	a, err := earthing.Analyze(context.Background(), g, model, earthing.Config{Solver: earthing.Cholesky})
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := earthing.Analyze(g, model, earthing.Config{
+	b, err := earthing.Analyze(context.Background(), g, model, earthing.Config{
 		Solver: earthing.PCG,
 		BEM: earthing.BEMOptions{
 			Workers:  2,
@@ -113,12 +120,49 @@ func TestFacadeSolverAndOptions(t *testing.T) {
 	}
 }
 
+// TestFacadeSweepAndOptions exercises the batch facade: functional options
+// override Config fields, results come back in scenario order, GPR-only
+// variants reuse the solve, and every result is bit-identical to a
+// standalone Analyze with the same settings.
+func TestFacadeSweepAndOptions(t *testing.T) {
+	ctx := context.Background()
+	g := earthing.RectGrid(0, 0, 15, 15, 2, 2, 0.8, 0.006)
+	model := earthing.UniformSoil(0.02)
+
+	want, err := earthing.Analyze(ctx, g, model, earthing.Config{},
+		earthing.WithGPR(5_000), earthing.WithWorkers(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want.GPR != 5_000 {
+		t.Fatalf("WithGPR not applied: GPR = %v", want.GPR)
+	}
+
+	swept, err := earthing.Sweep(ctx, g, []earthing.SweepScenario{
+		{ID: "a", Soil: model, GPR: 5_000},
+		{ID: "b", Soil: model, GPR: 10_000},
+	}, earthing.Config{}, earthing.WithWorkers(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(swept) != 2 || swept[0].ID != "a" || swept[1].ID != "b" {
+		t.Fatalf("unexpected sweep results: %+v", swept)
+	}
+	if swept[0].Reuse != earthing.SweepAssembled || swept[1].Reuse != earthing.SweepSolveReuse {
+		t.Fatalf("reuse tiers (%q, %q), want (assembled, solve)", swept[0].Reuse, swept[1].Reuse)
+	}
+	if swept[0].Res.Req != want.Req || swept[0].Res.Current != want.Current {
+		t.Errorf("sweep result not bit-identical to Analyze: (%v, %v) vs (%v, %v)",
+			swept[0].Res.Req, swept[0].Res.Current, want.Req, want.Current)
+	}
+}
+
 // ExampleAnalyze demonstrates the quickstart flow: build a grid, pick a soil
 // model, analyze, and read the design parameters.
 func ExampleAnalyze() {
 	g := earthing.RectGrid(0, 0, 40, 40, 5, 5, 0.8, 0.006)
 	model := earthing.UniformSoil(0.02) // 50 Ω·m soil
-	res, err := earthing.Analyze(g, model, earthing.Config{GPR: 10_000})
+	res, err := earthing.Analyze(context.Background(), g, model, earthing.Config{GPR: 10_000})
 	if err != nil {
 		panic(err)
 	}
@@ -167,7 +211,7 @@ func ExampleDesignSearch() {
 // line — the quantity behind step-voltage checks.
 func ExamplePotentialProfile() {
 	g := earthing.RectGrid(0, 0, 30, 30, 4, 4, 0.8, 0.006)
-	res, err := earthing.Analyze(g, earthing.UniformSoil(0.02), earthing.Config{GPR: 10_000})
+	res, err := earthing.Analyze(context.Background(), g, earthing.UniformSoil(0.02), earthing.Config{GPR: 10_000})
 	if err != nil {
 		panic(err)
 	}

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -14,6 +15,7 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	g := earthing.Barbera()
 	fmt.Printf("Barberá grid: %d segments, %.0f m of conductor, protects %.0f m²\n",
 		len(g.Conductors), g.TotalLength(), g.PlanArea()/2)
@@ -30,7 +32,7 @@ func main() {
 	}
 
 	for _, c := range cases {
-		res, err := earthing.Analyze(g, c.model, earthing.Config{GPR: 10_000})
+		res, err := earthing.Analyze(ctx, g, c.model, earthing.Config{GPR: 10_000})
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -42,7 +44,10 @@ func main() {
 
 		// Touch/step voltages drive the safety verdict (§1): compare the
 		// two soil models.
-		v := earthing.ComputeVoltages(res, 2)
+		v, err := earthing.ComputeVoltages(ctx, res, 2, earthing.SurfaceOptions{})
+		if err != nil {
+			log.Fatal(err)
+		}
 		fmt.Printf("  max touch %.0f V, max step %.0f V\n", v.MaxTouch, v.MaxStep)
 	}
 

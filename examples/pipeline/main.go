@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math"
@@ -17,17 +18,20 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	// The substation: 60×60 m grid, 25 kA fault, two-layer soil.
 	g := earthing.RectGrid(0, 0, 60, 60, 7, 7, 0.8, 0.006)
 	model := earthing.TwoLayerSoil(1.0/120, 1.0/35, 1.8)
 
-	unit, err := earthing.Analyze(g, model, earthing.Config{GPR: 1})
+	unit, err := earthing.Analyze(ctx, g, model, earthing.Config{GPR: 1})
 	if err != nil {
 		log.Fatal(err)
 	}
 	const fault = 25_000.0
+	// The BEM solve is linear in GPR: rescale the unit solution instead of
+	// analyzing twice.
 	gpr := fault * unit.Req
-	res, err := earthing.Analyze(g, model, earthing.Config{GPR: gpr})
+	res, err := unit.WithGPR(gpr)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -13,6 +14,7 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	// A 60 × 60 m grid of 7 × 7 lattice lines (bare copper, 12 mm diameter)
 	// buried at 0.8 m, with four 3 m rods at the corners.
 	g := earthing.RectGrid(0, 0, 60, 60, 7, 7, 0.8, 0.006)
@@ -24,7 +26,7 @@ func main() {
 	model := earthing.TwoLayerSoil(1.0/200, 1.0/50, 1.0)
 
 	// Fault condition: 10 kV ground potential rise.
-	res, err := earthing.Analyze(g, model, earthing.Config{GPR: 10_000})
+	res, err := earthing.Analyze(ctx, g, model, earthing.Config{GPR: 10_000})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -41,7 +43,10 @@ func main() {
 		p, 100*p/10_000)
 
 	// ASCII heat map of the earth surface potential.
-	raster := earthing.SurfacePotential(res, earthing.SurfaceOptions{NX: 60, NY: 30, Margin: 20})
+	raster, err := earthing.SurfacePotential(ctx, res, earthing.SurfaceOptions{NX: 60, NY: 30, Margin: 20})
+	if err != nil {
+		log.Fatal(err)
+	}
 	if err := earthing.WriteRasterASCII(os.Stdout, raster); err != nil {
 		log.Fatal(err)
 	}

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -14,6 +15,7 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	// Site data: 25 kA single-line-to-ground fault cleared in 0.5 s, soil
 	// 150 Ω·m over 40 Ω·m (1.5 m top layer), 10 cm crushed-rock yard
 	// surfacing at 2500 Ω·m.
@@ -44,18 +46,22 @@ func main() {
 			g.AddRod(x, 70, 0.8, 3, 0.007)
 		}
 
-		res, err := earthing.Analyze(g, model, earthing.Config{GPR: 1})
+		res, err := earthing.Analyze(ctx, g, model, earthing.Config{GPR: 1})
 		if err != nil {
 			log.Fatal(err)
 		}
-		// The GPR this grid develops under the design fault current.
+		// The GPR this grid develops under the design fault current. The
+		// solve is linear in GPR, so rescale instead of re-analyzing.
 		gpr := faultCurrent * res.Req
-		res, err = earthing.Analyze(g, model, earthing.Config{GPR: gpr})
+		res, err = res.WithGPR(gpr)
 		if err != nil {
 			log.Fatal(err)
 		}
 
-		v := earthing.ComputeVoltages(res, 1)
+		v, err := earthing.ComputeVoltages(ctx, res, 1, earthing.SurfaceOptions{})
+		if err != nil {
+			log.Fatal(err)
+		}
 		verdict, err := criteria.Check(v.MaxStep, v.MaxTouch, v.MaxMesh)
 		if err != nil {
 			log.Fatal(err)

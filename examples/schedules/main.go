@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -33,7 +34,7 @@ func main() {
 		// Loosened series tolerance keeps this demo snappy (<1 s per run).
 		opt.SeriesTol = *tol
 		start := time.Now()
-		res, err := earthing.Analyze(g, model, earthing.Config{GPR: 10_000, BEM: opt})
+		res, err := earthing.Analyze(context.Background(), g, model, earthing.Config{GPR: 10_000, BEM: opt})
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -42,21 +43,21 @@ func main() {
 	fmt.Printf("\n%s\n", fit)
 	fmt.Printf("uniform fallback: ρ = %.1f ohm·m (RMS log misfit %.3f — poor)\n", rhoU, rmsU)
 
-	// Step 3 — grounding analysis with both models.
+	// Step 3 — grounding analysis with all three models as one batch. The
+	// sweep engine builds one mesh per distinct interface depth and
+	// interleaves all assemblies on a shared worker pool; each result is
+	// bit-identical to a standalone earthing.Analyze of that model.
 	g := earthing.RectGrid(0, 0, 50, 50, 6, 6, 0.8, 0.006)
 	fitted := fit.Model()
-	resFit, err := earthing.Analyze(g, fitted, earthing.Config{GPR: 10_000})
+	swept, err := earthing.Sweep(context.Background(), g, []earthing.SweepScenario{
+		{ID: "fitted", Soil: fitted},
+		{ID: "uniform", Soil: earthing.UniformSoil(1 / rhoU)},
+		{ID: "truth", Soil: truth},
+	}, earthing.Config{GPR: 10_000})
 	if err != nil {
 		log.Fatal(err)
 	}
-	resUni, err := earthing.Analyze(g, earthing.UniformSoil(1/rhoU), earthing.Config{GPR: 10_000})
-	if err != nil {
-		log.Fatal(err)
-	}
-	resTruth, err := earthing.Analyze(g, truth, earthing.Config{GPR: 10_000})
-	if err != nil {
-		log.Fatal(err)
-	}
+	resFit, resUni, resTruth := swept[0].Res, swept[1].Res, swept[2].Res
 
 	fmt.Printf("\n%-28s %12s %12s\n", "soil model", "Req (ohm)", "I (kA)")
 	fmt.Printf("%-28s %12.4f %12.2f\n", "true site soil", resTruth.Req, resTruth.Current/1000)

@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -17,6 +18,7 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	// Site stratigraphy: 0.9 m of dry fill (250 Ω·m) over 2.5 m of loam
 	// (50 Ω·m) over bedrock-influenced subsoil (125 Ω·m).
 	model, err := earthing.MultiLayerSoil(
@@ -33,7 +35,7 @@ func main() {
 		g.TotalLength())
 
 	start := time.Now()
-	res, err := earthing.Analyze(g, model, earthing.Config{GPR: 10_000})
+	res, err := earthing.Analyze(ctx, g, model, earthing.Config{GPR: 10_000})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -50,7 +52,7 @@ func main() {
 		{"uniform (top-layer value)", earthing.UniformSoil(1.0 / 250)},
 		{"uniform (middle-layer value)", earthing.UniformSoil(1.0 / 50)},
 	} {
-		r2, err := earthing.Analyze(g, c.model, earthing.Config{GPR: 10_000})
+		r2, err := earthing.Analyze(ctx, g, c.model, earthing.Config{GPR: 10_000})
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -59,7 +61,10 @@ func main() {
 	}
 
 	// Touch/step at the design GPR under the full model.
-	v := earthing.ComputeVoltages(res, 1.5)
+	v, err := earthing.ComputeVoltages(ctx, res, 1.5, earthing.SurfaceOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("\nat 10 kV GPR: max touch %.0f V, max step %.0f V\n", v.MaxTouch, v.MaxStep)
 	fmt.Println("\nthe third layer matters: the middle conductive band drains current downward,")
 	fmt.Println("which neither two-layer truncation captures — the paper's case for multilayer")

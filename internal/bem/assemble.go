@@ -11,7 +11,6 @@ import (
 	"earthing/internal/geom"
 	"earthing/internal/grid"
 	"earthing/internal/linalg"
-	"earthing/internal/quad"
 	"earthing/internal/sched"
 	"earthing/internal/soil"
 )
@@ -19,25 +18,13 @@ import (
 // Assembler holds the precomputed state of a (mesh, soil model)
 // discretization and generates the Galerkin system. Create one with New,
 // then call Matrix (and RHS) — or reuse it for repeated assemblies in
-// benchmarks.
+// benchmarks. The embedded Geometry (quadrature positions, weights, shape
+// values) is soil-independent and may be shared across assemblers via
+// NewWithGeometry.
 type Assembler struct {
-	mesh   *grid.Mesh
-	model  soil.Model
-	opt    Options
-	linear bool
-	k      int // DoF per element
-
-	// Per-element outer (test) integration data (far-field order).
-	gpPos   [][]geom.Vec3 // Gauss point positions on each element axis
-	gpW     []float64     // reference Gauss weights ×½ (apply ×length)
-	gpShape [][2]float64  // shape function values at each reference point
-	gpT     []float64     // reference coordinates t ∈ (0,1)
-
-	// Refined outer integration for near pairs (self/touching/adjacent);
-	// aliases the far-field data when NearGaussOrder == GaussOrder.
-	gpPosN   [][]geom.Vec3
-	gpWN     []float64
-	gpShapeN [][2]float64
+	*Geometry
+	model soil.Model
+	opt   Options
 
 	elemLayer []int // soil layer of each element
 
@@ -70,48 +57,32 @@ type Assembler struct {
 // interface (the kernels assume each source element lies wholly inside one
 // layer; use Grid.SplitAtDepths before discretizing).
 func New(m *grid.Mesh, model soil.Model, opt Options) (*Assembler, error) {
-	if m == nil || len(m.Elements) == 0 {
-		return nil, fmt.Errorf("bem: empty mesh")
+	geo, err := NewGeometry(m, opt)
+	if err != nil {
+		return nil, err
+	}
+	return NewWithGeometry(geo, model, opt)
+}
+
+// NewWithGeometry prepares an assembler on an existing shared Geometry: only
+// the soil-dependent state (element layers, image expansions) is rebuilt, so
+// N assemblers over the same mesh pay the quadrature-geometry setup once.
+// The options must select the same integration orders the geometry was built
+// with.
+func NewWithGeometry(geo *Geometry, model soil.Model, opt Options) (*Assembler, error) {
+	if geo == nil {
+		return nil, fmt.Errorf("bem: nil geometry")
 	}
 	opt = opt.withDefaults()
+	if opt.GaussOrder != geo.gaussOrder || opt.NearGaussOrder != geo.nearGaussOrder {
+		return nil, fmt.Errorf("bem: options select Gauss orders (%d, %d) but the geometry was built for (%d, %d)",
+			opt.GaussOrder, opt.NearGaussOrder, geo.gaussOrder, geo.nearGaussOrder)
+	}
+	m := geo.mesh
 	a := &Assembler{
-		mesh:   m,
-		model:  model,
-		opt:    opt,
-		linear: m.Kind == grid.Linear,
-		k:      m.DoFCount(),
-	}
-
-	buildSet := func(order int) (pos [][]geom.Vec3, w []float64, shape [][2]float64, ts []float64) {
-		rule := quad.GaussLegendre(order)
-		w = make([]float64, rule.Len())
-		shape = make([][2]float64, rule.Len())
-		ts = make([]float64, rule.Len())
-		for g, xg := range rule.X {
-			t := 0.5 * (xg + 1)
-			ts[g] = t
-			w[g] = 0.5 * rule.W[g]
-			if a.linear {
-				shape[g] = [2]float64{1 - t, t}
-			} else {
-				shape[g] = [2]float64{1, 0}
-			}
-		}
-		pos = make([][]geom.Vec3, len(m.Elements))
-		for e, el := range m.Elements {
-			pts := make([]geom.Vec3, rule.Len())
-			for g, t := range ts {
-				pts[g] = el.Seg.Point(t)
-			}
-			pos[e] = pts
-		}
-		return pos, w, shape, ts
-	}
-	a.gpPos, a.gpW, a.gpShape, a.gpT = buildSet(opt.GaussOrder)
-	if opt.NearGaussOrder == opt.GaussOrder {
-		a.gpPosN, a.gpWN, a.gpShapeN = a.gpPos, a.gpW, a.gpShape
-	} else {
-		a.gpPosN, a.gpWN, a.gpShapeN, _ = buildSet(opt.NearGaussOrder)
+		Geometry: geo,
+		model:    model,
+		opt:      opt,
 	}
 
 	a.elemLayer = make([]int, len(m.Elements))

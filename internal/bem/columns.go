@@ -1,0 +1,61 @@
+package bem
+
+import (
+	"earthing/internal/linalg"
+)
+
+// Column-level assembly API: the sweep engine interleaves the columns of
+// many assemblers' element-pair triangles on one shared parallel loop, so
+// matrix generation is exposed one column at a time. The store layout, the
+// per-pair arithmetic (pairMatrix) and the sequential scatter order
+// (assemblePair) are exactly those of MatrixCtx's StoreThenAssemble path,
+// which is what makes sweep-assembled systems bit-identical to Matrix ones.
+
+// ColumnScratch is the per-worker scratch of ComputeColumn. A scratch must
+// not be shared between concurrent workers; allocate one per worker with
+// NewColumnScratch.
+type ColumnScratch struct {
+	s *pairScratch
+}
+
+// NewColumnScratch allocates the per-worker buffers for ComputeColumn.
+func (a *Assembler) NewColumnScratch() *ColumnScratch {
+	return &ColumnScratch{s: a.newScratch()}
+}
+
+// NumColumns returns the number of columns of the element-pair triangle
+// (= the number of elements M); column β holds the pairs (β, α ≤ β).
+func (a *Assembler) NumColumns() int { return len(a.mesh.Elements) }
+
+// StoreSize returns the length of the flat elemental-matrix store that
+// ComputeColumn writes into: NumPairs · k², with the pair (β, α) at offset
+// (β(β+1)/2 + α)·k².
+func (a *Assembler) StoreSize() int { return a.NumPairs() * a.k * a.k }
+
+// ComputeColumn computes the elemental matrices of every pair of column beta
+// into store (length StoreSize). Distinct columns touch disjoint store
+// ranges, so concurrent workers may fill different columns of the same store
+// without synchronization.
+func (a *Assembler) ComputeColumn(beta int, store []float64, cs *ColumnScratch) {
+	k := a.k
+	for alpha := 0; alpha <= beta; alpha++ {
+		idx := (beta*(beta+1)/2 + alpha) * k * k
+		a.pairMatrix(beta, alpha, store[idx:idx+k*k], cs.s)
+	}
+}
+
+// AssembleStore scatters a fully computed store into a fresh global matrix,
+// in the same sequential order as Matrix's StoreThenAssemble path — the
+// result is bit-identical to what MatrixCtx returns for this assembler.
+func (a *Assembler) AssembleStore(store []float64) *linalg.SymMatrix {
+	m := len(a.mesh.Elements)
+	k := a.k
+	r := linalg.NewSymMatrix(a.mesh.NumDoF)
+	for beta := 0; beta < m; beta++ {
+		for alpha := 0; alpha <= beta; alpha++ {
+			idx := (beta*(beta+1)/2 + alpha) * k * k
+			a.assemblePair(r, beta, alpha, store[idx:idx+k*k])
+		}
+	}
+	return r
+}

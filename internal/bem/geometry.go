@@ -1,0 +1,93 @@
+package bem
+
+import (
+	"fmt"
+
+	"earthing/internal/geom"
+	"earthing/internal/grid"
+	"earthing/internal/quad"
+)
+
+// Geometry is the soil-independent precomputed state of a discretized mesh:
+// Gauss point positions on every element axis, reference weights, shape
+// function values and reference coordinates, for both the far-field and the
+// refined near-field outer rules. It depends only on (mesh, GaussOrder,
+// NearGaussOrder), so one Geometry can be shared by many Assemblers that
+// analyze the same mesh under different soil models — the geometry-reuse
+// tier of the sweep engine. A Geometry is immutable after NewGeometry.
+type Geometry struct {
+	mesh   *grid.Mesh
+	linear bool
+	k      int // DoF per element
+
+	// The integration orders the Gauss data was built for (after the
+	// Options defaults were applied); NewWithGeometry validates that an
+	// assembler's options agree.
+	gaussOrder     int
+	nearGaussOrder int
+
+	// Per-element outer (test) integration data (far-field order).
+	gpPos   [][]geom.Vec3 // Gauss point positions on each element axis
+	gpW     []float64     // reference Gauss weights ×½ (apply ×length)
+	gpShape [][2]float64  // shape function values at each reference point
+	gpT     []float64     // reference coordinates t ∈ (0,1)
+
+	// Refined outer integration for near pairs (self/touching/adjacent);
+	// aliases the far-field data when NearGaussOrder == GaussOrder.
+	gpPosN   [][]geom.Vec3
+	gpWN     []float64
+	gpShapeN [][2]float64
+}
+
+// NewGeometry precomputes the quadrature geometry of a mesh for the
+// integration orders selected by opt (only GaussOrder and NearGaussOrder are
+// consulted; the remaining options do not affect geometry).
+func NewGeometry(m *grid.Mesh, opt Options) (*Geometry, error) {
+	if m == nil || len(m.Elements) == 0 {
+		return nil, fmt.Errorf("bem: empty mesh")
+	}
+	opt = opt.withDefaults()
+	g := &Geometry{
+		mesh:           m,
+		linear:         m.Kind == grid.Linear,
+		k:              m.DoFCount(),
+		gaussOrder:     opt.GaussOrder,
+		nearGaussOrder: opt.NearGaussOrder,
+	}
+
+	buildSet := func(order int) (pos [][]geom.Vec3, w []float64, shape [][2]float64, ts []float64) {
+		rule := quad.GaussLegendre(order)
+		w = make([]float64, rule.Len())
+		shape = make([][2]float64, rule.Len())
+		ts = make([]float64, rule.Len())
+		for gp, xg := range rule.X {
+			t := 0.5 * (xg + 1)
+			ts[gp] = t
+			w[gp] = 0.5 * rule.W[gp]
+			if g.linear {
+				shape[gp] = [2]float64{1 - t, t}
+			} else {
+				shape[gp] = [2]float64{1, 0}
+			}
+		}
+		pos = make([][]geom.Vec3, len(m.Elements))
+		for e, el := range m.Elements {
+			pts := make([]geom.Vec3, rule.Len())
+			for gp, t := range ts {
+				pts[gp] = el.Seg.Point(t)
+			}
+			pos[e] = pts
+		}
+		return pos, w, shape, ts
+	}
+	g.gpPos, g.gpW, g.gpShape, g.gpT = buildSet(opt.GaussOrder)
+	if opt.NearGaussOrder == opt.GaussOrder {
+		g.gpPosN, g.gpWN, g.gpShapeN = g.gpPos, g.gpW, g.gpShape
+	} else {
+		g.gpPosN, g.gpWN, g.gpShapeN, _ = buildSet(opt.NearGaussOrder)
+	}
+	return g, nil
+}
+
+// Mesh returns the discretized mesh the geometry was built from.
+func (g *Geometry) Mesh() *grid.Mesh { return g.mesh }

@@ -109,7 +109,27 @@ type Result struct {
 	// usually indicates a data-entry error).
 	Warnings []string
 
+	// unitCurrent is the total leakage current at unit GPR (= 1/Req); kept
+	// so GPR-rescaled clones (WithGPR) reproduce Current with the exact
+	// floating-point expression the pipeline used.
+	unitCurrent float64
+
 	asm *bem.Assembler
+}
+
+// WithGPR returns a copy of the result rescaled to a different ground
+// potential rise. Sigma (a unit-GPR density), Req, the mesh and the
+// assembler are shared unchanged; Current is recomputed as gpr·I₁ with the
+// same expression the pipeline uses, so the clone is bit-identical to a
+// fresh analysis of the same scenario at that GPR.
+func (r *Result) WithGPR(gpr float64) (*Result, error) {
+	if gpr <= 0 || math.IsNaN(gpr) || math.IsInf(gpr, 0) {
+		return nil, fmt.Errorf("core: invalid GPR %g", gpr)
+	}
+	c := *r
+	c.GPR = gpr
+	c.Current = gpr * r.unitCurrent
+	return &c, nil
 }
 
 // PotentialAt returns the earth potential in volts at x for the configured
@@ -153,13 +173,25 @@ func AnalyzeMeshCtx(ctx context.Context, m *grid.Mesh, model soil.Model, cfg Con
 // AnalyzeReader parses a grid from r (grid text format) and analyzes it,
 // populating the Data Input stage timing.
 func AnalyzeReader(rd io.Reader, model soil.Model, cfg Config) (*Result, error) {
+	return AnalyzeReaderCtx(context.Background(), rd, model, cfg)
+}
+
+// AnalyzeReaderCtx is AnalyzeReader with the cancellation semantics of
+// AnalyzeCtx.
+func AnalyzeReaderCtx(ctx context.Context, rd io.Reader, model soil.Model, cfg Config) (*Result, error) {
 	start := time.Now()
 	g, err := grid.Read(rd)
 	if err != nil {
 		return nil, fmt.Errorf("core: data input: %w", err)
 	}
-	return analyze(context.Background(), g, nil, model, cfg, time.Since(start))
+	return analyze(ctx, g, nil, model, cfg, time.Since(start))
 }
+
+// InterfaceDepths extracts the layer interface depths of a model — the
+// depths the grid must be split at before discretization. Two models with
+// equal InterfaceDepths discretize a grid into the same mesh, which is the
+// mesh-grouping criterion of the sweep engine.
+func InterfaceDepths(model soil.Model) []float64 { return interfaceDepths(model) }
 
 // interfaceDepths extracts the layer interface depths of a model.
 func interfaceDepths(model soil.Model) []float64 {
@@ -190,12 +222,162 @@ func interfaceDepths(model soil.Model) []float64 {
 	return depths
 }
 
-func analyze(ctx context.Context, g *grid.Grid, mesh *grid.Mesh, model soil.Model, cfg Config, inputTime time.Duration) (*Result, error) {
+// validGPR applies the unit-GPR default and validates the result.
+func validGPR(cfg *Config) error {
 	if cfg.GPR == 0 {
 		cfg.GPR = 1
 	}
 	if cfg.GPR < 0 || math.IsNaN(cfg.GPR) {
-		return nil, fmt.Errorf("core: invalid GPR %g", cfg.GPR)
+		return fmt.Errorf("core: invalid GPR %g", cfg.GPR)
+	}
+	return nil
+}
+
+// BuildMesh runs the preprocessing geometry stage of the pipeline: bonding
+// check (returned as warnings), interface splitting for the model, and
+// discretization under the config's element knobs. It is deterministic in
+// (g, InterfaceDepths(model), cfg), so scenarios whose models share
+// interface depths can share the returned mesh.
+func BuildMesh(g *grid.Grid, model soil.Model, cfg Config) (*grid.Mesh, []string, error) {
+	var warnings []string
+	if err := g.CheckBonding(); err != nil {
+		warnings = append(warnings, err.Error())
+	}
+	split := g.SplitAtDepths(interfaceDepths(model)...)
+	mesh, err := grid.DiscretizeN(split, cfg.ElementKind, func(c grid.Conductor) int {
+		n := 1
+		if cfg.MaxElemLen > 0 {
+			n = int(math.Ceil(c.Length() / cfg.MaxElemLen))
+		}
+		if cfg.RodElements > 0 && c.Seg.IsVertical(1e-9) && n < cfg.RodElements {
+			n = cfg.RodElements
+		}
+		if n < 1 {
+			n = 1
+		}
+		return n
+	})
+	if err != nil {
+		return nil, nil, fmt.Errorf("core: preprocess: %w", err)
+	}
+	return mesh, warnings, nil
+}
+
+// solveSystem runs the linear-system-solving stage into res.
+func solveSystem(res *Result, r *linalg.SymMatrix, cfg Config) error {
+	start := time.Now()
+	nu := bem.RHS(res.Mesh)
+	switch cfg.Solver {
+	case PCG:
+		tol := cfg.CGTol
+		if tol <= 0 {
+			tol = 1e-10
+		}
+		cg, err := linalg.SolveCGParallel(r, nu, linalg.CGOptions{Tol: tol}, cfg.BEM.Workers)
+		if err != nil {
+			return fmt.Errorf("core: solve: %w", err)
+		}
+		if !cg.Converged {
+			return fmt.Errorf("core: solve: PCG stalled at residual %g", cg.Residual)
+		}
+		res.CG = cg
+		res.Sigma = cg.X
+	case Cholesky:
+		ch, err := linalg.NewCholeskyParallel(r, cfg.BEM.Workers)
+		if err != nil {
+			return fmt.Errorf("core: solve: %w", err)
+		}
+		x, err := ch.Solve(nu)
+		if err != nil {
+			return fmt.Errorf("core: solve: %w", err)
+		}
+		res.Sigma = x
+	default:
+		return fmt.Errorf("core: unknown solver %v", cfg.Solver)
+	}
+	res.Timings.Solve = time.Since(start)
+	return nil
+}
+
+// finishResults runs the results stage: design parameters from the solved
+// density (eq. 2.2).
+func finishResults(res *Result, gpr float64) error {
+	start := time.Now()
+	unitCurrent := bem.TotalCurrent(res.Mesh, res.Sigma)
+	if unitCurrent <= 0 || math.IsNaN(unitCurrent) {
+		return fmt.Errorf("core: results: non-physical total current %g", unitCurrent)
+	}
+	res.unitCurrent = unitCurrent
+	res.Req = 1 / unitCurrent
+	res.Current = gpr * unitCurrent
+	res.Timings.Results = time.Since(start)
+	return nil
+}
+
+// CompleteAssembled finishes the pipeline for an externally generated system
+// matrix r (e.g. one the sweep engine assembled column-by-column through
+// Assembler.ComputeColumn/AssembleStore): it runs the solve and results
+// stages exactly as the full pipeline does, so the outcome is bit-identical
+// to Analyze of the same (mesh, model, cfg) scenario. warnings are the
+// preprocessing warnings of BuildMesh; stats describes the loop that
+// generated the matrix (zero if unknown).
+func CompleteAssembled(asm *bem.Assembler, model soil.Model, r *linalg.SymMatrix, stats sched.Stats, warnings []string, cfg Config) (*Result, error) {
+	if err := validGPR(&cfg); err != nil {
+		return nil, err
+	}
+	res := &Result{
+		Mesh:      asm.Mesh(),
+		Model:     model,
+		GPR:       cfg.GPR,
+		LoopStats: stats,
+		Warnings:  warnings,
+		asm:       asm,
+	}
+	if err := solveSystem(res, r, cfg); err != nil {
+		return nil, err
+	}
+	if err := finishResults(res, cfg.GPR); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// ScaledResult derives the solution for a soil model proportional to the
+// base result's (every conductivity multiplied by scale, identical layer
+// geometry) without re-assembly or re-solve: the BEM kernels scale by
+// 1/scale, so σ scales by scale, R_eq by 1/scale. asm must be an assembler
+// of the target model over the same mesh (it serves post-processing —
+// potentials, rasters — with the correct kernels; its Matrix is never
+// called). The derivation is mathematically exact but NOT bit-identical to
+// a fresh assembly under the target model, so callers opt in explicitly.
+func ScaledResult(base *Result, model soil.Model, asm *bem.Assembler, scale, gpr float64) (*Result, error) {
+	if scale <= 0 || math.IsNaN(scale) || math.IsInf(scale, 0) {
+		return nil, fmt.Errorf("core: invalid conductivity scale %g", scale)
+	}
+	if gpr <= 0 || math.IsNaN(gpr) || math.IsInf(gpr, 0) {
+		return nil, fmt.Errorf("core: invalid GPR %g", gpr)
+	}
+	sigma := make([]float64, len(base.Sigma))
+	for i, v := range base.Sigma {
+		sigma[i] = scale * v
+	}
+	res := &Result{
+		Mesh:        base.Mesh,
+		Model:       model,
+		Sigma:       sigma,
+		GPR:         gpr,
+		Warnings:    base.Warnings,
+		unitCurrent: scale * base.unitCurrent,
+		asm:         asm,
+	}
+	res.Req = 1 / res.unitCurrent
+	res.Current = gpr * res.unitCurrent
+	return res, nil
+}
+
+func analyze(ctx context.Context, g *grid.Grid, mesh *grid.Mesh, model soil.Model, cfg Config, inputTime time.Duration) (*Result, error) {
+	if err := validGPR(&cfg); err != nil {
+		return nil, err
 	}
 	res := &Result{Model: model, GPR: cfg.GPR}
 	res.Timings.Input = inputTime
@@ -204,27 +386,13 @@ func analyze(ctx context.Context, g *grid.Grid, mesh *grid.Mesh, model soil.Mode
 	// numbering, assembler setup (element Gauss data, kernel expansions).
 	start := time.Now()
 	if mesh == nil {
-		if err := g.CheckBonding(); err != nil {
-			res.Warnings = append(res.Warnings, err.Error())
-		}
-		split := g.SplitAtDepths(interfaceDepths(model)...)
+		var warnings []string
 		var err error
-		mesh, err = grid.DiscretizeN(split, cfg.ElementKind, func(c grid.Conductor) int {
-			n := 1
-			if cfg.MaxElemLen > 0 {
-				n = int(math.Ceil(c.Length() / cfg.MaxElemLen))
-			}
-			if cfg.RodElements > 0 && c.Seg.IsVertical(1e-9) && n < cfg.RodElements {
-				n = cfg.RodElements
-			}
-			if n < 1 {
-				n = 1
-			}
-			return n
-		})
+		mesh, warnings, err = BuildMesh(g, model, cfg)
 		if err != nil {
-			return nil, fmt.Errorf("core: preprocess: %w", err)
+			return nil, err
 		}
+		res.Warnings = warnings
 	}
 	res.Mesh = mesh
 	asm, err := bem.New(mesh, model, cfg.BEM)
@@ -248,46 +416,13 @@ func analyze(ctx context.Context, g *grid.Grid, mesh *grid.Mesh, model soil.Mode
 	if err := ctx.Err(); err != nil {
 		return nil, fmt.Errorf("core: solve: %w", err)
 	}
-	start = time.Now()
-	nu := bem.RHS(mesh)
-	switch cfg.Solver {
-	case PCG:
-		tol := cfg.CGTol
-		if tol <= 0 {
-			tol = 1e-10
-		}
-		cg, err := linalg.SolveCGParallel(r, nu, linalg.CGOptions{Tol: tol}, cfg.BEM.Workers)
-		if err != nil {
-			return nil, fmt.Errorf("core: solve: %w", err)
-		}
-		if !cg.Converged {
-			return nil, fmt.Errorf("core: solve: PCG stalled at residual %g", cg.Residual)
-		}
-		res.CG = cg
-		res.Sigma = cg.X
-	case Cholesky:
-		ch, err := linalg.NewCholeskyParallel(r, cfg.BEM.Workers)
-		if err != nil {
-			return nil, fmt.Errorf("core: solve: %w", err)
-		}
-		x, err := ch.Solve(nu)
-		if err != nil {
-			return nil, fmt.Errorf("core: solve: %w", err)
-		}
-		res.Sigma = x
-	default:
-		return nil, fmt.Errorf("core: unknown solver %v", cfg.Solver)
+	if err := solveSystem(res, r, cfg); err != nil {
+		return nil, err
 	}
-	res.Timings.Solve = time.Since(start)
 
-	// Stage: results — design parameters from the solved density (eq. 2.2).
-	start = time.Now()
-	unitCurrent := bem.TotalCurrent(mesh, res.Sigma)
-	if unitCurrent <= 0 || math.IsNaN(unitCurrent) {
-		return nil, fmt.Errorf("core: results: non-physical total current %g", unitCurrent)
+	// Stage: results.
+	if err := finishResults(res, cfg.GPR); err != nil {
+		return nil, err
 	}
-	res.Req = 1 / unitCurrent
-	res.Current = cfg.GPR * unitCurrent
-	res.Timings.Results = time.Since(start)
 	return res, nil
 }

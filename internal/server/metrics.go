@@ -16,6 +16,7 @@ import (
 type Metrics struct {
 	// Request counters by endpoint.
 	SolveRequests  atomic.Int64
+	SweepRequests  atomic.Int64
 	RasterRequests atomic.Int64
 	SafetyRequests atomic.Int64
 
@@ -45,6 +46,7 @@ type Metrics struct {
 // Snapshot is a plain-value copy of the counters for JSON serialization.
 type Snapshot struct {
 	SolveRequests     int64 `json:"solveRequests"`
+	SweepRequests     int64 `json:"sweepRequests"`
 	RasterRequests    int64 `json:"rasterRequests"`
 	SafetyRequests    int64 `json:"safetyRequests"`
 	CacheHits         int64 `json:"cacheHits"`
@@ -64,6 +66,7 @@ type Snapshot struct {
 func (m *Metrics) snapshot(cacheEntries int) Snapshot {
 	return Snapshot{
 		SolveRequests:     m.SolveRequests.Load(),
+		SweepRequests:     m.SweepRequests.Load(),
 		RasterRequests:    m.RasterRequests.Load(),
 		SafetyRequests:    m.SafetyRequests.Load(),
 		CacheHits:         m.CacheHits.Load(),
@@ -90,6 +93,7 @@ func (s *Server) PublishExpvar() {
 		m.Set(name, expvar.Func(func() any { return f() }))
 	}
 	pub("solveRequests", s.metrics.SolveRequests.Load)
+	pub("sweepRequests", s.metrics.SweepRequests.Load)
 	pub("rasterRequests", s.metrics.RasterRequests.Load)
 	pub("safetyRequests", s.metrics.SafetyRequests.Load)
 	pub("cacheHits", s.metrics.CacheHits.Load)

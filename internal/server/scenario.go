@@ -170,6 +170,10 @@ func (g GridSpec) buildGrid() (*earthing.Grid, error) {
 	}
 }
 
+// Build constructs and validates the soil model; exported so CLI sweep
+// inputs can reuse the same JSON spec and validation as the server.
+func (s SoilSpec) Build() (earthing.SoilModel, error) { return s.buildSoil() }
+
 // buildSoil constructs and validates the soil model without tripping the
 // panicking constructors on hostile input.
 func (s SoilSpec) buildSoil() (earthing.SoilModel, error) {

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"net/http/pprof"
 	"runtime"
@@ -85,6 +86,7 @@ func New(cfg Config) *Server {
 		mux:   http.NewServeMux(),
 	}
 	s.mux.HandleFunc("POST /v1/solve", s.handleSolve)
+	s.mux.HandleFunc("POST /v1/sweep", s.handleSweep)
 	s.mux.HandleFunc("POST /v1/raster", s.handleRaster)
 	s.mux.HandleFunc("POST /v1/safety", s.handleSafety)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
@@ -142,6 +144,11 @@ func (s *Server) writeJSON(w http.ResponseWriter, cacheHit bool, v any) {
 	}
 	//lint:ignore errdrop encode-to-client failure means the client is gone; nothing to do
 	json.NewEncoder(w).Encode(v)
+}
+
+// writeJSONLine emits one NDJSON line (Encode appends the newline).
+func writeJSONLine(w io.Writer, v any) error {
+	return json.NewEncoder(w).Encode(v)
 }
 
 // requestCtx derives the request's working context from its deadline knob.
@@ -241,7 +248,7 @@ func (s *Server) solved(ctx context.Context, b *built, needSlot bool) (res *eart
 		return r, true, rel, nil
 	}
 	start := time.Now()
-	r, err := earthing.AnalyzeCtx(ctx, b.grid, b.model, b.cfg)
+	r, err := earthing.Analyze(ctx, b.grid, b.model, b.cfg)
 	if err != nil {
 		rel()
 		if ctx.Err() != nil {
@@ -410,9 +417,9 @@ func (s *Server) handleRaster(w http.ResponseWriter, r *http.Request) {
 	scaled.GPR = b.gpr
 	var raster *earthing.Raster
 	if kind == "potential" {
-		raster, err = earthing.SurfacePotentialCtx(ctx, &scaled, opt)
+		raster, err = earthing.SurfacePotential(ctx, &scaled, opt)
 	} else {
-		raster, err = earthing.StepVoltageMapCtx(ctx, &scaled, opt)
+		raster, err = earthing.StepVoltageMap(ctx, &scaled, opt)
 	}
 	if err != nil {
 		s.writeError(w, s.mapCtxErr(err))
@@ -525,7 +532,7 @@ func (s *Server) handleSafety(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	scaled := *res
 	scaled.GPR = b.gpr
-	volt, err := earthing.ComputeVoltagesCtx(ctx, &scaled, req.StepResM,
+	volt, err := earthing.ComputeVoltages(ctx, &scaled, req.StepResM,
 		earthing.SurfaceOptions{Workers: b.cfg.BEM.Workers, Schedule: b.cfg.BEM.Schedule})
 	if err != nil {
 		s.writeError(w, s.mapCtxErr(err))

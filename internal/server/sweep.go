@@ -1,0 +1,231 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"time"
+
+	"earthing"
+)
+
+// maxSweepScenarios bounds one sweep request; beyond it the request is
+// rejected outright rather than queued (it would monopolize a slot).
+const maxSweepScenarios = 256
+
+// SweepScenarioSpec is one variant of a sweep: a soil model plus the GPR to
+// report results at (default 1 V, like /v1/solve).
+type SweepScenarioSpec struct {
+	// ID labels this scenario's output line (default "s<index>").
+	ID   string   `json:"id,omitempty"`
+	Soil SoilSpec `json:"soil"`
+	GPR  float64  `json:"gpr,omitempty"`
+}
+
+// SweepRequest asks for a batch solve of one grid under many soil/GPR
+// variants. The grid and discretization knobs are shared by every scenario —
+// that is what lets the engine amortize meshing and interleave assemblies.
+type SweepRequest struct {
+	Grid      GridSpec            `json:"grid"`
+	Scenarios []SweepScenarioSpec `json:"scenarios"`
+	// Shared discretization and execution knobs (same meaning as Scenario).
+	MaxElemLen  float64 `json:"maxElemLen,omitempty"`
+	RodElements int     `json:"rodElements,omitempty"`
+	SeriesTol   float64 `json:"seriesTol,omitempty"`
+	Workers     int     `json:"workers,omitempty"`
+	Schedule    string  `json:"schedule,omitempty"`
+	TimeoutMs   int     `json:"timeoutMs,omitempty"`
+	// AllowScaled enables the proportional-soil reuse tier. Results served
+	// from it are exact up to rounding but not bit-identical to a fresh
+	// assembly, and are never entered into the system cache.
+	AllowScaled bool `json:"allowScaled,omitempty"`
+}
+
+// SweepLine is one NDJSON line of the /v1/sweep response: a solved scenario,
+// or (as the final line) a sweep-level error. Lines stream in completion
+// order; Index gives the scenario's position in the request.
+type SweepLine struct {
+	ID    string `json:"id,omitempty"`
+	Index int    `json:"index"`
+	Key   string `json:"key,omitempty"`
+	// Cache is the reuse disposition: "hit" (served from the system cache),
+	// "assembled", "solve" or "scaled" (the engine's reuse tiers).
+	Cache       string   `json:"cache,omitempty"`
+	GPR         float64  `json:"gpr,omitempty"`
+	ReqOhms     float64  `json:"reqOhms,omitempty"`
+	CurrentAmps float64  `json:"currentAmps,omitempty"`
+	Elements    int      `json:"elements,omitempty"`
+	DoF         int      `json:"dof,omitempty"`
+	AssembleMs  float64  `json:"assembleMs,omitempty"`
+	SolveMs     float64  `json:"solveMs,omitempty"`
+	WallMs      float64  `json:"wallMs,omitempty"`
+	Warnings    []string `json:"warnings,omitempty"`
+	Error       string   `json:"error,omitempty"`
+}
+
+// sweepWriter streams NDJSON lines, deferring the status line until the
+// first write so pre-stream failures can still use proper status codes.
+type sweepWriter struct {
+	w     http.ResponseWriter
+	f     http.Flusher
+	wrote bool
+}
+
+func (sw *sweepWriter) emit(line SweepLine) error {
+	if !sw.wrote {
+		sw.w.Header().Set("Content-Type", "application/x-ndjson")
+		sw.w.WriteHeader(http.StatusOK)
+		sw.wrote = true
+	}
+	if err := writeJSONLine(sw.w, line); err != nil {
+		return err
+	}
+	if sw.f != nil {
+		sw.f.Flush()
+	}
+	return nil
+}
+
+func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	s.metrics.SweepRequests.Add(1)
+	var req SweepRequest
+	if herr := decode(r, &req); herr != nil {
+		s.writeError(w, herr)
+		return
+	}
+	if len(req.Scenarios) == 0 {
+		s.writeError(w, badRequest(fmt.Errorf("sweep: at least one scenario required")))
+		return
+	}
+	if len(req.Scenarios) > maxSweepScenarios {
+		s.writeError(w, badRequest(fmt.Errorf("sweep: %d scenarios exceed the limit of %d",
+			len(req.Scenarios), maxSweepScenarios)))
+		return
+	}
+
+	// Build every scenario up front: one bad variant fails the whole request
+	// before any work starts.
+	builts := make([]*built, len(req.Scenarios))
+	for i, spec := range req.Scenarios {
+		b, err := (Scenario{
+			Grid:        req.Grid,
+			Soil:        spec.Soil,
+			GPR:         spec.GPR,
+			MaxElemLen:  req.MaxElemLen,
+			RodElements: req.RodElements,
+			SeriesTol:   req.SeriesTol,
+			Workers:     req.Workers,
+			Schedule:    req.Schedule,
+		}).build(s.cfg.Workers)
+		if err != nil {
+			s.writeError(w, badRequest(fmt.Errorf("scenario %d: %w", i, err)))
+			return
+		}
+		builts[i] = b
+	}
+
+	ctx, cancel, herr := s.requestCtx(r, req.TimeoutMs)
+	if herr != nil {
+		s.writeError(w, herr)
+		return
+	}
+	defer cancel()
+
+	// The whole sweep runs under ONE admission slot: internally it already
+	// interleaves all assemblies on a worker pool of the requested width, so
+	// claiming a slot per scenario would overcommit the machine.
+	release, herr := s.acquire(ctx)
+	if herr != nil {
+		s.writeError(w, herr)
+		return
+	}
+	defer release()
+
+	flusher, _ := w.(http.Flusher)
+	sw := &sweepWriter{w: w, f: flusher}
+
+	// Partition against the system cache (after acquiring the slot, so a
+	// concurrent request that just solved a shared system is visible). Hits
+	// stream immediately; the rest go to the sweep engine.
+	var missIdx []int
+	for i, b := range builts {
+		if res, ok := s.cache.get(b.key); ok {
+			s.metrics.CacheHits.Add(1)
+			if err := sw.emit(s.sweepLine(i, req.Scenarios[i].ID, b, res, "hit", nil)); err != nil {
+				return // client gone; nothing to report to
+			}
+			continue
+		}
+		s.metrics.CacheMisses.Add(1)
+		missIdx = append(missIdx, i)
+	}
+	if len(missIdx) == 0 {
+		return
+	}
+
+	scens := make([]earthing.SweepScenario, len(missIdx))
+	for j, i := range missIdx {
+		id := req.Scenarios[i].ID
+		if id == "" {
+			id = fmt.Sprintf("s%d", i)
+		}
+		scens[j] = earthing.SweepScenario{ID: id, Soil: builts[i].model, GPR: builts[i].gpr}
+	}
+
+	var opts []earthing.Option
+	if req.AllowScaled {
+		opts = append(opts, earthing.WithScaledReuse())
+	}
+	err := earthing.SweepStream(ctx, builts[0].grid, scens, builts[0].cfg, func(sr earthing.SweepResult) error {
+		i := missIdx[sr.Index]
+		b := builts[i]
+		if sr.Reuse == earthing.SweepAssembled {
+			s.metrics.Assemblies.Add(1)
+			s.metrics.AssembleNanos.Add(int64(sr.Wall))
+			// Cache the unit-GPR solution under the scenario key, exactly as
+			// /v1/solve would have. Scaled-tier results are deliberately NOT
+			// cached: the cache only ever serves bit-reproducible solutions.
+			if unit, err := sr.Res.WithGPR(1); err == nil {
+				s.cache.put(b.key, unit)
+			}
+		}
+		return sw.emit(s.sweepLine(i, sr.ID, b, sr.Res, string(sr.Reuse), &sr))
+	}, opts...)
+	if err != nil {
+		herr := s.mapCtxErr(err)
+		if !sw.wrote {
+			s.writeError(w, herr)
+			return
+		}
+		// Mid-stream failure: the status line is gone, so the error travels
+		// as a terminal NDJSON line.
+		//lint:ignore errdrop the client is the only consumer of this line; if it is gone, so is the report
+		sw.emit(SweepLine{Index: -1, Error: herr.msg})
+	}
+}
+
+// sweepLine renders one scenario result. The GPR-dependent current uses the
+// same gpr/Req expression as /v1/solve, so the two endpoints report
+// byte-identical numbers for the same scenario.
+func (s *Server) sweepLine(index int, id string, b *built, res *earthing.Result, cache string, sr *earthing.SweepResult) SweepLine {
+	if id == "" {
+		id = fmt.Sprintf("s%d", index)
+	}
+	line := SweepLine{
+		ID:          id,
+		Index:       index,
+		Key:         b.key,
+		Cache:       cache,
+		GPR:         b.gpr,
+		ReqOhms:     res.Req,
+		CurrentAmps: b.gpr / res.Req,
+		Elements:    len(res.Mesh.Elements),
+		DoF:         len(res.Sigma),
+		Warnings:    res.Warnings,
+	}
+	if sr != nil {
+		line.AssembleMs = float64(sr.Assembly) / float64(time.Millisecond)
+		line.SolveMs = float64(sr.Solve) / float64(time.Millisecond)
+		line.WallMs = float64(sr.Wall) / float64(time.Millisecond)
+	}
+	return line
+}

@@ -1,0 +1,282 @@
+package sweep
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"testing"
+
+	"earthing/internal/bem"
+	"earthing/internal/core"
+	"earthing/internal/geom"
+	"earthing/internal/grid"
+	"earthing/internal/soil"
+)
+
+// threeLayer builds a 3-layer model whose interfaces lie below every
+// electrode of the paper grids, so all elements stay in the top layer and
+// the assembly uses the (fast) top-layer image expansion of MultiLayer.
+func threeLayer(t *testing.T) soil.Model {
+	t.Helper()
+	m, err := soil.NewMultiLayer([]float64{0.02, 0.019, 0.021}, []float64{6, 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// testConfig keeps the paper discretizations but truncates the kernel
+// series aggressively: the tests pin bit-identity between two code paths,
+// not physical accuracy, and both sides run under the same tolerance.
+func testConfig(workers int) core.Config {
+	return core.Config{
+		GPR:         10_000,
+		RodElements: 2,
+		BEM:         bem.Options{Workers: workers, SeriesTol: 1e-2},
+	}
+}
+
+// sameFloats demands bitwise equality.
+func sameFloats(t *testing.T, label string, got, want []float64) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: length %d != %d", label, len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("%s[%d]: %v != %v (Δ %g)", label, i, got[i], want[i], got[i]-want[i])
+		}
+	}
+}
+
+// TestSweepMatchesAnalyze is the bit-identity contract: a sweep over
+// {uniform, two-layer, three-layer} on each paper grid reproduces sequential
+// Analyze exactly — same Sigma, Req, Current and GPR — at every worker
+// count (each side run at the same width).
+func TestSweepMatchesAnalyze(t *testing.T) {
+	grids := []struct {
+		name string
+		g    *grid.Grid
+	}{
+		{"barbera", grid.Barbera()},
+		{"balaidos", grid.Balaidos()},
+	}
+	models := []struct {
+		name  string
+		model soil.Model
+		gpr   float64
+	}{
+		{"uniform", soil.NewUniform(0.020), 10_000},
+		{"two-layer", soil.NewTwoLayer(0.0025, 0.020, 0.7), 12_500},
+		{"three-layer", nil, 8_000}, // filled per test (needs t)
+	}
+	for _, gc := range grids {
+		for _, workers := range []int{1, 2, 4} {
+			t.Run(fmt.Sprintf("%s/w%d", gc.name, workers), func(t *testing.T) {
+				cfg := testConfig(workers)
+				var scens []Scenario
+				for _, mc := range models {
+					model := mc.model
+					if model == nil {
+						model = threeLayer(t)
+					}
+					scens = append(scens, Scenario{ID: mc.name, Model: model, GPR: mc.gpr})
+				}
+				got, err := Run(context.Background(), gc.g, scens, Options{Config: cfg})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(got) != len(scens) {
+					t.Fatalf("got %d results, want %d", len(got), len(scens))
+				}
+				for i, r := range got {
+					if r.Index != i || r.ID != scens[i].ID {
+						t.Fatalf("result %d: index %d id %q out of order", i, r.Index, r.ID)
+					}
+					if r.Reuse != ReuseAssembled {
+						t.Fatalf("result %s: reuse %q, want assembled (all models distinct)", r.ID, r.Reuse)
+					}
+					seqCfg := cfg
+					seqCfg.GPR = scens[i].GPR
+					want, err := core.Analyze(gc.g, scens[i].Model, seqCfg)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if r.Res.Req != want.Req {
+						t.Errorf("%s: Req %v != %v", r.ID, r.Res.Req, want.Req)
+					}
+					if r.Res.Current != want.Current {
+						t.Errorf("%s: Current %v != %v", r.ID, r.Res.Current, want.Current)
+					}
+					if r.Res.GPR != want.GPR {
+						t.Errorf("%s: GPR %v != %v", r.ID, r.Res.GPR, want.GPR)
+					}
+					sameFloats(t, r.ID+" Sigma", r.Res.Sigma, want.Sigma)
+				}
+			})
+		}
+	}
+}
+
+// TestSweepGPRReuse pins the solve-reuse tier: N GPR variants of one model
+// cost one assembly, and every variant is bit-identical to a fresh analysis
+// at its GPR.
+func TestSweepGPRReuse(t *testing.T) {
+	g := grid.Balaidos()
+	model := soil.NewTwoLayer(0.0025, 0.020, 0.7)
+	cfg := testConfig(0)
+	var scens []Scenario
+	for i := 0; i < 10; i++ {
+		scens = append(scens, Scenario{Model: model, GPR: 1_000 * float64(i+1)})
+	}
+	got, err := Run(context.Background(), g, scens, Options{Config: cfg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assembled := 0
+	for _, r := range got {
+		if r.Reuse == ReuseAssembled {
+			assembled++
+		} else if r.Reuse != ReuseSolve {
+			t.Errorf("scenario %d: reuse %q, want solve", r.Index, r.Reuse)
+		}
+	}
+	if assembled != 1 {
+		t.Fatalf("%d assemblies for 10 GPR variants, want exactly 1", assembled)
+	}
+	for _, i := range []int{0, 4, 9} {
+		seqCfg := cfg
+		seqCfg.GPR = scens[i].GPR
+		want, err := core.Analyze(g, model, seqCfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := got[i]
+		if r.Res.Req != want.Req || r.Res.Current != want.Current || r.Res.GPR != want.GPR {
+			t.Errorf("scenario %d: (Req, Current, GPR) = (%v, %v, %v), want (%v, %v, %v)",
+				i, r.Res.Req, r.Res.Current, r.Res.GPR, want.Req, want.Current, want.GPR)
+		}
+		sameFloats(t, fmt.Sprintf("scenario %d Sigma", i), r.Res.Sigma, want.Sigma)
+	}
+}
+
+// TestSweepMeshGrouping pins the geometry-reuse tier: models with equal
+// interface depths share one mesh; models with different depths do not.
+func TestSweepMeshGrouping(t *testing.T) {
+	g := grid.Balaidos()
+	scens := []Scenario{
+		{ID: "a", Model: soil.NewTwoLayer(0.0025, 0.020, 0.7)},
+		{ID: "b", Model: soil.NewTwoLayer(0.004, 0.018, 0.7)},
+		{ID: "c", Model: soil.NewTwoLayer(0.0025, 0.020, 1.0)},
+	}
+	got, err := Run(context.Background(), g, scens, Options{Config: testConfig(0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0].Res.Mesh != got[1].Res.Mesh {
+		t.Error("same interface depth (0.7 m): meshes not shared")
+	}
+	if got[0].Res.Mesh == got[2].Res.Mesh {
+		t.Error("different interface depths (0.7 vs 1.0 m): meshes unexpectedly shared")
+	}
+}
+
+// TestSweepScaledTier checks the opt-in proportional-conductivity tier:
+// exact up to rounding, correct post-processing kernels, no extra assembly.
+func TestSweepScaledTier(t *testing.T) {
+	g := grid.Barbera()
+	base := soil.NewUniform(0.016)
+	double := soil.NewUniform(0.032)
+	cfg := testConfig(0)
+	scens := []Scenario{
+		{ID: "base", Model: base, GPR: 10_000},
+		{ID: "double", Model: double, GPR: 10_000},
+	}
+	got, err := Run(context.Background(), g, scens, Options{Config: cfg, AllowScaled: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0].Reuse != ReuseAssembled || got[1].Reuse != ReuseScaled {
+		t.Fatalf("reuse (%q, %q), want (assembled, scaled)", got[0].Reuse, got[1].Reuse)
+	}
+	seqCfg := cfg
+	seqCfg.GPR = 10_000
+	want, err := core.Analyze(g, double, seqCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel := math.Abs(got[1].Res.Req-want.Req) / want.Req; rel > 1e-12 {
+		t.Errorf("scaled Req %v vs fresh %v (rel %g)", got[1].Res.Req, want.Req, rel)
+	}
+	// Post-processing must use the target model's kernels, not the base's.
+	pt := geom.V(5, 5, 0)
+	pv, wv := got[1].Res.PotentialAt(pt), want.PotentialAt(pt)
+	if rel := math.Abs(pv-wv) / math.Abs(wv); rel > 1e-9 {
+		t.Errorf("scaled PotentialAt %v vs fresh %v (rel %g)", pv, wv, rel)
+	}
+	// Without opt-in the same sweep assembles both models.
+	strict, err := Run(context.Background(), g, scens, Options{Config: cfg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strict[1].Reuse != ReuseAssembled {
+		t.Errorf("without AllowScaled: reuse %q, want assembled", strict[1].Reuse)
+	}
+	if strict[1].Res.Req != want.Req {
+		t.Errorf("without AllowScaled: Req %v != fresh %v", strict[1].Res.Req, want.Req)
+	}
+}
+
+// TestSweepCancellation: a pre-cancelled context stops the sweep without
+// emitting and returns the context error.
+func TestSweepCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	emitted := 0
+	err := Stream(ctx, grid.Balaidos(),
+		[]Scenario{{Model: soil.NewUniform(0.02)}},
+		Options{Config: testConfig(0)},
+		func(Result) error { emitted++; return nil })
+	if err == nil {
+		t.Fatal("cancelled sweep returned nil error")
+	}
+	if emitted != 0 {
+		t.Fatalf("cancelled sweep emitted %d results", emitted)
+	}
+}
+
+// TestSweepEmitError: an emit failure aborts the sweep and surfaces the
+// error.
+func TestSweepEmitError(t *testing.T) {
+	wantErr := fmt.Errorf("sink full")
+	err := Stream(context.Background(), grid.Barbera(),
+		[]Scenario{
+			{Model: soil.NewUniform(0.016)},
+			{Model: soil.NewUniform(0.02)},
+		},
+		Options{Config: testConfig(0)},
+		func(Result) error { return wantErr })
+	if !errors.Is(err, wantErr) {
+		t.Fatalf("err = %v, want wrapped %v", err, wantErr)
+	}
+}
+
+// TestSweepEmptyAndInvalid covers the degenerate inputs.
+func TestSweepEmptyAndInvalid(t *testing.T) {
+	if err := Stream(context.Background(), grid.Barbera(), nil, Options{}, nil); err != nil {
+		t.Errorf("empty scenario list: %v", err)
+	}
+	if _, err := Run(context.Background(), grid.Barbera(),
+		[]Scenario{{Model: nil}}, Options{}); err == nil {
+		t.Error("nil model accepted")
+	}
+	if _, err := Run(context.Background(), grid.Barbera(),
+		[]Scenario{{Model: soil.NewUniform(0.02), GPR: -5}}, Options{}); err == nil {
+		t.Error("negative GPR accepted")
+	}
+	if err := Stream(context.Background(), nil,
+		[]Scenario{{Model: soil.NewUniform(0.02)}}, Options{}, nil); err == nil {
+		t.Error("nil grid accepted")
+	}
+}

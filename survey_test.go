@@ -1,6 +1,7 @@
 package earthing_test
 
 import (
+	"context"
 	"math"
 	"strings"
 	"testing"
@@ -40,7 +41,7 @@ func TestSurveyFacade(t *testing.T) {
 
 func TestFieldFacade(t *testing.T) {
 	g := earthing.RectGrid(0, 0, 20, 20, 3, 3, 0.8, 0.006)
-	res, err := earthing.Analyze(g, earthing.UniformSoil(0.02), earthing.Config{GPR: 10_000})
+	res, err := earthing.Analyze(context.Background(), g, earthing.UniformSoil(0.02), earthing.Config{GPR: 10_000})
 	if err != nil {
 		t.Fatal(err)
 	}

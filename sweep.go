@@ -1,0 +1,77 @@
+package earthing
+
+import (
+	"context"
+
+	"earthing/internal/sweep"
+)
+
+// SweepScenario is one variant in a batch solve: a soil model plus the
+// ground potential rise to report results at. GPR ≤ 0 inherits the shared
+// Config's GPR; an empty ID gets "s<index>".
+type SweepScenario struct {
+	ID   string
+	Soil SoilModel
+	GPR  float64
+}
+
+// SweepResult is one solved scenario as emitted by Sweep/SweepStream; see
+// the internal/sweep package for field semantics. Results carry the reuse
+// tier that produced them (SweepAssembled, SweepSolveReuse, SweepScaled)
+// and per-scenario assembly/solve/wall timings.
+type SweepResult = sweep.Result
+
+// SweepReuse labels how a sweep result was obtained.
+type SweepReuse = sweep.Reuse
+
+// Reuse tiers, cheapest satisfied first.
+const (
+	// SweepAssembled: the scenario's matrix was assembled and solved.
+	SweepAssembled = sweep.ReuseAssembled
+	// SweepSolveReuse: same soil model as an assembled scenario, different
+	// GPR — the unit-GPR solve was rescaled (bit-identical to a fresh run).
+	SweepSolveReuse = sweep.ReuseSolve
+	// SweepScaled: proportional soil model, solution derived by scaling
+	// (exact but not bit-identical; requires WithScaledReuse).
+	SweepScaled = sweep.ReuseScaled
+)
+
+// Sweep solves many scenario variants of one grid in a single batch,
+// amortizing work the variants share: the mesh is built once per distinct
+// set of soil-interface depths, each distinct soil model is assembled
+// exactly once (with all assemblies interleaved on one worker pool), and
+// scenarios differing only in GPR reuse the cached unit-GPR solve.
+// Results are returned in scenario order and each is bit-identical to a
+// sequential Analyze of that scenario at the same worker count (except the
+// opt-in WithScaledReuse tier, which is exact only up to rounding).
+//
+// The shared cfg supplies discretization, solver and parallel options; a
+// scenario's GPR overrides cfg.GPR when positive.
+func Sweep(ctx context.Context, g *Grid, scenarios []SweepScenario, cfg Config, opts ...Option) ([]SweepResult, error) {
+	s := applyOptions(cfg, opts)
+	return sweep.Run(ctx, g, toScenarios(scenarios), sweep.Options{
+		Config:      s.cfg,
+		AllowScaled: s.allowScaled,
+	})
+}
+
+// SweepStream is Sweep with streaming delivery: emit is called once per
+// scenario as soon as its result is ready, which may be out of scenario
+// order (Result.Index gives the position). Emit is never called
+// concurrently. A non-nil error from emit aborts the sweep and is returned
+// wrapped.
+func SweepStream(ctx context.Context, g *Grid, scenarios []SweepScenario, cfg Config, emit func(SweepResult) error, opts ...Option) error {
+	s := applyOptions(cfg, opts)
+	return sweep.Stream(ctx, g, toScenarios(scenarios), sweep.Options{
+		Config:      s.cfg,
+		AllowScaled: s.allowScaled,
+	}, emit)
+}
+
+func toScenarios(in []SweepScenario) []sweep.Scenario {
+	out := make([]sweep.Scenario, len(in))
+	for i, s := range in {
+		out[i] = sweep.Scenario{ID: s.ID, Model: s.Soil, GPR: s.GPR}
+	}
+	return out
+}
