@@ -11,6 +11,11 @@
 //	  "soil": {"kind": "uniform", "gamma1": 0.0125},
 //	  "gpr": 10000
 //	}'
+//
+// On SIGINT/SIGTERM the server drains gracefully: /readyz turns 503 so load
+// balancers stop routing here, new solves are refused with a Retry-After
+// hint, and in-flight requests get up to -drain-timeout to finish before
+// the process exits.
 package main
 
 import (
@@ -18,8 +23,11 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"earthing/internal/server"
@@ -33,6 +41,8 @@ func main() {
 	cache := flag.Int("cache", 64, "solved-system LRU entries (negative disables)")
 	timeout := flag.Duration("timeout", 30*time.Second, "default per-request deadline")
 	maxTimeout := flag.Duration("max-timeout", 2*time.Minute, "largest deadline a request may ask for")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "in-flight request budget after SIGINT/SIGTERM")
+	healthCheck := flag.Bool("health-check", false, "reject numerically untrustworthy solves with 422")
 	pprofOn := flag.Bool("pprof", false, "mount /debug/pprof/")
 	flag.Parse()
 
@@ -44,6 +54,10 @@ func main() {
 		fmt.Fprintf(os.Stderr, "groundd: -max-concurrent and -queue must be non-negative\n")
 		os.Exit(2)
 	}
+	if *drainTimeout <= 0 {
+		fmt.Fprintf(os.Stderr, "groundd: -drain-timeout must be positive\n")
+		os.Exit(2)
+	}
 
 	srv := server.New(server.Config{
 		MaxConcurrent:  *maxConc,
@@ -52,6 +66,7 @@ func main() {
 		MaxTimeout:     *maxTimeout,
 		CacheEntries:   *cache,
 		Workers:        *workers,
+		HealthCheck:    *healthCheck,
 		EnablePprof:    *pprofOn,
 	})
 	srv.PublishExpvar()
@@ -60,6 +75,15 @@ func main() {
 	mux.Handle("/", srv)
 	mux.Handle("GET /debug/vars", expvar.Handler())
 
-	log.Printf("groundd: listening on %s", *addr)
-	log.Fatal(http.ListenAndServe(*addr, mux))
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatalf("groundd: listen: %v", err)
+	}
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+
+	log.Printf("groundd: listening on %s", ln.Addr())
+	if err := server.RunUntilSignal(srv, mux, ln, sig, *drainTimeout, log.Printf); err != nil {
+		log.Fatal(err)
+	}
 }

@@ -279,6 +279,13 @@ func runSweep(ctx context.Context, g *earthing.Grid, file string, cfg earthing.C
 	if jsonOut {
 		enc := json.NewEncoder(stdout)
 		return earthing.SweepStream(ctx, g, scens, cfg, func(r earthing.SweepResult) error {
+			if r.Err != nil {
+				// Per-scenario failure: its line reports the error; the rest
+				// of the sweep keeps streaming.
+				return enc.Encode(map[string]any{
+					"id": r.ID, "index": r.Index, "reuse": r.Reuse, "error": r.Err.Error(),
+				})
+			}
 			return enc.Encode(map[string]any{
 				"id": r.ID, "index": r.Index, "reuse": r.Reuse,
 				"gpr": r.Res.GPR, "reqOhms": r.Res.Req, "currentAmps": r.Res.Current,
@@ -295,10 +302,21 @@ func runSweep(ctx context.Context, g *earthing.Grid, file string, cfg earthing.C
 	//lint:ignore errdrop transcript table; a failed console write has no recovery path
 	fmt.Fprintf(stdout, "%-12s %-40s %-10s %12s %10s %12s\n",
 		"id", "soil", "reuse", "Req (ohm)", "I (kA)", "GPR (V)")
+	var failed int
 	for i, r := range results {
+		if r.Err != nil {
+			failed++
+			//lint:ignore errdrop transcript table; a failed console write has no recovery path
+			fmt.Fprintf(stdout, "%-12s %-40s %-10s failed: %v\n",
+				r.ID, models[i].Describe(), r.Reuse, r.Err)
+			continue
+		}
 		//lint:ignore errdrop transcript table; a failed console write has no recovery path
 		fmt.Fprintf(stdout, "%-12s %-40s %-10s %12.4f %10.2f %12.0f\n",
 			r.ID, models[i].Describe(), r.Reuse, r.Res.Req, r.Res.Current/1000, r.Res.GPR)
+	}
+	if failed > 0 {
+		return fmt.Errorf("%d of %d scenarios failed", failed, len(results))
 	}
 	return nil
 }

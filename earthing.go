@@ -148,6 +148,15 @@ type (
 	LoopStrategy = bem.LoopStrategy
 	// AssemblyMode selects deferred or mutex elementwise assembly.
 	AssemblyMode = bem.AssemblyMode
+	// HealthError reports a failed numerical health check (enable with
+	// WithHealthCheck or Config.HealthCheck): non-finite systems or
+	// solutions, indefinite or ill-conditioned matrices. Detect with
+	// errors.As.
+	HealthError = core.HealthError
+	// PanicError is a panic contained inside a parallel loop worker,
+	// surfaced as an error with the faulting iteration, worker and stack.
+	// Detect with errors.As.
+	PanicError = sched.PanicError
 )
 
 // Solver kinds.

@@ -51,6 +51,9 @@ func main() {
 		log.Fatal(err)
 	}
 	for i, r := range swept {
+		if r.Err != nil {
+			log.Fatalf("scenario %s: %v", r.ID, r.Err)
+		}
 		report(cases[i].name, r.Res.Req, r.Res.Current, cases[i].paperReq, cases[i].paperI, r.Assembly)
 	}
 

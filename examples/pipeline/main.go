@@ -5,16 +5,33 @@
 // "transferred potential" hazard of IEEE Std 80, computed here directly
 // from the BEM potential field (eq. 4.2 evaluated along the pipe route).
 //
+// The second half repeats the study against a groundd instance under
+// deliberate overload, showing the production client pattern: honor the
+// Retry-After hint groundd attaches to 429 responses, with jittered
+// exponential backoff.
+//
 //	go run ./examples/pipeline
 package main
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
 	"fmt"
+	"io"
 	"log"
 	"math"
+	"math/rand"
+	"net"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
 
 	"earthing"
+	"earthing/internal/server"
 )
 
 func main() {
@@ -69,5 +86,110 @@ func main() {
 		fmt.Println("  increase the separation — the standard transferred-potential playbook.")
 	} else {
 		fmt.Println("→ the pipeline corridor is outside the hazardous zone.")
+	}
+
+	burstAgainstGroundd()
+}
+
+// burstAgainstGroundd runs the same substation through a groundd instance
+// sized to shed load (one solve slot, one queue slot) and hits it with a
+// burst of concurrent requests. The overflow gets 429 with a Retry-After
+// hint derived from the server's queue depth; postWithRetry absorbs those
+// with jittered exponential backoff, so the whole burst completes without
+// a retry storm.
+func burstAgainstGroundd() {
+	fmt.Println("\n--- burst of 4 solves against groundd (1 slot + 1 queue) ---")
+
+	srv := server.New(server.Config{MaxConcurrent: 1, QueueDepth: 1, CacheEntries: -1})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	hs := &http.Server{Handler: srv}
+	go func() {
+		if err := hs.Serve(ln); err != http.ErrServerClosed {
+			log.Fatalf("serve: %v", err)
+		}
+	}()
+	//lint:ignore errdrop demo server torn down at exit; nothing left to salvage
+	defer hs.Close()
+	base := "http://" + ln.Addr().String()
+
+	var (
+		wg      sync.WaitGroup
+		shed    atomic.Int32
+		lines   = make([]string, 4)
+		client  = &http.Client{Timeout: time.Minute}
+		onRetry = func(wait time.Duration) { shed.Add(1) }
+	)
+	for i := range lines {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			// Per-client RNG: rand.Rand is not goroutine-safe, and distinct
+			// seeds keep concurrent retry schedules decorrelated.
+			rng := rand.New(rand.NewSource(int64(i) + 1))
+			gpr := float64(2000 * (i + 1))
+			body := fmt.Sprintf(`{
+				"grid": {"rect": {"width": 60, "height": 60, "nx": 7, "ny": 7, "depth": 0.8, "radius": 0.006}},
+				"soil": {"kind": "two-layer", "gamma1": %.12g, "gamma2": %.12g, "h1": 1.8},
+				"gpr": %g}`, 1.0/120, 1.0/35, gpr)
+			data, err := postWithRetry(client, base+"/v1/solve", body, rng, onRetry)
+			if err != nil {
+				lines[i] = fmt.Sprintf("request %d: %v", i, err)
+				return
+			}
+			var out struct {
+				ReqOhms float64 `json:"reqOhms"`
+			}
+			if err := json.Unmarshal(data, &out); err != nil {
+				lines[i] = fmt.Sprintf("request %d: bad response: %v", i, err)
+				return
+			}
+			lines[i] = fmt.Sprintf("request %d (GPR %5.0f V): Req = %.4f ohm", i, gpr, out.ReqOhms)
+		}(i)
+	}
+	wg.Wait()
+	for _, l := range lines {
+		fmt.Println(l)
+	}
+	fmt.Printf("429 responses absorbed by Retry-After backoff: %d\n", shed.Load())
+}
+
+// postWithRetry POSTs a JSON body and retries on 429. The wait before each
+// retry honors the server's Retry-After hint when one is present (groundd
+// derives it from queue depth), falling back to an exponential schedule,
+// and is jittered to U[w/2, w) so a burst of clients does not retry in
+// lockstep. Any status other than 200 and 429 fails immediately.
+func postWithRetry(client *http.Client, url, body string, rng *rand.Rand, onRetry func(time.Duration)) ([]byte, error) {
+	backoff := 250 * time.Millisecond
+	const maxAttempts = 8
+	for attempt := 1; ; attempt++ {
+		resp, err := client.Post(url, "application/json", strings.NewReader(body))
+		if err != nil {
+			return nil, err
+		}
+		data, err := io.ReadAll(resp.Body)
+		//lint:ignore errdrop body already drained by ReadAll; Close cannot lose data
+		resp.Body.Close()
+		if err != nil {
+			return nil, err
+		}
+		if resp.StatusCode == http.StatusOK {
+			return data, nil
+		}
+		if resp.StatusCode != http.StatusTooManyRequests || attempt == maxAttempts {
+			return nil, fmt.Errorf("%s: %s", resp.Status, bytes.TrimSpace(data))
+		}
+		wait := backoff
+		if secs, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && secs > 0 {
+			wait = time.Duration(secs) * time.Second
+		}
+		wait = wait/2 + time.Duration(rng.Int63n(int64(wait/2)))
+		if onRetry != nil {
+			onRetry(wait)
+		}
+		time.Sleep(wait)
+		backoff *= 2
 	}
 }

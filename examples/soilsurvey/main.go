@@ -57,6 +57,11 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	for _, r := range swept {
+		if r.Err != nil {
+			log.Fatalf("scenario %s: %v", r.ID, r.Err)
+		}
+	}
 	resFit, resUni, resTruth := swept[0].Res, swept[1].Res, swept[2].Res
 
 	fmt.Printf("\n%-28s %12s %12s\n", "soil model", "Req (ohm)", "I (kA)")

@@ -8,6 +8,7 @@ import (
 	"sync"
 	"time"
 
+	"earthing/internal/faultinject"
 	"earthing/internal/geom"
 	"earthing/internal/grid"
 	"earthing/internal/linalg"
@@ -312,7 +313,9 @@ func (a *Assembler) runPairLoop(ctx context.Context, body func(beta, alpha int, 
 		}
 		return agg, nil
 	default:
-		panic(fmt.Sprintf("bem: unknown loop strategy %v", a.opt.Loop))
+		// A typed error, not a panic: the loop strategy arrives via Options
+		// from serving paths that must degrade per-request.
+		return sched.Stats{}, fmt.Errorf("bem: unknown loop strategy %v", a.opt.Loop)
 	}
 }
 
@@ -328,8 +331,10 @@ func (a *Assembler) pairMatrix(beta, alpha int, out []float64, s *pairScratch) {
 	if _, ok := a.groups[[2]int{a.elemLayer[alpha], a.elemLayer[beta]}]; ok {
 		a.pairMatrixImages(beta, alpha, out, s)
 	} else {
+		faultinject.Fire(faultinject.Quadrature, beta, out)
 		a.pairMatrixQuadrature(beta, alpha, out, s)
 	}
+	faultinject.Fire(faultinject.AssemblyPair, beta, out)
 }
 
 func (a *Assembler) pairMatrixImages(beta, alpha int, out []float64, s *pairScratch) {

@@ -1,6 +1,7 @@
 package bem
 
 import (
+	"earthing/internal/faultinject"
 	"earthing/internal/linalg"
 )
 
@@ -42,6 +43,18 @@ func (a *Assembler) ComputeColumn(beta int, store []float64, cs *ColumnScratch) 
 		idx := (beta*(beta+1)/2 + alpha) * k * k
 		a.pairMatrix(beta, alpha, store[idx:idx+k*k], cs.s)
 	}
+	faultinject.Fire(faultinject.AssemblyColumn, beta, a.ColumnRange(beta, store))
+}
+
+// ColumnRange returns the sub-slice of store that column beta writes — the
+// elemental matrices of the pairs (β, α ≤ β). Exposed so batch engines can
+// address one column's results (e.g. for fault-injection targeting) without
+// knowing the per-pair layout.
+func (a *Assembler) ColumnRange(beta int, store []float64) []float64 {
+	kk := a.k * a.k
+	lo := beta * (beta + 1) / 2 * kk
+	hi := (beta + 1) * (beta + 2) / 2 * kk
+	return store[lo:hi]
 }
 
 // AssembleStore scatters a fully computed store into a fresh global matrix,

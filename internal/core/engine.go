@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"earthing/internal/bem"
+	"earthing/internal/faultinject"
 	"earthing/internal/geom"
 	"earthing/internal/grid"
 	"earthing/internal/linalg"
@@ -67,6 +68,16 @@ type Config struct {
 	Solver SolverKind
 	// CGTol is the PCG relative-residual target (default 1e-10).
 	CGTol float64
+	// HealthCheck enables the numerical health checks around the solve
+	// stage: the system matrix and load vector are scanned for NaN/Inf
+	// before factorization, the solved density is scanned afterwards, and
+	// the matrix conditioning is estimated. Failures surface as a typed
+	// *HealthError instead of silently serving garbage.
+	HealthCheck bool
+	// CondLimit is the condition-number estimate above which a
+	// health-checked analysis fails (default 1e12). Estimates within a
+	// factor 10⁴ of the limit pass with a warning on the Result.
+	CondLimit float64
 }
 
 // StageTimings records wall-clock time per pipeline stage (Table 6.1 rows).
@@ -103,6 +114,9 @@ type Result struct {
 	LoopStats sched.Stats
 	// CG reports solver convergence (PCG only).
 	CG linalg.CGResult
+	// Condition is the 2-norm condition estimate of the system matrix,
+	// populated only when Config.HealthCheck is enabled (0 otherwise).
+	Condition float64
 	// Warnings lists non-fatal modelling issues found during preprocessing
 	// (e.g. an electrically fragmented grid — the solver still imposes the
 	// equipotential condition on every conductor, but a floating electrode
@@ -267,6 +281,12 @@ func BuildMesh(g *grid.Grid, model soil.Model, cfg Config) (*grid.Mesh, []string
 func solveSystem(res *Result, r *linalg.SymMatrix, cfg Config) error {
 	start := time.Now()
 	nu := bem.RHS(res.Mesh)
+	faultinject.Fire(faultinject.Solve, r.Order(), nu)
+	if cfg.HealthCheck {
+		if err := preSolveHealth(r, nu); err != nil {
+			return err
+		}
+	}
 	switch cfg.Solver {
 	case PCG:
 		tol := cfg.CGTol
@@ -294,6 +314,11 @@ func solveSystem(res *Result, r *linalg.SymMatrix, cfg Config) error {
 		res.Sigma = x
 	default:
 		return fmt.Errorf("core: unknown solver %v", cfg.Solver)
+	}
+	if cfg.HealthCheck {
+		if err := postSolveHealth(res, r, cfg); err != nil {
+			return err
+		}
 	}
 	res.Timings.Solve = time.Since(start)
 	return nil

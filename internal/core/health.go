@@ -1,0 +1,107 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"earthing/internal/linalg"
+)
+
+// Health-check reasons reported by HealthError.
+const (
+	// HealthNonFiniteSystem: the assembled Galerkin matrix or load vector
+	// contains NaN/±Inf — a poisoned or numerically broken assembly.
+	HealthNonFiniteSystem = "non-finite system"
+	// HealthNonFiniteSolution: the solver produced NaN/±Inf densities.
+	HealthNonFiniteSolution = "non-finite solution"
+	// HealthIndefinite: the system is not positive definite, so the
+	// Galerkin property is violated (degenerate discretization or poison).
+	HealthIndefinite = "indefinite system"
+	// HealthIllConditioned: the 2-norm condition estimate exceeds the
+	// configured limit; the solution digits cannot be trusted.
+	HealthIllConditioned = "ill-conditioned system"
+)
+
+// HealthError reports a failed numerical health check of an analysis run
+// with Config.HealthCheck enabled: the pipeline refuses to serve a solution
+// it can show to be garbage (poisoned values, indefinite or hopelessly
+// ill-conditioned systems) and returns this typed error instead.
+type HealthError struct {
+	// Reason is one of the Health* constants.
+	Reason string
+	// Condition is the 2-norm condition estimate when it caused or
+	// accompanied the failure (0 when not computed).
+	Condition float64
+	// Detail pins the first offending quantity (an index and value).
+	Detail string
+}
+
+// Error implements error.
+func (e *HealthError) Error() string {
+	msg := "core: health check: " + e.Reason
+	if e.Detail != "" {
+		msg += ": " + e.Detail
+	}
+	if e.Condition > 0 {
+		msg += fmt.Sprintf(" (condition estimate %.3g)", e.Condition)
+	}
+	return msg
+}
+
+// condLimit resolves the configured condition-number failure threshold.
+func condLimit(cfg Config) float64 {
+	if cfg.CondLimit > 0 {
+		return cfg.CondLimit
+	}
+	return defaultCondLimit
+}
+
+// defaultCondLimit fails systems with fewer than ~4 trustworthy digits in
+// float64; defaultCondWarnDiv marks the warning band below it.
+const (
+	defaultCondLimit   = 1e12
+	defaultCondWarnDiv = 1e4
+)
+
+// preSolveHealth guards the solve stage: a non-finite system must not reach
+// the factorization, where it would surface as a confusing solver error (or
+// worse, converge to garbage).
+func preSolveHealth(r *linalg.SymMatrix, nu []float64) error {
+	if !r.AllFinite() {
+		return &HealthError{Reason: HealthNonFiniteSystem, Detail: "system matrix contains NaN or Inf"}
+	}
+	for i, v := range nu {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return &HealthError{Reason: HealthNonFiniteSystem, Detail: fmt.Sprintf("load vector entry %d = %g", i, v)}
+		}
+	}
+	return nil
+}
+
+// postSolveHealth validates the solved density vector and estimates the
+// system's conditioning. Condition numbers above the limit fail the
+// analysis; the band within limit/1e4 of it appends a warning and lets the
+// result through — degraded, flagged, but usable. The estimate is recorded
+// on the Result either way.
+func postSolveHealth(res *Result, r *linalg.SymMatrix, cfg Config) error {
+	for i, v := range res.Sigma {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return &HealthError{Reason: HealthNonFiniteSolution, Detail: fmt.Sprintf("sigma[%d] = %g", i, v)}
+		}
+	}
+	cond, err := linalg.ConditionEstimate(r, 0)
+	if err != nil {
+		return &HealthError{Reason: HealthIndefinite, Detail: err.Error()}
+	}
+	res.Condition = cond
+	limit := condLimit(cfg)
+	if cond > limit || math.IsInf(cond, 1) || math.IsNaN(cond) {
+		return &HealthError{Reason: HealthIllConditioned, Condition: cond,
+			Detail: fmt.Sprintf("limit %.3g", limit)}
+	}
+	if cond > limit/defaultCondWarnDiv {
+		res.Warnings = append(res.Warnings, fmt.Sprintf(
+			"core: health check: condition estimate %.3g within 10^4 of the limit %.3g; results carry few trustworthy digits", cond, limit))
+	}
+	return nil
+}

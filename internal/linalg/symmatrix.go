@@ -119,6 +119,17 @@ func (m *SymMatrix) MaxAbs() float64 {
 	return max
 }
 
+// AllFinite reports whether every stored entry is finite (no NaN or ±Inf) —
+// the cheap O(N²) pre-solve guard of the numerical health checks.
+func (m *SymMatrix) AllFinite() bool {
+	for _, v := range m.data {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return false
+		}
+	}
+	return true
+}
+
 // Dense expands the matrix into a full row-major n×n slice (for tests and
 // small-problem debugging only).
 func (m *SymMatrix) Dense() [][]float64 {

@@ -67,6 +67,19 @@ type Schedule struct {
 // IsZero reports whether the schedule is unspecified.
 func (s Schedule) IsZero() bool { return s.Kind == Unspecified }
 
+// Validate reports whether the schedule can drive a parallel loop: the kind
+// must be Static, Dynamic or Guided. Construction-time callers (config
+// parsing, servers) should validate here so a bad kind is a 4xx at the
+// boundary, not an *UnknownScheduleError mid-loop.
+func (s Schedule) Validate() error {
+	switch s.Kind {
+	case Static, Dynamic, Guided:
+		return nil
+	default:
+		return &UnknownScheduleError{Kind: s.Kind}
+	}
+}
+
 // String renders the schedule the way the paper's Table 6.2 labels rows,
 // e.g. "static", "static,16", "dynamic,1", "guided,64".
 func (s Schedule) String() string {
@@ -136,15 +149,28 @@ func (s Stats) Imbalance() float64 {
 // runtime.GOMAXPROCS(0). p = 1 executes sequentially in the calling
 // goroutine (no synchronization cost), which is the baseline the paper's
 // speed-ups are referenced to.
+//
+// A panic in a body is contained: sibling workers stop at the next chunk
+// boundary, every worker joins, and the panic is re-raised on the calling
+// goroutine as a *PanicError (carrying the original value and stack), where
+// the caller can recover it. It never escapes on a worker goroutine, which
+// would be unconditionally fatal to the process.
 func For(n, p int, s Schedule, body func(i int)) {
 	ForStats(n, p, s, func(i, _ int) { body(i) })
 }
 
 // ForStats is For with the worker id passed to the body and execution
-// statistics returned.
+// statistics returned. Body panics re-raise on the calling goroutine as
+// *PanicError, as in For.
 func ForStats(n, p int, s Schedule, body func(i, worker int)) Stats {
-	//lint:ignore errdrop nil context never cancels, so the error is always nil
-	st, _ := forStats(nil, n, p, s, body)
+	st, err := forStats(nil, n, p, s, body)
+	if err != nil {
+		// With no context there is nothing to cancel, so the only errors are
+		// a contained body panic — re-raised here, on the caller's goroutine,
+		// after all workers joined — or an unknown schedule kind, which is a
+		// programmer error on the non-ctx API and keeps its panic semantics.
+		panic(err)
+	}
 	return st
 }
 
@@ -154,31 +180,46 @@ func ForStats(n, p int, s Schedule, body func(i, worker int)) Stats {
 // in this codebase are single element pairs or field points, so abandonment
 // latency is one body call plus one chunk). Returns ctx.Err() if the loop was
 // cut short, nil if every iteration ran.
+//
+// A panic in a body is contained and returned as a *PanicError instead of
+// crashing the process: siblings stop at the next chunk boundary, all
+// workers join, and the error carries the original panic value plus its
+// stack. A *UnknownScheduleError is returned (before any work starts) for a
+// Schedule whose kind is not Static, Dynamic or Guided.
 func ForCtx(ctx context.Context, n, p int, s Schedule, body func(i int)) error {
 	_, err := ForStatsCtx(ctx, n, p, s, func(i, _ int) { body(i) })
 	return err
 }
 
-// ForStatsCtx is ForStats with the cancellation semantics of ForCtx. The
-// returned Stats reflect the iterations actually executed, which is fewer
-// than n when err is non-nil.
+// ForStatsCtx is ForStats with the cancellation and panic-containment
+// semantics of ForCtx. The returned Stats reflect the iterations actually
+// executed, which is fewer than n when err is non-nil.
 func ForStatsCtx(ctx context.Context, n, p int, s Schedule, body func(i, worker int)) (Stats, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	return forStats(ctx, n, p, s, body)
 }
 
-// canceller adapts a context into the cheap per-chunk poll the inner loops
-// use: a receive-with-default on Done (nil for background contexts, where the
-// select always falls through). aborted records whether any worker actually
-// cut its loop short, so a context cancelled after the last iteration does
-// not spuriously fail a completed loop.
+// canceller is the shared per-loop control block: it adapts a context into
+// the cheap per-chunk poll the inner loops use (a receive-with-default on
+// Done, nil for background contexts) and records the first contained body
+// panic, which aborts siblings the same way a cancellation does. aborted
+// records whether any worker actually cut its loop short, so a context
+// cancelled after the last iteration does not spuriously fail a completed
+// loop.
 type canceller struct {
-	done    <-chan struct{}
-	aborted atomic.Bool
+	done     <-chan struct{}
+	aborted  atomic.Bool
+	panicErr atomic.Pointer[PanicError]
 }
 
 // stop reports whether the loop should abandon further chunks.
 func (c *canceller) stop() bool {
-	if c == nil {
+	if c.panicErr.Load() != nil {
+		return true
+	}
+	if c.done == nil {
 		return false
 	}
 	select {
@@ -191,11 +232,9 @@ func (c *canceller) stop() bool {
 }
 
 func forStats(ctx context.Context, n, p int, s Schedule, body func(i, worker int)) (Stats, error) {
-	var cn *canceller
+	cn := &canceller{}
 	if ctx != nil {
-		if done := ctx.Done(); done != nil {
-			cn = &canceller{done: done}
-		}
+		cn.done = ctx.Done()
 	}
 	if p <= 0 {
 		p = runtime.GOMAXPROCS(0)
@@ -207,47 +246,65 @@ func forStats(ctx context.Context, n, p int, s Schedule, body func(i, worker int
 	if n == 0 {
 		return st, nil
 	}
+	// safeBody contains body panics: the recovered value (with its stack) is
+	// recorded on the control block and ok stays false, telling the worker to
+	// stop immediately; stop() then halts every sibling at its next chunk
+	// boundary. One deferred call per iteration is noise next to the µs-scale
+	// kernel evaluations these loops carry.
+	safeBody := func(i, w int) (ok bool) {
+		defer func() {
+			if v := recover(); v != nil {
+				cn.recordPanic(v, i, w)
+			}
+		}()
+		body(i, w)
+		return true
+	}
 	st.PerWorker = make([]int, p)
 	st.ChunksPerWorker = make([]int, p)
 	if p == 1 {
 		// Sequential path: every iteration is its own chunk boundary.
 		count := 0
 		for i := 0; i < n; i++ {
-			if cn.stop() {
+			if cn.stop() || !safeBody(i, 0) {
 				break
 			}
-			body(i, 0)
 			count++
 		}
 		st.PerWorker[0] = count
 		st.ChunksPerWorker[0] = 1
-		return st, cancelErr(ctx, cn)
+		return st, cn.loopErr(ctx)
 	}
 
 	switch s.Kind {
 	case Static:
-		runStatic(n, p, s.Chunk, body, &st, cn)
+		runStatic(n, p, s.Chunk, safeBody, &st, cn)
 	case Dynamic:
 		c := s.Chunk
 		if c < 1 {
 			c = 1
 		}
-		runDynamic(n, p, c, body, &st, cn)
+		runDynamic(n, p, c, safeBody, &st, cn)
 	case Guided:
 		c := s.Chunk
 		if c < 1 {
 			c = 1
 		}
-		runGuided(n, p, c, body, &st, cn)
+		runGuided(n, p, c, safeBody, &st, cn)
 	default:
-		panic(fmt.Sprintf("sched: unknown schedule kind %d", s.Kind))
+		return st, &UnknownScheduleError{Kind: s.Kind}
 	}
-	return st, cancelErr(ctx, cn)
+	return st, cn.loopErr(ctx)
 }
 
-// cancelErr maps an aborted loop to its context error.
-func cancelErr(ctx context.Context, cn *canceller) error {
-	if cn != nil && cn.aborted.Load() {
+// loopErr resolves how an aborted loop failed: a contained panic wins over a
+// concurrent cancellation (it is the severer diagnosis), then an actually
+// aborted loop maps to its context error.
+func (c *canceller) loopErr(ctx context.Context) error {
+	if pe := c.panicErr.Load(); pe != nil {
+		return pe
+	}
+	if c.aborted.Load() && ctx != nil {
 		return ctx.Err()
 	}
 	return nil
@@ -255,7 +312,9 @@ func cancelErr(ctx context.Context, cn *canceller) error {
 
 // runStatic implements schedule(static) and schedule(static,c): the full
 // assignment of iterations to workers is fixed before the loop starts.
-func runStatic(n, p, chunk int, body func(i, w int), st *Stats, cn *canceller) {
+// body reports false when its iteration panicked, which stops this worker
+// immediately (siblings stop at their next cn.stop() poll).
+func runStatic(n, p, chunk int, body func(i, w int) bool, st *Stats, cn *canceller) {
 	var wg sync.WaitGroup
 	wg.Add(p)
 	for w := 0; w < p; w++ {
@@ -276,12 +335,15 @@ func runStatic(n, p, chunk int, body func(i, w int), st *Stats, cn *canceller) {
 					if (i-lo)%blockCheck == 0 && cn.stop() {
 						break
 					}
-					body(i, w)
+					if !body(i, w) {
+						break
+					}
 					count++
 				}
 			} else {
 				// Fixed chunks dealt round-robin: worker w owns chunks
 				// w, w+p, w+2p, …
+			chunked:
 				for base := w * chunk; base < n; base += p * chunk {
 					if cn.stop() {
 						break
@@ -292,7 +354,9 @@ func runStatic(n, p, chunk int, body func(i, w int), st *Stats, cn *canceller) {
 						hi = n
 					}
 					for i := base; i < hi; i++ {
-						body(i, w)
+						if !body(i, w) {
+							break chunked
+						}
 						count++
 					}
 				}
@@ -305,8 +369,9 @@ func runStatic(n, p, chunk int, body func(i, w int), st *Stats, cn *canceller) {
 }
 
 // runDynamic implements schedule(dynamic,c): workers atomically claim the
-// next chunk of c iterations when they become idle.
-func runDynamic(n, p, chunk int, body func(i, w int), st *Stats, cn *canceller) {
+// next chunk of c iterations when they become idle. body reports false when
+// its iteration panicked, which stops this worker immediately.
+func runDynamic(n, p, chunk int, body func(i, w int) bool, st *Stats, cn *canceller) {
 	var next int64
 	var wg sync.WaitGroup
 	wg.Add(p)
@@ -314,6 +379,7 @@ func runDynamic(n, p, chunk int, body func(i, w int), st *Stats, cn *canceller) 
 		go func(w int) {
 			defer wg.Done()
 			count, chunks := 0, 0
+		claim:
 			for {
 				base := int(atomic.AddInt64(&next, int64(chunk))) - chunk
 				if base >= n {
@@ -330,7 +396,9 @@ func runDynamic(n, p, chunk int, body func(i, w int), st *Stats, cn *canceller) 
 					hi = n
 				}
 				for i := base; i < hi; i++ {
-					body(i, w)
+					if !body(i, w) {
+						break claim
+					}
 					count++
 				}
 			}
@@ -344,8 +412,9 @@ func runDynamic(n, p, chunk int, body func(i, w int), st *Stats, cn *canceller) 
 // runGuided implements schedule(guided,c): chunk sizes start at roughly
 // remaining/(2p) — the proportion common OpenMP runtimes use — and decay
 // exponentially, never below c. A mutex serializes the (cheap) chunk-size
-// computation; the loop bodies run fully in parallel.
-func runGuided(n, p, minChunk int, body func(i, w int), st *Stats, cn *canceller) {
+// computation; the loop bodies run fully in parallel. body reports false
+// when its iteration panicked, which stops this worker immediately.
+func runGuided(n, p, minChunk int, body func(i, w int) bool, st *Stats, cn *canceller) {
 	var mu sync.Mutex
 	next := 0
 	grab := func() (lo, hi int) {
@@ -373,6 +442,7 @@ func runGuided(n, p, minChunk int, body func(i, w int), st *Stats, cn *canceller
 		go func(w int) {
 			defer wg.Done()
 			count, chunks := 0, 0
+		claim:
 			for {
 				lo, hi := grab()
 				if lo >= hi {
@@ -384,7 +454,9 @@ func runGuided(n, p, minChunk int, body func(i, w int), st *Stats, cn *canceller
 				}
 				chunks++
 				for i := lo; i < hi; i++ {
-					body(i, w)
+					if !body(i, w) {
+						break claim
+					}
 					count++
 				}
 			}

@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"earthing"
+	"earthing/internal/faultinject"
 )
 
 // entry is one cached unit-GPR solve keyed by its canonical scenario key.
@@ -45,6 +46,7 @@ func newLRUCache(max int) *lruCache {
 
 // get returns the cached result for key, promoting it to most recently used.
 func (c *lruCache) get(key string) (*earthing.Result, bool) {
+	faultinject.Fire(faultinject.CacheGet, 0, nil)
 	if c.max <= 0 {
 		return nil, false
 	}

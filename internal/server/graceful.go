@@ -1,0 +1,56 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"time"
+)
+
+// RunUntilSignal serves s on ln until a value arrives on sig, then drains:
+// readiness flips to 503 (load balancers stop routing here), new solves are
+// refused with Retry-After, and in-flight requests get up to drainTimeout to
+// finish before the listener is torn down. It returns nil on a clean drain,
+// the shutdown error when the timeout expired with work still running, or
+// the serve error if the listener failed before any signal.
+//
+// handler is what actually serves (cmd/groundd wraps s in a mux that also
+// mounts expvar); nil serves s directly. The signal channel is an injection
+// point: cmd/groundd feeds it from signal.Notify, the drain tests feed it
+// directly.
+func RunUntilSignal(s *Server, handler http.Handler, ln net.Listener, sig <-chan os.Signal, drainTimeout time.Duration, logf func(format string, v ...any)) error {
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	if handler == nil {
+		handler = s
+	}
+	hs := &http.Server{Handler: handler}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- hs.Serve(ln) }()
+
+	select {
+	case err := <-serveErr:
+		// The listener died on its own; Shutdown would have nothing to drain.
+		return fmt.Errorf("groundd: serve: %w", err)
+	case got := <-sig:
+		logf("groundd: received %v, draining (timeout %s)", got, drainTimeout)
+	}
+
+	s.SetDraining(true)
+	ctx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+	defer cancel()
+	if err := hs.Shutdown(ctx); err != nil {
+		return fmt.Errorf("groundd: drain timeout after %s: %w", drainTimeout, err)
+	}
+	// Shutdown closed the listener, so Serve has returned ErrServerClosed;
+	// reap it so the goroutine is gone before we report the clean drain.
+	if err := <-serveErr; !errors.Is(err, http.ErrServerClosed) {
+		return fmt.Errorf("groundd: serve: %w", err)
+	}
+	logf("groundd: drained cleanly")
+	return nil
+}

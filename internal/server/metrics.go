@@ -32,6 +32,15 @@ type Metrics struct {
 	DeadlineExceeded  atomic.Int64 // 504: deadline elapsed before/while solving
 	ClientCancelled   atomic.Int64 // 499: client went away
 
+	// Resilience counters. WorkerPanics counts panics contained inside the
+	// parallel compute loops and surfaced as request errors; HandlerPanics
+	// counts panics recovered at the HTTP handler boundary (the process
+	// stays up either way). HealthFailures counts solves rejected by the
+	// numerical health checks instead of serving garbage.
+	WorkerPanics   atomic.Int64
+	HandlerPanics  atomic.Int64
+	HealthFailures atomic.Int64
+
 	// QueueDepth is the current number of requests admitted but not yet
 	// holding a worker slot; BusyWorkers the number of slots in use.
 	QueueDepth  atomic.Int64
@@ -56,6 +65,9 @@ type Snapshot struct {
 	RejectedQueueFull int64 `json:"rejectedQueueFull"`
 	DeadlineExceeded  int64 `json:"deadlineExceeded"`
 	ClientCancelled   int64 `json:"clientCancelled"`
+	WorkerPanics      int64 `json:"workerPanics"`
+	HandlerPanics     int64 `json:"handlerPanics"`
+	HealthFailures    int64 `json:"healthFailures"`
 	QueueDepth        int64 `json:"queueDepth"`
 	BusyWorkers       int64 `json:"busyWorkers"`
 	AssembleNanos     int64 `json:"assembleNanos"`
@@ -76,6 +88,9 @@ func (m *Metrics) snapshot(cacheEntries int) Snapshot {
 		RejectedQueueFull: m.RejectedQueueFull.Load(),
 		DeadlineExceeded:  m.DeadlineExceeded.Load(),
 		ClientCancelled:   m.ClientCancelled.Load(),
+		WorkerPanics:      m.WorkerPanics.Load(),
+		HandlerPanics:     m.HandlerPanics.Load(),
+		HealthFailures:    m.HealthFailures.Load(),
 		QueueDepth:        m.QueueDepth.Load(),
 		BusyWorkers:       m.BusyWorkers.Load(),
 		AssembleNanos:     m.AssembleNanos.Load(),
@@ -102,6 +117,9 @@ func (s *Server) PublishExpvar() {
 	pub("rejectedQueueFull", s.metrics.RejectedQueueFull.Load)
 	pub("deadlineExceeded", s.metrics.DeadlineExceeded.Load)
 	pub("clientCancelled", s.metrics.ClientCancelled.Load)
+	pub("workerPanics", s.metrics.WorkerPanics.Load)
+	pub("handlerPanics", s.metrics.HandlerPanics.Load)
+	pub("healthFailures", s.metrics.HealthFailures.Load)
 	pub("queueDepth", s.metrics.QueueDepth.Load)
 	pub("busyWorkers", s.metrics.BusyWorkers.Load)
 	pub("assembleNanos", s.metrics.AssembleNanos.Load)

@@ -9,9 +9,14 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"runtime"
+	"strconv"
+	"sync/atomic"
 	"time"
 
 	"earthing"
+	"earthing/internal/core"
+	"earthing/internal/faultinject"
+	"earthing/internal/sched"
 )
 
 // StatusClientClosedRequest is the (de facto standard) status for requests
@@ -41,6 +46,10 @@ type Config struct {
 	// Workers is the parallel width for scenarios that do not set one
 	// (default GOMAXPROCS).
 	Workers int
+	// HealthCheck enables the engine's numerical health checks on every
+	// solve (earthing.Config.HealthCheck): poisoned or ill-conditioned
+	// systems are rejected with 422 instead of served.
+	HealthCheck bool
 	// EnablePprof mounts net/http/pprof under /debug/pprof/.
 	EnablePprof bool
 }
@@ -74,6 +83,9 @@ type Server struct {
 	// run a solve or a post-processing raster.
 	slots chan struct{}
 	mux   *http.ServeMux
+	// draining flips when shutdown starts: /readyz turns 503 and new work
+	// is refused while in-flight requests finish (see RunUntilSignal).
+	draining atomic.Bool
 }
 
 // New constructs a Server.
@@ -95,6 +107,20 @@ func New(cfg Config) *Server {
 		//lint:ignore errdrop a failed health-probe write has no one left to report to
 		fmt.Fprintln(w, "ok")
 	})
+	// Liveness (/healthz) and readiness (/readyz) deliberately differ: a
+	// draining server is still alive (don't restart it) but must stop
+	// receiving traffic (load balancers watch readiness).
+	s.mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if s.draining.Load() {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			//lint:ignore errdrop a failed readiness-probe write has no one left to report to
+			fmt.Fprintln(w, "draining")
+			return
+		}
+		//lint:ignore errdrop a failed readiness-probe write has no one left to report to
+		fmt.Fprintln(w, "ok")
+	})
 	if cfg.EnablePprof {
 		s.mux.HandleFunc("/debug/pprof/", pprof.Index)
 		s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -105,16 +131,45 @@ func New(cfg Config) *Server {
 	return s
 }
 
-// ServeHTTP implements http.Handler.
-func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+// ServeHTTP implements http.Handler. It is the last line of panic defence:
+// a panic that escapes a handler is recovered here and answered with a 500
+// diagnostic instead of tearing down the connection (and, under some serving
+// setups, the process). Parallel-loop worker panics normally never reach
+// this — sched contains them and they surface as *sched.PanicError values
+// through the error mapping in solved.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	defer func() {
+		if v := recover(); v != nil {
+			s.metrics.HandlerPanics.Add(1)
+			// Best effort: if the handler already wrote a status line this
+			// turns into a trailing body fragment, which is all HTTP allows.
+			s.writeError(w, &httpError{
+				status: http.StatusInternalServerError,
+				msg:    fmt.Sprintf("internal panic: %v", v),
+			})
+		}
+	}()
+	s.mux.ServeHTTP(w, r)
+}
 
 // Counters exposes the metrics for tests and for expvar publication.
 func (s *Server) Counters() *Metrics { return &s.metrics }
+
+// SetDraining flips the readiness state: a draining server answers 503 on
+// /readyz and refuses new solves while in-flight work completes.
+func (s *Server) SetDraining(v bool) { s.draining.Store(v) }
+
+// Draining reports whether the server is refusing new work.
+func (s *Server) Draining() bool { return s.draining.Load() }
 
 // httpError carries a status code with the message reported to the client.
 type httpError struct {
 	status int
 	msg    string
+	// retryAfter, when > 0, emits a Retry-After header (seconds) so
+	// load-shedding responses (429/503) tell well-behaved clients when to
+	// come back.
+	retryAfter int
 }
 
 func (e *httpError) Error() string { return e.msg }
@@ -126,6 +181,9 @@ func badRequest(err error) *httpError {
 // writeError emits the JSON error envelope.
 func (s *Server) writeError(w http.ResponseWriter, he *httpError) {
 	w.Header().Set("Content-Type", "application/json")
+	if he.retryAfter > 0 {
+		w.Header().Set("Retry-After", strconv.Itoa(he.retryAfter))
+	}
 	w.WriteHeader(he.status)
 	//lint:ignore errdrop encode-to-client failure means the client is gone; nothing to do
 	json.NewEncoder(w).Encode(map[string]string{"error": he.msg})
@@ -185,6 +243,13 @@ func (s *Server) mapCtxErr(err error) *httpError {
 // if all slots are busy. It returns a release func on success; otherwise the
 // 429/504/499 error to report.
 func (s *Server) acquire(ctx context.Context) (func(), *httpError) {
+	faultinject.Fire(faultinject.Admission, 0, nil)
+	if s.draining.Load() {
+		return nil, &httpError{
+			status: http.StatusServiceUnavailable, msg: "server draining",
+			retryAfter: s.retryAfterSeconds(),
+		}
+	}
 	release := func() {
 		<-s.slots
 		s.metrics.BusyWorkers.Add(-1)
@@ -200,7 +265,10 @@ func (s *Server) acquire(ctx context.Context) (func(), *httpError) {
 	if s.metrics.QueueDepth.Add(1) > int64(s.cfg.QueueDepth) {
 		s.metrics.QueueDepth.Add(-1)
 		s.metrics.RejectedQueueFull.Add(1)
-		return nil, &httpError{status: http.StatusTooManyRequests, msg: "queue full"}
+		return nil, &httpError{
+			status: http.StatusTooManyRequests, msg: "queue full",
+			retryAfter: s.retryAfterSeconds(),
+		}
 	}
 	defer s.metrics.QueueDepth.Add(-1)
 	select {
@@ -210,6 +278,40 @@ func (s *Server) acquire(ctx context.Context) (func(), *httpError) {
 	case <-ctx.Done():
 		return nil, s.mapCtxErr(ctx.Err())
 	}
+}
+
+// retryAfterSeconds estimates when shed load is worth retrying: the current
+// backlog divided by the service width, at least one second. Derived from
+// queue depth so the hint grows with the backlog instead of being a fixed
+// constant every rejected client obeys in lockstep.
+func (s *Server) retryAfterSeconds() int {
+	backlog := s.metrics.QueueDepth.Load() + s.metrics.BusyWorkers.Load()
+	ra := int(backlog) / s.cfg.MaxConcurrent
+	if ra < 1 {
+		ra = 1
+	}
+	return ra
+}
+
+// mapSolveErr translates a pipeline failure into its HTTP disposition,
+// bumping the resilience counters: a contained worker panic is a server
+// fault (500), a failed numerical health check is an unprocessable scenario
+// (422) — the request was well-formed, its system just cannot be trusted.
+func (s *Server) mapSolveErr(err error) *httpError {
+	var pe *sched.PanicError
+	if errors.As(err, &pe) {
+		s.metrics.WorkerPanics.Add(1)
+		return &httpError{
+			status: http.StatusInternalServerError,
+			msg: fmt.Sprintf("worker panic (iteration %d, worker %d): %v",
+				pe.Iteration, pe.Worker, pe.Value),
+		}
+	}
+	var he *core.HealthError
+	if errors.As(err, &he) {
+		s.metrics.HealthFailures.Add(1)
+	}
+	return &httpError{status: http.StatusUnprocessableEntity, msg: err.Error()}
 }
 
 // solved obtains the unit-GPR solution for a scenario: from the cache when
@@ -248,13 +350,14 @@ func (s *Server) solved(ctx context.Context, b *built, needSlot bool) (res *eart
 		return r, true, rel, nil
 	}
 	start := time.Now()
+	b.cfg.HealthCheck = s.cfg.HealthCheck
 	r, err := earthing.Analyze(ctx, b.grid, b.model, b.cfg)
 	if err != nil {
 		rel()
 		if ctx.Err() != nil {
 			return nil, false, noop, s.mapCtxErr(ctx.Err())
 		}
-		return nil, false, noop, &httpError{status: http.StatusUnprocessableEntity, msg: err.Error()}
+		return nil, false, noop, s.mapSolveErr(err)
 	}
 	s.metrics.Assemblies.Add(1)
 	s.metrics.AssembleNanos.Add(int64(time.Since(start)))

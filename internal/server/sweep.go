@@ -1,11 +1,14 @@
 package server
 
 import (
+	"errors"
 	"fmt"
 	"net/http"
 	"time"
 
 	"earthing"
+	"earthing/internal/core"
+	"earthing/internal/sched"
 )
 
 // maxSweepScenarios bounds one sweep request; beyond it the request is
@@ -175,9 +178,21 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	if req.AllowScaled {
 		opts = append(opts, earthing.WithScaledReuse())
 	}
-	err := earthing.SweepStream(ctx, builts[0].grid, scens, builts[0].cfg, func(sr earthing.SweepResult) error {
+	sweepCfg := builts[0].cfg
+	sweepCfg.HealthCheck = s.cfg.HealthCheck
+	err := earthing.SweepStream(ctx, builts[0].grid, scens, sweepCfg, func(sr earthing.SweepResult) error {
 		i := missIdx[sr.Index]
 		b := builts[i]
+		if sr.Err != nil {
+			// Per-scenario failure (contained worker panic or health-check
+			// rejection): this scenario reports its error on its own line —
+			// never cached — and the rest of the sweep keeps streaming.
+			s.countSweepFailure(sr.Err)
+			return sw.emit(SweepLine{
+				ID: sr.ID, Index: i, Key: b.key,
+				Cache: string(sr.Reuse), Error: sr.Err.Error(),
+			})
+		}
 		if sr.Reuse == earthing.SweepAssembled {
 			s.metrics.Assemblies.Add(1)
 			s.metrics.AssembleNanos.Add(int64(sr.Wall))
@@ -200,6 +215,20 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		// as a terminal NDJSON line.
 		//lint:ignore errdrop the client is the only consumer of this line; if it is gone, so is the report
 		sw.emit(SweepLine{Index: -1, Error: herr.msg})
+	}
+}
+
+// countSweepFailure bumps the resilience counter matching a per-scenario
+// sweep failure.
+func (s *Server) countSweepFailure(err error) {
+	var pe *sched.PanicError
+	if errors.As(err, &pe) {
+		s.metrics.WorkerPanics.Add(1)
+		return
+	}
+	var he *core.HealthError
+	if errors.As(err, &he) {
+		s.metrics.HealthFailures.Add(1)
 	}
 }
 

@@ -1,0 +1,182 @@
+package sweep
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+
+	"earthing/internal/core"
+	"earthing/internal/faultinject"
+	"earthing/internal/grid"
+	"earthing/internal/sched"
+	"earthing/internal/soil"
+)
+
+// chaosGrid is small so the chaos suites stay fast under -race.
+func chaosGrid() *grid.Grid { return grid.RectMesh(0, 0, 10, 10, 2, 2, 0.6, 0.006) }
+
+func chaosConfig() core.Config {
+	cfg := testConfig(4)
+	cfg.MaxElemLen = 4
+	return cfg
+}
+
+// chaosScenarios builds n scenarios with pairwise distinct uniform models, so
+// every scenario is its own assembly job.
+func chaosScenarios(n int) []Scenario {
+	scens := make([]Scenario, n)
+	for i := range scens {
+		scens[i] = Scenario{Model: soil.NewUniform(0.010 + 0.002*float64(i))}
+	}
+	return scens
+}
+
+// firstColumnOf returns the global interleaved column index of the first
+// column of the job serving scenario scen — a deterministic fault target.
+func firstColumnOf(t *testing.T, g *grid.Grid, scens []Scenario, opt Options, scen int) int {
+	t.Helper()
+	p, err := buildPlan(g, scens, opt, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for ji, j := range p.jobs {
+		for _, si := range j.scens {
+			if si == scen {
+				return p.offsets[ji]
+			}
+		}
+	}
+	t.Fatalf("scenario %d not found in any job", scen)
+	return -1
+}
+
+// runChaosSweep runs the sweep and returns results indexed by scenario.
+func runChaosSweep(t *testing.T, g *grid.Grid, scens []Scenario, opt Options) []Result {
+	t.Helper()
+	out, err := Run(context.Background(), g, scens, opt)
+	if err != nil {
+		t.Fatalf("sweep failed wholesale: %v", err)
+	}
+	return out
+}
+
+// assertIsolated checks the fault-isolation contract: exactly the scenarios
+// in failed carry an Err, and every other scenario is bit-identical to its
+// baseline counterpart.
+func assertIsolated(t *testing.T, baseline, faulty []Result, failed map[int]bool) {
+	t.Helper()
+	for i, r := range faulty {
+		if failed[i] {
+			if r.Err == nil {
+				t.Errorf("scenario %d: expected failure, got clean result", i)
+			}
+			if r.Res != nil {
+				t.Errorf("scenario %d: failed result carries a non-nil Res", i)
+			}
+			if r.Reuse != ReuseFailed {
+				t.Errorf("scenario %d: Reuse = %q, want %q", i, r.Reuse, ReuseFailed)
+			}
+			continue
+		}
+		if r.Err != nil {
+			t.Errorf("scenario %d: unexpected Err %v", i, r.Err)
+			continue
+		}
+		if r.Res.Req != baseline[i].Res.Req {
+			t.Errorf("scenario %d: Req %v != baseline %v", i, r.Res.Req, baseline[i].Res.Req)
+		}
+		sameFloats(t, "sigma", r.Res.Sigma, baseline[i].Res.Sigma)
+	}
+}
+
+// TestChaosSweepPanicIsolation: a panic injected into exactly one scenario's
+// assembly columns fails that scenario alone — the other eight of nine
+// complete and are bit-identical to a clean run.
+func TestChaosSweepPanicIsolation(t *testing.T) {
+	g := chaosGrid()
+	opt := Options{Config: chaosConfig()}
+	scens := chaosScenarios(9)
+	const victim = 4
+
+	baseline := runChaosSweep(t, g, scens, opt)
+	for i, r := range baseline {
+		if r.Err != nil {
+			t.Fatalf("clean run: scenario %d failed: %v", i, r.Err)
+		}
+	}
+
+	target := firstColumnOf(t, g, scens, opt, victim)
+	defer faultinject.Set(faultinject.SweepColumn,
+		faultinject.At(target, faultinject.Panic("injected sweep fault")))()
+
+	faulty := runChaosSweep(t, g, scens, opt)
+	assertIsolated(t, baseline, faulty, map[int]bool{victim: true})
+
+	var pe *sched.PanicError
+	if !errors.As(faulty[victim].Err, &pe) {
+		t.Fatalf("victim Err = %v, want *sched.PanicError", faulty[victim].Err)
+	}
+	if pe.Value != "injected sweep fault" {
+		t.Errorf("PanicError.Value = %v", pe.Value)
+	}
+	if !strings.Contains(string(pe.Stack), "faultinject") {
+		t.Errorf("captured stack does not reach the injection site:\n%s", pe.Stack)
+	}
+}
+
+// TestChaosSweepNaNHealthIsolation: a NaN poisoned into one scenario's store
+// is caught by the health checks at that scenario's solve — a typed
+// *core.HealthError on its Result — while the rest of the batch is clean and
+// bit-identical.
+func TestChaosSweepNaNHealthIsolation(t *testing.T) {
+	g := chaosGrid()
+	cfg := chaosConfig()
+	cfg.HealthCheck = true
+	opt := Options{Config: cfg}
+	scens := chaosScenarios(9)
+	const victim = 6
+
+	baseline := runChaosSweep(t, g, scens, opt)
+
+	target := firstColumnOf(t, g, scens, opt, victim)
+	defer faultinject.Set(faultinject.SweepColumn,
+		faultinject.At(target, faultinject.PoisonNaN()))()
+
+	faulty := runChaosSweep(t, g, scens, opt)
+	assertIsolated(t, baseline, faulty, map[int]bool{victim: true})
+
+	var he *core.HealthError
+	if !errors.As(faulty[victim].Err, &he) {
+		t.Fatalf("victim Err = %v, want *core.HealthError", faulty[victim].Err)
+	}
+	if he.Reason != core.HealthNonFiniteSystem {
+		t.Errorf("Reason = %q, want %q", he.Reason, core.HealthNonFiniteSystem)
+	}
+}
+
+// TestChaosSweepSharedJobFailure: scenarios riding a failed job through the
+// solve-reuse tier fail with it (they have no system of their own), while
+// independent jobs are untouched.
+func TestChaosSweepSharedJobFailure(t *testing.T) {
+	g := chaosGrid()
+	opt := Options{Config: chaosConfig()}
+	scens := []Scenario{
+		{Model: soil.NewUniform(0.010)},
+		{Model: soil.NewUniform(0.020)}, // victim job
+		{Model: soil.NewUniform(0.030)},
+		{Model: soil.NewUniform(0.020), GPR: 25_000}, // solve-reuse on the victim job
+	}
+
+	baseline := runChaosSweep(t, g, scens, opt)
+
+	target := firstColumnOf(t, g, scens, opt, 1)
+	defer faultinject.Set(faultinject.SweepColumn,
+		faultinject.At(target, faultinject.Panic("shared job fault")))()
+
+	faulty := runChaosSweep(t, g, scens, opt)
+	assertIsolated(t, baseline, faulty, map[int]bool{1: true, 3: true})
+	if faulty[1].Err != faulty[3].Err {
+		t.Error("scenarios of one failed job should share the same Err")
+	}
+}

@@ -27,6 +27,7 @@ import (
 	"fmt"
 	"math"
 	"runtime"
+	"runtime/debug"
 	"sort"
 	"strings"
 	"sync"
@@ -35,6 +36,7 @@ import (
 
 	"earthing/internal/bem"
 	"earthing/internal/core"
+	"earthing/internal/faultinject"
 	"earthing/internal/grid"
 	"earthing/internal/sched"
 	"earthing/internal/soil"
@@ -80,6 +82,10 @@ const (
 	// ReuseScaled marks a scenario derived through the opt-in
 	// proportional-conductivity tier.
 	ReuseScaled Reuse = "scaled"
+	// ReuseFailed marks a scenario whose assembly job failed — a panicking
+	// worker or a failed numerical health check. Res is nil and Err carries
+	// the cause; the rest of the batch is unaffected.
+	ReuseFailed Reuse = "failed"
 )
 
 // Result is one scenario's outcome.
@@ -90,8 +96,14 @@ type Result struct {
 	ID string
 	// Reuse names the tier that produced Res.
 	Reuse Reuse
-	// Res is the solved analysis at the scenario's GPR.
+	// Res is the solved analysis at the scenario's GPR (nil when Err is
+	// set).
 	Res *core.Result
+	// Err is the failure of this scenario's assembly job: a contained
+	// worker panic (*sched.PanicError) or a numerical health failure
+	// (*core.HealthError). Scenarios sharing the failed job all carry the
+	// same Err; scenarios of other jobs complete normally.
+	Err error
 	// Wall is the time from sweep start to this result's emission.
 	Wall time.Duration
 	// Assembly is the aggregate worker-busy time spent generating this
@@ -124,6 +136,23 @@ type job struct {
 	remaining atomic.Int64
 	busyNanos atomic.Int64
 	scratches []*bem.ColumnScratch
+	// failErr holds the first failure of this job (worker panic, health
+	// check); once set, the job's remaining columns are skipped and its
+	// scenarios are emitted as ReuseFailed results.
+	failErr atomic.Pointer[error]
+}
+
+// fail records the job's first failure; later failures are dropped.
+func (j *job) fail(err error) {
+	j.failErr.CompareAndSwap(nil, &err)
+}
+
+// failed returns the job's failure, or nil while it is healthy.
+func (j *job) failed() error {
+	if p := j.failErr.Load(); p != nil {
+		return *p
+	}
+	return nil
 }
 
 // scaledTier is one proportional model hanging off a base job.
@@ -291,6 +320,12 @@ func Run(ctx context.Context, g *grid.Grid, scenarios []Scenario, opt Options) (
 // returns an error the sweep is cancelled and Stream returns that error.
 // On ctx cancellation the workers stop at the next schedule chunk boundary
 // and Stream returns ctx's error; results already emitted stay valid.
+//
+// Faults are isolated per assembly job: a worker panic during one job's
+// columns, or a solver/health failure of one job's system, emits ReuseFailed
+// results (Err set, Res nil) for that job's scenarios while every other job
+// completes normally. Stream itself returns nil in that case — per-scenario
+// failures live on the Results, not the sweep.
 func Stream(ctx context.Context, g *grid.Grid, scenarios []Scenario, opt Options, emit func(Result) error) error {
 	if g == nil {
 		return fmt.Errorf("sweep: nil grid")
@@ -318,18 +353,48 @@ func Stream(ctx context.Context, g *grid.Grid, scenarios []Scenario, opt Options
 	var firstErr error
 	start := time.Now()
 
-	fail := func(err error) {
-		mu.Lock()
-		if firstErr == nil {
-			firstErr = err
+	// send delivers one result; callers must hold mu. An emit error cancels
+	// the whole sweep (the consumer is gone — nothing left to isolate for).
+	send := func(r Result) bool {
+		if err := emit(r); err != nil {
+			firstErr = fmt.Errorf("sweep: emit: %w", err)
+			cancel(firstErr)
+			return false
 		}
-		mu.Unlock()
-		cancel(err)
+		return true
+	}
+
+	// emitFailed delivers a failed job's scenarios as ReuseFailed results —
+	// the per-job fault isolation path: one poisoned or panicking scenario
+	// reports its error while the rest of the batch completes.
+	emitFailed := func(j *job, jerr error) {
+		wall := time.Since(start)
+		mu.Lock()
+		defer mu.Unlock()
+		if firstErr != nil {
+			return
+		}
+		one := func(si int) bool {
+			return send(Result{Index: si, ID: p.ids[si], Reuse: ReuseFailed, Err: jerr, Wall: wall})
+		}
+		for _, si := range j.scens {
+			if !one(si) {
+				return
+			}
+		}
+		for _, st := range j.scaled {
+			for _, si := range st.scens {
+				if !one(si) {
+					return
+				}
+			}
+		}
 	}
 
 	// finalize assembles, solves and emits a completed job. It runs inside
 	// the worker that computed the job's last column while other workers
-	// continue on the remaining jobs' columns.
+	// continue on the remaining jobs' columns. Numerical failures (solver,
+	// health checks) fail this job alone.
 	finalize := func(j *job) {
 		if ictx.Err() != nil {
 			return
@@ -341,7 +406,7 @@ func Stream(ctx context.Context, g *grid.Grid, scenarios []Scenario, opt Options
 		cfgUnit.GPR = 1
 		unit, err := core.CompleteAssembled(j.asm, j.model, rmat, sched.Stats{}, j.group.warnings, cfgUnit)
 		if err != nil {
-			fail(err)
+			emitFailed(j, err)
 			return
 		}
 		solve := time.Since(t0)
@@ -351,14 +416,6 @@ func Stream(ctx context.Context, g *grid.Grid, scenarios []Scenario, opt Options
 		defer mu.Unlock()
 		if firstErr != nil {
 			return
-		}
-		send := func(r Result) bool {
-			if err := emit(r); err != nil {
-				firstErr = fmt.Errorf("sweep: emit: %w", err)
-				cancel(firstErr)
-				return false
-			}
-			return true
 		}
 		for n, si := range j.scens {
 			res := unit
@@ -394,8 +451,15 @@ func Stream(ctx context.Context, g *grid.Grid, scenarios []Scenario, opt Options
 		}
 	}
 
-	_, loopErr := sched.ForStatsCtx(ictx, p.total, workers, schedule, func(i, w int) {
-		j, local := p.locate(i)
+	// computeColumn runs one column of one job with the panic contained to
+	// that job: a panicking kernel (or injected fault) marks the job failed
+	// instead of unwinding the shared loop, so sibling jobs keep assembling.
+	computeColumn := func(j *job, local, w, global int) {
+		defer func() {
+			if v := recover(); v != nil {
+				j.fail(&sched.PanicError{Value: v, Stack: debug.Stack(), Iteration: global, Worker: w})
+			}
+		}()
 		// Largest column first within each job, matching the assembler's
 		// own outer loop so late chunks are small.
 		beta := j.asm.NumColumns() - 1 - local
@@ -408,9 +472,32 @@ func Stream(ctx context.Context, g *grid.Grid, scenarios []Scenario, opt Options
 		}
 		t0 := time.Now()
 		j.asm.ComputeColumn(beta, j.store, j.scratches[wi])
+		if faultinject.Active() {
+			faultinject.Fire(faultinject.SweepColumn, global, j.asm.ColumnRange(beta, j.store))
+		}
 		j.busyNanos.Add(int64(time.Since(t0)))
+	}
+
+	// completeJob dispatches a job whose last column just finished: failed
+	// jobs emit error results, healthy ones assemble and solve.
+	completeJob := func(j *job) {
+		if err := j.failed(); err != nil {
+			emitFailed(j, err)
+			return
+		}
+		finalize(j)
+	}
+
+	_, loopErr := sched.ForStatsCtx(ictx, p.total, workers, schedule, func(i, w int) {
+		j, local := p.locate(i)
+		// Columns of an already-failed job are skipped (their output would
+		// be discarded) but still counted, so the job reaches completion
+		// and reports its scenarios.
+		if j.failed() == nil {
+			computeColumn(j, local, w, i)
+		}
 		if j.remaining.Add(-1) == 0 {
-			finalize(j)
+			completeJob(j)
 		}
 	})
 

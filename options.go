@@ -61,6 +61,20 @@ func WithSolver(k SolverKind) Option {
 	return func(s *settings) { s.cfg.Solver = k }
 }
 
+// WithHealthCheck enables the numerical health checks around the solve
+// stage (Config.HealthCheck): the system and solution are scanned for
+// NaN/Inf and the matrix conditioning is estimated; an analysis whose
+// numbers cannot be trusted fails with a typed *HealthError instead of
+// serving garbage. condLimit sets the condition-estimate failure threshold
+// (≤ 0 selects the default 1e12); estimates within 10⁴ of the limit pass
+// with a warning on the Result.
+func WithHealthCheck(condLimit float64) Option {
+	return func(s *settings) {
+		s.cfg.HealthCheck = true
+		s.cfg.CondLimit = condLimit
+	}
+}
+
 // WithScaledReuse lets Sweep serve a scenario whose soil model is an exact
 // proportional rescaling of an already-assembled one by scaling that
 // solution instead of assembling again (σ′ = s·σ, R′ = R/s). The derivation

@@ -17,8 +17,12 @@ type SweepScenario struct {
 
 // SweepResult is one solved scenario as emitted by Sweep/SweepStream; see
 // the internal/sweep package for field semantics. Results carry the reuse
-// tier that produced them (SweepAssembled, SweepSolveReuse, SweepScaled)
-// and per-scenario assembly/solve/wall timings.
+// tier that produced them (SweepAssembled, SweepSolveReuse, SweepScaled,
+// SweepFailed) and per-scenario assembly/solve/wall timings. A result with
+// a non-nil Err (tier SweepFailed) is a per-scenario failure — a contained
+// worker panic or a rejected health check — and its Res is nil; the other
+// scenarios of the batch are unaffected. Always check Err before touching
+// Res.
 type SweepResult = sweep.Result
 
 // SweepReuse labels how a sweep result was obtained.
@@ -34,6 +38,10 @@ const (
 	// SweepScaled: proportional soil model, solution derived by scaling
 	// (exact but not bit-identical; requires WithScaledReuse).
 	SweepScaled = sweep.ReuseScaled
+	// SweepFailed: the scenario's assembly job failed (worker panic or
+	// health check); Result.Err carries the cause and Res is nil. The rest
+	// of the batch completes normally.
+	SweepFailed = sweep.ReuseFailed
 )
 
 // Sweep solves many scenario variants of one grid in a single batch,
@@ -47,6 +55,11 @@ const (
 //
 // The shared cfg supplies discretization, solver and parallel options; a
 // scenario's GPR overrides cfg.GPR when positive.
+//
+// A failure confined to one scenario's assembly or solve (a contained
+// worker panic, a rejected health check) does not error the sweep: that
+// scenario's Result comes back with Err set and Res nil (tier SweepFailed)
+// while the rest of the batch completes.
 func Sweep(ctx context.Context, g *Grid, scenarios []SweepScenario, cfg Config, opts ...Option) ([]SweepResult, error) {
 	s := applyOptions(cfg, opts)
 	return sweep.Run(ctx, g, toScenarios(scenarios), sweep.Options{
