@@ -1,20 +1,34 @@
 // Command gridvet runs the repo's static-analysis suite (package
 // internal/analysis) over the module: it loads and type-checks every
 // package with the standard library's go/* packages only, runs the analyzer
-// registry, and prints findings as
+// registry, and reports findings.
 //
-//	file:line:col: [analyzer] message
+// Output formats (-format):
+//
+//	text   file:line:col: [analyzer] message        (default, human)
+//	json   an analysis.Report — CI artifacts and -baseline files
+//	sarif  SARIF 2.1.0 for code-scanning annotation tooling
+//
+// With -baseline <file> (a committed -format json report) gridvet fails
+// only on findings not in the baseline, so CI ratchets instead of
+// big-banging; -verify-baseline checks the baseline itself (parses, names
+// only known analyzers, and holds no entries for files that no longer
+// exist). -tests folds in-package _test.go files into the run so the
+// chaos/acceptance suites are vetted too.
 //
 // Deliberate violations are excused in source with a
 // "//lint:ignore <analyzer> <reason>" comment on the offending line or the
-// line directly above it. gridvet exits 1 when unsuppressed findings
-// remain and 2 when the module fails to load.
+// directive stack directly above it. gridvet exits 1 when unbaselined
+// findings remain and 2 when the module fails to load.
 //
 // Usage:
 //
-//	go run ./cmd/gridvet ./...          # whole module
-//	go run ./cmd/gridvet ./internal/... # subtree only
-//	go run ./cmd/gridvet -list          # print the analyzer registry
+//	go run ./cmd/gridvet ./...                 # whole module
+//	go run ./cmd/gridvet -tests ./internal/... # subtree, test files included
+//	go run ./cmd/gridvet -format json ./...    # machine-readable report
+//	go run ./cmd/gridvet -baseline ci/gridvet-baseline.json ./...
+//	go run ./cmd/gridvet -baseline ci/gridvet-baseline.json -verify-baseline
+//	go run ./cmd/gridvet -list                 # print the analyzer registry
 package main
 
 import (
@@ -28,46 +42,112 @@ import (
 )
 
 func main() {
-	list := flag.Bool("list", false, "list registered analyzers and exit")
-	flag.Parse()
+	os.Exit(run(os.Args[1:]))
+}
+
+// run is the testable body of main; it returns the process exit code.
+func run(args []string) int {
+	fs := flag.NewFlagSet("gridvet", flag.ContinueOnError)
+	fs.SetOutput(os.Stderr)
+	list := fs.Bool("list", false, "list registered analyzers and exit")
+	tests := fs.Bool("tests", false, "also load and vet in-package _test.go files")
+	format := fs.String("format", "text", "output format: text, json or sarif")
+	baselinePath := fs.String("baseline", "", "JSON report of accepted findings; fail only on findings not in it")
+	verifyBaseline := fs.Bool("verify-baseline", false, "check the -baseline file itself (parses, files exist) and exit")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	analyzers := analysis.Analyzers()
 	if *list {
 		for _, a := range analyzers {
-			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+			fmt.Printf("%-16s %s\n", a.Name, a.Doc)
 		}
-		return
+		fmt.Printf("%-16s %s (pseudo, non-suppressible)\n", "ignore", "malformed or unknown //lint:ignore directives")
+		fmt.Printf("%-16s %s (pseudo, non-suppressible)\n", "ignorehygiene", "//lint:ignore directives that suppress nothing")
+		return 0
+	}
+	switch *format {
+	case "text", "json", "sarif":
+	default:
+		fmt.Fprintf(os.Stderr, "gridvet: unknown -format %q (want text, json or sarif)\n", *format)
+		return 2
 	}
 
 	root, err := moduleRoot()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "gridvet:", err)
-		os.Exit(2)
+		return 2
 	}
-	pkgs, err := analysis.LoadModule(root)
+
+	var baseline analysis.Report
+	if *baselinePath != "" {
+		baseline, err = analysis.ReadBaseline(*baselinePath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "gridvet:", err)
+			return 2
+		}
+	}
+	if *verifyBaseline {
+		if *baselinePath == "" {
+			fmt.Fprintln(os.Stderr, "gridvet: -verify-baseline requires -baseline")
+			return 2
+		}
+		if err := analysis.VerifyBaseline(root, baseline, analyzers); err != nil {
+			fmt.Fprintln(os.Stderr, "gridvet:", err)
+			return 1
+		}
+		fmt.Printf("gridvet: baseline %s ok (%d finding(s))\n", *baselinePath, baseline.Count)
+		return 0
+	}
+
+	pkgs, err := analysis.LoadModuleOpts(root, analysis.LoadOptions{Tests: *tests})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "gridvet:", err)
-		os.Exit(2)
+		return 2
 	}
-	pkgs = filterPackages(pkgs, flag.Args(), root)
+	pkgs = filterPackages(pkgs, fs.Args(), root)
 
 	findings := analysis.Run(pkgs, analyzers)
-	cwd, err := os.Getwd()
-	if err != nil {
-		cwd = "" // fall back to absolute paths in the report
+	report := analysis.NewReport(root, findings)
+	fresh := report.Findings
+	if *baselinePath != "" {
+		fresh = report.ApplyBaseline(baseline)
 	}
-	for _, f := range findings {
-		name := f.Pos.Filename
-		if cwd != "" {
-			if rel, err := filepath.Rel(cwd, name); err == nil && !strings.HasPrefix(rel, "..") {
-				name = rel
-			}
+
+	switch *format {
+	case "json":
+		if err := report.WriteJSON(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "gridvet:", err)
+			return 2
 		}
-		fmt.Printf("%s:%d:%d: [%s] %s\n", name, f.Pos.Line, f.Pos.Column, f.Analyzer, f.Message)
+	case "sarif":
+		if err := report.WriteSARIF(os.Stdout, analyzers); err != nil {
+			fmt.Fprintln(os.Stderr, "gridvet:", err)
+			return 2
+		}
+	default:
+		printText(fresh)
 	}
-	if len(findings) > 0 {
-		fmt.Fprintf(os.Stderr, "gridvet: %d finding(s)\n", len(findings))
-		os.Exit(1)
+	if len(fresh) > 0 {
+		if n := len(report.Findings) - len(fresh); n > 0 {
+			fmt.Fprintf(os.Stderr, "gridvet: %d new finding(s), %d baselined\n", len(fresh), n)
+		} else {
+			fmt.Fprintf(os.Stderr, "gridvet: %d finding(s)\n", len(fresh))
+		}
+		return 1
+	}
+	if n := len(report.Findings); n > 0 {
+		fmt.Fprintf(os.Stderr, "gridvet: all %d finding(s) baselined\n", n)
+	}
+	return 0
+}
+
+// printText renders findings in the canonical text form with the report's
+// module-relative paths.
+func printText(findings []analysis.ReportFinding) {
+	for _, f := range findings {
+		fmt.Printf("%s:%d:%d: [%s] %s\n", f.File, f.Line, f.Col, f.Analyzer, f.Message)
 	}
 }
 

@@ -22,6 +22,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -114,7 +115,7 @@ func runExperiments(w io.Writer, exp string, q experiments.Quality, workers []in
 		{"table6.1", func() error { return experiments.Table61(w, q) }},
 		{"fig6.1", func() error { return experiments.Fig61(w, q, workers) }},
 		{"fieldeval", func() error { return experiments.FieldEval(w, q, 0, 0, 0, jsonOut) }},
-		{"sweep", func() error { return experiments.SweepEngine(w, q, 0, jsonOut) }},
+		{"sweep", func() error { return experiments.SweepEngine(context.Background(), w, q, 0, jsonOut) }},
 		{"table6.2", func() error { return experiments.Table62(w, q, workers) }},
 		{"table6.3", func() error { return experiments.Table63(w, q, workers) }},
 		{"ablation-assembly", func() error { return experiments.AblationAssembly(w, q, workers) }},

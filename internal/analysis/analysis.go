@@ -9,10 +9,17 @@
 // paper's parallelization depends on: loop bodies handed to
 // sched.For/ForStats (or launched with go) must not write closure-captured
 // state unless the write is partitioned by the loop index or guarded by a
-// sync primitive. The remaining analyzers encode numerical-kernel
+// sync primitive. The first-wave analyzers encode numerical-kernel
 // discipline: no floating-point ==, no dropped errors, no naive kernel-term
 // accumulation where the Kahan helper exists, no math.Pow with small
-// constant exponents in hot paths.
+// constant exponents in hot paths. The second wave mechanizes the
+// concurrency- and context-discipline invariants the serving stack
+// introduced: ctxflow (contexts are threaded, never minted mid-library),
+// panicerr (containment errors from sched/sweep/the facade are checked and
+// matched through errors.As/Is), lockdiscipline (locks are not copied,
+// are released on every path, and fields are not accessed both atomically
+// and plainly), and goleak (library goroutines carry a ctx, a done
+// channel, or a WaitGroup join).
 //
 // Deliberate violations are annotated in source with
 //
@@ -88,12 +95,27 @@ func (p *Pass) InTestFile(pos token.Pos) bool {
 	return strings.HasSuffix(p.Pkg.Fset.Position(pos).Filename, "_test.go")
 }
 
-// Analyzers returns the full registry, ordered by name.
+// InMainPackage reports whether the package under analysis is a command
+// (package main). The context- and goroutine-discipline analyzers exempt
+// commands: main is exactly where context.Background belongs and where
+// process-lifetime goroutines are legitimate.
+func (p *Pass) InMainPackage() bool {
+	return p.Pkg.Types.Name() == "main"
+}
+
+// Analyzers returns the full registry, ordered by name. Two pseudo-analyzers
+// ride alongside the registry inside Run itself: "ignore" (malformed or
+// unknown-name suppression directives) and "ignorehygiene" (well-formed
+// directives that suppress nothing). Neither can be suppressed.
 func Analyzers() []*Analyzer {
 	return []*Analyzer{
+		CtxFlowAnalyzer,
 		ErrDropAnalyzer,
 		FloatCmpAnalyzer,
+		GoLeakAnalyzer,
+		LockDisciplineAnalyzer,
 		NaiveSumAnalyzer,
+		PanicErrAnalyzer,
 		PowConstAnalyzer,
 		SharedWriteAnalyzer,
 	}
@@ -102,7 +124,9 @@ func Analyzers() []*Analyzer {
 // Run executes the analyzers over the packages, applies //lint:ignore
 // suppression, and returns the surviving findings sorted by position.
 // Malformed or unknown-analyzer directives surface as findings of the
-// pseudo-analyzer "ignore" (which cannot itself be suppressed).
+// pseudo-analyzer "ignore", and well-formed directives that suppressed
+// nothing as findings of "ignorehygiene"; neither pseudo-analyzer can
+// itself be suppressed.
 func Run(pkgs []*Package, analyzers []*Analyzer) []Finding {
 	known := map[string]bool{}
 	for _, a := range analyzers {
@@ -122,13 +146,14 @@ func Run(pkgs []*Package, analyzers []*Analyzer) []Finding {
 	}
 
 	var out []Finding
-	byFile := map[string]map[int][]directive{}
+	var dirs []*directive
+	byFile := map[string]map[int][]*directive{}
 	for _, pkg := range pkgs {
-		dirs := directives(pkg)
-		out = append(out, checkDirectives(dirs, known)...)
-		for _, d := range dirs {
+		pkgDirs := directives(pkg)
+		dirs = append(dirs, pkgDirs...)
+		for _, d := range pkgDirs {
 			if byFile[d.pos.Filename] == nil {
-				byFile[d.pos.Filename] = map[int][]directive{}
+				byFile[d.pos.Filename] = map[int][]*directive{}
 			}
 			byFile[d.pos.Filename][d.pos.Line] = append(byFile[d.pos.Filename][d.pos.Line], d)
 		}
@@ -139,6 +164,8 @@ func Run(pkgs []*Package, analyzers []*Analyzer) []Finding {
 		}
 		out = append(out, f)
 	}
+	out = append(out, checkDirectives(dirs, known)...)
+	out = append(out, staleDirectives(dirs, known)...)
 
 	sort.Slice(out, func(i, j int) bool {
 		a, b := out[i], out[j]

@@ -54,13 +54,16 @@ func wants(t *testing.T, dir string) []expectation {
 	return out
 }
 
-// runFixture loads testdata/src/<fixture>, runs the analyzers through the
-// full Run pipeline (so //lint:ignore handling applies), and checks the
-// findings against the fixture's want markers in both directions.
+// runFixture loads testdata/src/<fixture> with test files folded in, runs
+// the analyzers through the full Run pipeline (so //lint:ignore handling
+// applies), and checks the findings against the fixture's want markers in
+// both directions. Loading with Tests on lets fixtures assert per-analyzer
+// test-file policy: a marker in a _test.go file proves the analyzer runs
+// there, an unmarked scenario proves it skips.
 func runFixture(t *testing.T, fixture string, analyzers []*Analyzer) {
 	t.Helper()
 	dir := filepath.Join("testdata", "src", fixture)
-	pkgs, err := LoadModule(dir)
+	pkgs, err := LoadModuleOpts(dir, LoadOptions{Tests: true})
 	if err != nil {
 		t.Fatalf("loading fixture %s: %v", fixture, err)
 	}
@@ -96,34 +99,44 @@ func TestPowConst(t *testing.T) { runFixture(t, "powconst", []*Analyzer{PowConst
 func TestSharedWrite(t *testing.T) {
 	runFixture(t, "sharedwrite", []*Analyzer{SharedWriteAnalyzer})
 }
+func TestCtxFlow(t *testing.T)  { runFixture(t, "ctxflow", []*Analyzer{CtxFlowAnalyzer}) }
+func TestPanicErr(t *testing.T) { runFixture(t, "panicerr", []*Analyzer{PanicErrAnalyzer}) }
+func TestGoLeak(t *testing.T)   { runFixture(t, "goleak", []*Analyzer{GoLeakAnalyzer}) }
+func TestLockDiscipline(t *testing.T) {
+	runFixture(t, "lockdiscipline", []*Analyzer{LockDisciplineAnalyzer})
+}
 
 // TestIgnoreDirectives runs the full registry so the "wrong analyzer name"
 // scenario names an analyzer that is known but different from the reporter.
 func TestIgnoreDirectives(t *testing.T) { runFixture(t, "ignore", Analyzers()) }
 
 // TestLoadModule checks package discovery, module-local import resolution
-// and the test-file policy: in-package _test.go files join the package,
-// external test packages are skipped entirely (the loader fixture's external
-// file would fail type-checking if it were included).
+// and the test-file policy in both loader modes: by default _test.go files
+// stay out entirely; with Tests on, in-package test files join the package
+// while external test packages are still skipped (the loader fixture's
+// external file would fail type-checking if it were included).
 func TestLoadModule(t *testing.T) {
-	pkgs, err := LoadModule(filepath.Join("testdata", "src", "loader"))
-	if err != nil {
-		t.Fatalf("LoadModule: %v", err)
+	load := func(t *testing.T, opt LoadOptions) (*Package, []string) {
+		t.Helper()
+		pkgs, err := LoadModuleOpts(filepath.Join("testdata", "src", "loader"), opt)
+		if err != nil {
+			t.Fatalf("LoadModuleOpts(%+v): %v", opt, err)
+		}
+		byPath := map[string]*Package{}
+		for _, p := range pkgs {
+			byPath[p.Path] = p
+		}
+		if len(pkgs) != 2 || byPath["fixture"] == nil || byPath["fixture/sub"] == nil {
+			t.Fatalf("got packages %v, want [fixture fixture/sub]", byPath)
+		}
+		root := byPath["fixture"]
+		var names []string
+		for _, f := range root.Files {
+			names = append(names, filepath.Base(root.Fset.Position(f.Pos()).Filename))
+		}
+		return root, names
 	}
-	byPath := map[string]*Package{}
-	for _, p := range pkgs {
-		byPath[p.Path] = p
-	}
-	if len(pkgs) != 2 || byPath["fixture"] == nil || byPath["fixture/sub"] == nil {
-		t.Fatalf("got packages %v, want [fixture fixture/sub]", byPath)
-	}
-
-	root := byPath["fixture"]
-	var names []string
-	for _, f := range root.Files {
-		names = append(names, filepath.Base(root.Fset.Position(f.Pos()).Filename))
-	}
-	has := func(name string) bool {
+	has := func(names []string, name string) bool {
 		for _, n := range names {
 			if n == name {
 				return true
@@ -131,26 +144,37 @@ func TestLoadModule(t *testing.T) {
 		}
 		return false
 	}
-	if !has("a.go") || !has("a_internal_test.go") {
-		t.Errorf("root package files %v missing a.go or the in-package test file", names)
+
+	root, names := load(t, LoadOptions{})
+	if !has(names, "a.go") {
+		t.Errorf("default load: root package files %v missing a.go", names)
 	}
-	if has("a_external_test.go") {
-		t.Errorf("root package files %v include the external test package file", names)
+	if has(names, "a_internal_test.go") || has(names, "a_external_test.go") {
+		t.Errorf("default load: root package files %v include test files", names)
 	}
 	if root.Types.Scope().Lookup("Describe") == nil {
 		t.Errorf("type-checked package lacks Describe")
 	}
+
+	_, names = load(t, LoadOptions{Tests: true})
+	if !has(names, "a.go") || !has(names, "a_internal_test.go") {
+		t.Errorf("Tests load: root package files %v missing a.go or the in-package test file", names)
+	}
+	if has(names, "a_external_test.go") {
+		t.Errorf("Tests load: root package files %v include the external test package file", names)
+	}
 }
 
 // TestRepoIsClean is the dogfooding gate: the full analyzer registry over
-// the whole module must report nothing, i.e. what CI's gridvet run enforces.
+// the whole module — test files included, as CI's gridvet -tests run
+// enforces — must report nothing.
 func TestRepoIsClean(t *testing.T) {
 	if testing.Short() {
 		t.Skip("loads and type-checks the entire module")
 	}
-	pkgs, err := LoadModule(filepath.Join("..", ".."))
+	pkgs, err := LoadModuleOpts(filepath.Join("..", ".."), LoadOptions{Tests: true})
 	if err != nil {
-		t.Fatalf("LoadModule: %v", err)
+		t.Fatalf("LoadModuleOpts: %v", err)
 	}
 	for _, f := range Run(pkgs, Analyzers()) {
 		t.Errorf("%s", f)

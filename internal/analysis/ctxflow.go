@@ -1,0 +1,208 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// CtxFlowAnalyzer encodes the context discipline the facade's context-first
+// refactor (DESIGN.md §11) committed the library to: cancellation must flow
+// from the caller down to every blocking callee, never be severed by a
+// context minted mid-library. Three rules, all scoped to non-main, non-test
+// library code:
+//
+//   - no calls to context.Background() or context.TODO() — a fresh root
+//     context in a library function detaches everything below it from the
+//     request that is paying for the work. Background belongs in package
+//     main and in tests;
+//   - in exported functions, a context.Context parameter must come first
+//     (the convention every callee in the tree relies on when threading);
+//   - a function that accepts a ctx must actually thread it: if the body
+//     calls at least one function that accepts a context.Context but never
+//     mentions its own ctx parameter, the chain is severed.
+//
+// Functions whose doc comment carries a "Deprecated:" marker are exempt in
+// full: the sanctioned compatibility shims (Analyze → AnalyzeCtx era) exist
+// precisely to bridge ctx-free callers onto the ctx-first API.
+var CtxFlowAnalyzer = &Analyzer{
+	Name: "ctxflow",
+	Doc:  "context.Context must be first, threaded to callees, and never minted in library code",
+	Run:  runCtxFlow,
+}
+
+func runCtxFlow(pass *Pass) {
+	if pass.InMainPackage() {
+		return
+	}
+	for _, file := range pass.Pkg.Files {
+		if pass.InTestFile(file.Pos()) {
+			continue
+		}
+		deprecated := deprecatedRanges(file)
+		exempt := func(pos token.Pos) bool {
+			for _, r := range deprecated {
+				if pos >= r[0] && pos < r[1] {
+					return true
+				}
+			}
+			return false
+		}
+
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				if !exempt(n.Pos()) && isContextRootCall(pass, n) {
+					pass.Reportf(n.Pos(),
+						"%s mints a fresh root context in library code; thread the caller's ctx instead (Background/TODO belong in main and tests)",
+						exprName(n.Fun))
+				}
+			case *ast.FuncDecl:
+				if exempt(n.Pos()) {
+					return false
+				}
+				checkCtxPosition(pass, n)
+				checkCtxThreaded(pass, n)
+			}
+			return true
+		})
+	}
+}
+
+// deprecatedRanges returns the [pos,end) extents of functions documented as
+// Deprecated.
+func deprecatedRanges(file *ast.File) [][2]token.Pos {
+	var out [][2]token.Pos
+	for _, decl := range file.Decls {
+		fd, ok := decl.(*ast.FuncDecl)
+		if !ok || fd.Doc == nil {
+			continue
+		}
+		if strings.Contains(fd.Doc.Text(), "Deprecated:") {
+			out = append(out, [2]token.Pos{fd.Pos(), fd.End()})
+		}
+	}
+	return out
+}
+
+// isContextRootCall matches context.Background() and context.TODO().
+func isContextRootCall(pass *Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	if sel.Sel.Name != "Background" && sel.Sel.Name != "TODO" {
+		return false
+	}
+	obj := pass.ObjectOf(sel.Sel)
+	return obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == "context"
+}
+
+// isContextType reports whether t is context.Context.
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}
+
+// ctxParams returns the flattened parameter index of every context.Context
+// parameter of fd along with the parameter objects (nil for unnamed or
+// blank parameters).
+func ctxParams(pass *Pass, fd *ast.FuncDecl) (indices []int, objs []types.Object) {
+	i := 0
+	for _, field := range fd.Type.Params.List {
+		n := len(field.Names)
+		if n == 0 {
+			n = 1 // unnamed parameter still occupies a slot
+		}
+		if isContextType(pass.TypeOf(field.Type)) {
+			for k := 0; k < n; k++ {
+				indices = append(indices, i+k)
+				if k < len(field.Names) && field.Names[k].Name != "_" {
+					objs = append(objs, pass.ObjectOf(field.Names[k]))
+				} else {
+					objs = append(objs, nil)
+				}
+			}
+		}
+		i += n
+	}
+	return indices, objs
+}
+
+// checkCtxPosition enforces ctx-first on exported functions and methods.
+func checkCtxPosition(pass *Pass, fd *ast.FuncDecl) {
+	if !fd.Name.IsExported() {
+		return
+	}
+	indices, _ := ctxParams(pass, fd)
+	for _, idx := range indices {
+		if idx != 0 {
+			pass.Reportf(fd.Name.Pos(),
+				"exported %s takes a context.Context as parameter %d; ctx must be the first parameter", fd.Name.Name, idx+1)
+		}
+	}
+}
+
+// checkCtxThreaded flags a ctx parameter that is never referenced while the
+// body calls at least one context-accepting function: the cancellation
+// chain is severed exactly where this function sits.
+func checkCtxThreaded(pass *Pass, fd *ast.FuncDecl) {
+	if fd.Body == nil {
+		return
+	}
+	_, objs := ctxParams(pass, fd)
+	var ctxObj types.Object
+	for _, o := range objs {
+		if o != nil {
+			ctxObj = o
+			break
+		}
+	}
+	if ctxObj == nil {
+		return
+	}
+	used := false
+	var ctxCallee ast.Expr
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if used {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.Ident:
+			if pass.Pkg.Info.Uses[n] == ctxObj {
+				used = true
+			}
+		case *ast.CallExpr:
+			if ctxCallee == nil && calleeAcceptsContext(pass, n) {
+				ctxCallee = n.Fun
+			}
+		}
+		return !used
+	})
+	if !used && ctxCallee != nil {
+		pass.Reportf(fd.Name.Pos(),
+			"%s accepts a ctx but never uses it while calling %s, which accepts a context.Context; thread the ctx through",
+			fd.Name.Name, exprName(ctxCallee))
+	}
+}
+
+// calleeAcceptsContext reports whether the called function's signature has a
+// context.Context parameter.
+func calleeAcceptsContext(pass *Pass, call *ast.CallExpr) bool {
+	sig, ok := pass.TypeOf(call.Fun).(*types.Signature)
+	if !ok {
+		return false
+	}
+	params := sig.Params()
+	for i := 0; i < params.Len(); i++ {
+		if isContextType(params.At(i).Type()) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,103 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// GoLeakAnalyzer is the lexical ("goleak-lite") version of the
+// no-goroutine-leak property the chaos suites assert dynamically: a
+// goroutine launched in library code must have a termination story visible
+// at the launch site. Accepted shapes:
+//
+//   - the call passes a context.Context or a channel argument (the
+//     goroutine can be told to stop);
+//   - the goroutine is a function literal whose body mentions a
+//     context.Context value, a channel (send, receive, select or close all
+//     count, including captured done/quit channels), or joins through
+//     sync.WaitGroup's Done/Wait.
+//
+// A go statement with none of those is a leak candidate: nothing can stop
+// it and nothing observes its exit. Package main and _test.go files are
+// exempt — process- and test-lifetime goroutines are the runtime's and the
+// test harness's to reap (and the server suites check leaks dynamically).
+var GoLeakAnalyzer = &Analyzer{
+	Name: "goleak",
+	Doc:  "library goroutines need a ctx, a done/quit channel, or a WaitGroup join",
+	Run:  runGoLeak,
+}
+
+func runGoLeak(pass *Pass) {
+	if pass.InMainPackage() {
+		return
+	}
+	for _, file := range pass.Pkg.Files {
+		if pass.InTestFile(file.Pos()) {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			gs, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			if goroutineHasTermination(pass, gs.Call) {
+				return true
+			}
+			pass.Reportf(gs.Pos(),
+				"goroutine has no visible termination path (no ctx, done channel, or WaitGroup join); it can leak")
+			return true
+		})
+	}
+}
+
+// goroutineHasTermination applies the acceptance rules documented on
+// GoLeakAnalyzer.
+func goroutineHasTermination(pass *Pass, call *ast.CallExpr) bool {
+	for _, arg := range call.Args {
+		if isStoppableType(pass.TypeOf(arg)) {
+			return true
+		}
+	}
+	lit, ok := call.Fun.(*ast.FuncLit)
+	if !ok {
+		return false
+	}
+	found := false
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.Ident:
+			if obj := pass.ObjectOf(n); obj != nil && isStoppableType(obj.Type()) {
+				found = true
+			}
+		case *ast.SelectorExpr:
+			if isStoppableType(pass.TypeOf(n)) {
+				found = true
+			}
+		case *ast.CallExpr:
+			if sel, ok := n.Fun.(*ast.SelectorExpr); ok &&
+				(sel.Sel.Name == "Done" || sel.Sel.Name == "Wait") {
+				if obj := pass.ObjectOf(sel.Sel); obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == "sync" {
+					found = true
+				}
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// isStoppableType reports whether t is a context.Context or a channel —
+// the two types that give a goroutine an external stop signal.
+func isStoppableType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if isContextType(t) {
+		return true
+	}
+	_, isChan := t.Underlying().(*types.Chan)
+	return isChan
+}

@@ -12,15 +12,27 @@ import (
 //
 //	//lint:ignore <analyzer> <reason>
 //
-// placed either on the same line as the finding or on the line directly
-// above it. The analyzer name must match the reporting analyzer exactly and
-// a non-empty reason is mandatory — gridvet reports a directive that names
-// an unknown analyzer or omits the reason as a finding of the
-// pseudo-analyzer "ignore", which cannot itself be suppressed. A
-// well-formed directive that matches no finding is tolerated (the analyzers
-// are heuristic; a directive may outlive the pattern it excused).
+// placed on the same line as the finding or on the line directly above it.
+// Several directives may be stacked on consecutive lines above one finding
+// (a line needs one directive per analyzer that fires on it); the stack is
+// contiguous — a blank or code line ends it. The analyzer name must match
+// the reporting analyzer exactly and a non-empty reason is mandatory —
+// gridvet reports a directive that names an unknown analyzer or omits the
+// reason as a finding of the pseudo-analyzer "ignore", which cannot itself
+// be suppressed.
+//
+// A well-formed directive that suppresses zero findings is reported by the
+// second pseudo-analyzer, "ignorehygiene" (also non-suppressible): a stale
+// directive is a latent hole in the lint wall, silently excusing the next
+// real violation that lands on its line. Hygiene findings are only raised
+// for directives whose analyzer is part of the running set, so vetting a
+// package subset or a single analyzer does not misreport directives that
+// belong to the others.
 
 const ignoreName = "ignore"
+
+// hygieneName is the pseudo-analyzer reporting stale directives.
+const hygieneName = "ignorehygiene"
 
 // directivePrefix is what a suppression comment starts with after "//".
 const directivePrefix = "lint:ignore"
@@ -30,34 +42,51 @@ type directive struct {
 	pos      token.Position
 	analyzer string // "" when malformed
 	reason   string // "" when missing
+	used     bool   // set when the directive suppresses at least one finding
+}
+
+// parseDirective parses one raw comment ("//..." or "/*...*/" text as
+// returned by ast.Comment.Text) as a suppression directive. ok is false
+// when the comment is not a directive at all; a malformed directive (no
+// analyzer, or no reason) still parses with the missing fields empty so the
+// caller can diagnose it.
+func parseDirective(text string) (analyzer, reason string, ok bool) {
+	body, ok := strings.CutPrefix(text, "//")
+	if !ok {
+		return "", "", false // /* */ comments do not carry directives
+	}
+	rest, ok := strings.CutPrefix(strings.TrimSpace(body), directivePrefix)
+	if !ok {
+		return "", "", false
+	}
+	if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+		return "", "", false // e.g. "lint:ignoreXXX" is not a directive
+	}
+	fields := strings.Fields(rest)
+	if len(fields) > 0 {
+		analyzer = fields[0]
+	}
+	if len(fields) > 1 {
+		reason = strings.Join(fields[1:], " ")
+	}
+	return analyzer, reason, true
 }
 
 // directives extracts every //lint:ignore comment of the package.
-func directives(pkg *Package) []directive {
-	var out []directive
+func directives(pkg *Package) []*directive {
+	var out []*directive
 	for _, f := range pkg.Files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
-				text, ok := strings.CutPrefix(c.Text, "//")
-				if !ok {
-					continue // /* */ comments do not carry directives
-				}
-				rest, ok := strings.CutPrefix(strings.TrimSpace(text), directivePrefix)
+				analyzer, reason, ok := parseDirective(c.Text)
 				if !ok {
 					continue
 				}
-				if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
-					continue // e.g. "lint:ignoreXXX" is not a directive
-				}
-				fields := strings.Fields(rest)
-				d := directive{pos: pkg.Fset.Position(c.Pos())}
-				if len(fields) > 0 {
-					d.analyzer = fields[0]
-				}
-				if len(fields) > 1 {
-					d.reason = strings.Join(fields[1:], " ")
-				}
-				out = append(out, d)
+				out = append(out, &directive{
+					pos:      pkg.Fset.Position(c.Pos()),
+					analyzer: analyzer,
+					reason:   reason,
+				})
 			}
 		}
 	}
@@ -66,7 +95,7 @@ func directives(pkg *Package) []directive {
 
 // checkDirectives reports malformed directives and directives naming
 // analyzers outside the known set.
-func checkDirectives(dirs []directive, known map[string]bool) []Finding {
+func checkDirectives(dirs []*directive, known map[string]bool) []Finding {
 	var out []Finding
 	for _, d := range dirs {
 		switch {
@@ -85,18 +114,39 @@ func checkDirectives(dirs []directive, known map[string]bool) []Finding {
 }
 
 // suppressed reports whether a well-formed directive for f's analyzer sits
-// on the finding's line or the line directly above it.
-func suppressed(f Finding, byFile map[string]map[int][]directive) bool {
+// on the finding's line or in the contiguous stack of directive lines
+// directly above it, and marks every matching directive as used.
+func suppressed(f Finding, byFile map[string]map[int][]*directive) bool {
 	lines := byFile[f.Pos.Filename]
 	if lines == nil {
 		return false
 	}
-	for _, line := range [2]int{f.Pos.Line, f.Pos.Line - 1} {
+	hit := false
+	match := func(line int) {
 		for _, d := range lines[line] {
 			if d.analyzer == f.Analyzer && d.reason != "" {
-				return true
+				d.used = true
+				hit = true
 			}
 		}
 	}
-	return false
+	match(f.Pos.Line)
+	for line := f.Pos.Line - 1; len(lines[line]) > 0; line-- {
+		match(line)
+	}
+	return hit
+}
+
+// staleDirectives reports every well-formed directive whose analyzer ran
+// but which suppressed nothing.
+func staleDirectives(dirs []*directive, known map[string]bool) []Finding {
+	var out []Finding
+	for _, d := range dirs {
+		if d.used || d.analyzer == "" || d.reason == "" || !known[d.analyzer] {
+			continue
+		}
+		out = append(out, Finding{Pos: d.pos, Analyzer: hygieneName,
+			Message: "directive for " + d.analyzer + " suppresses no finding; delete it or restore the code it excused"})
+	}
+	return out
 }

@@ -1,0 +1,74 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseDirective(t *testing.T) {
+	cases := []struct {
+		text     string
+		analyzer string
+		reason   string
+		ok       bool
+	}{
+		{"//lint:ignore errdrop the writer latches errors", "errdrop", "the writer latches errors", true},
+		{"// lint:ignore errdrop spaced prefix still parses", "errdrop", "spaced prefix still parses", true},
+		{"//lint:ignore errdrop", "errdrop", "", true},
+		{"//lint:ignore", "", "", true},
+		{"//lint:ignore\tfloatcmp\ttabs separate fields too", "floatcmp", "tabs separate fields too", true},
+		{"//lint:ignoreX not a directive", "", "", false},
+		{"// just a comment", "", "", false},
+		{"/* lint:ignore errdrop block comments do not count */", "", "", false},
+	}
+	for _, c := range cases {
+		analyzer, reason, ok := parseDirective(c.text)
+		if analyzer != c.analyzer || reason != c.reason || ok != c.ok {
+			t.Errorf("parseDirective(%q) = (%q, %q, %v), want (%q, %q, %v)",
+				c.text, analyzer, reason, ok, c.analyzer, c.reason, c.ok)
+		}
+	}
+}
+
+// FuzzDirectiveParse checks the parser's invariants on arbitrary comment
+// text: no panics, directives recognized only inside //-comments that lead
+// with the exact keyword, a whitespace-free analyzer token, and a canonical
+// re-rendering that round-trips.
+func FuzzDirectiveParse(f *testing.F) {
+	f.Add("//lint:ignore errdrop a perfectly ordinary reason")
+	f.Add("//lint:ignore floatcmp")
+	f.Add("//lint:ignore")
+	f.Add("//  lint:ignore  sharedwrite   extra   spacing")
+	f.Add("//lint:ignoreX suffix fused onto the keyword")
+	f.Add("/*lint:ignore errdrop block*/")
+	f.Add("//lint:ignore\tctxflow\ttabbed")
+	f.Add("")
+	f.Add("//")
+	f.Add("//lint:ignore \x00odd bytes")
+	f.Fuzz(func(t *testing.T, text string) {
+		analyzer, reason, ok := parseDirective(text)
+		if !ok {
+			if analyzer != "" || reason != "" {
+				t.Fatalf("parseDirective(%q): non-directive returned fields (%q, %q)", text, analyzer, reason)
+			}
+			return
+		}
+		if !strings.HasPrefix(text, "//") {
+			t.Fatalf("parseDirective(%q): directive out of a non-// comment", text)
+		}
+		if strings.IndexFunc(analyzer, func(r rune) bool { return r == ' ' || r == '\t' || r == '\n' }) >= 0 {
+			t.Fatalf("parseDirective(%q): analyzer %q contains whitespace", text, analyzer)
+		}
+		if analyzer == "" && reason != "" {
+			t.Fatalf("parseDirective(%q): reason %q without an analyzer", text, reason)
+		}
+		if analyzer == "" || reason == "" {
+			return // malformed directives have no canonical form
+		}
+		canonical := "//lint:ignore " + analyzer + " " + reason
+		a2, r2, ok2 := parseDirective(canonical)
+		if !ok2 || a2 != analyzer || r2 != reason {
+			t.Fatalf("round-trip of %q via %q = (%q, %q, %v)", text, canonical, a2, r2, ok2)
+		}
+	})
+}

@@ -21,13 +21,23 @@ type Package struct {
 	Dir string
 	// Fset is shared by every package of one LoadModule call.
 	Fset *token.FileSet
-	// Files holds the parsed sources: all non-test files plus in-package
-	// _test.go files. External test packages (package foo_test) are skipped —
-	// they would form a second package per directory and none of the
-	// analyzers need them.
+	// Files holds the parsed sources: all non-test files, plus in-package
+	// _test.go files when LoadOptions.Tests is set. External test packages
+	// (package foo_test) are always skipped — they would form a second
+	// package per directory and none of the analyzers need them.
 	Files []*ast.File
 	Types *types.Package
 	Info  *types.Info
+}
+
+// LoadOptions configures LoadModuleOpts.
+type LoadOptions struct {
+	// Tests folds in-package _test.go files into their package so the
+	// analyzers vet the chaos/acceptance suites too. Off by default (a
+	// lint run over production code should not churn when only tests
+	// change); CI runs with it on. External test packages (package
+	// foo_test) are skipped either way.
+	Tests bool
 }
 
 // loader resolves module-local imports from source while delegating the
@@ -37,6 +47,7 @@ type loader struct {
 	fset       *token.FileSet
 	modulePath string
 	root       string
+	opt        LoadOptions
 	dirs       map[string]string // import path → directory
 	pkgs       map[string]*Package
 	state      map[string]int // 0 unseen, 1 loading (cycle guard), 2 done
@@ -44,12 +55,17 @@ type loader struct {
 	errs       []error
 }
 
-// LoadModule discovers, parses and type-checks every package under the
+// LoadModule is LoadModuleOpts with the default options (no test files).
+func LoadModule(root string) ([]*Package, error) {
+	return LoadModuleOpts(root, LoadOptions{})
+}
+
+// LoadModuleOpts discovers, parses and type-checks every package under the
 // module rooted at root (the directory containing go.mod). Directories named
 // testdata, vendor, or starting with "." or "_" are skipped, as the go tool
 // does. Type-check or parse errors are aggregated into the returned error;
 // packages that loaded cleanly are still returned.
-func LoadModule(root string) ([]*Package, error) {
+func LoadModuleOpts(root string, opt LoadOptions) ([]*Package, error) {
 	root, err := filepath.Abs(root)
 	if err != nil {
 		return nil, err
@@ -62,6 +78,7 @@ func LoadModule(root string) ([]*Package, error) {
 		fset:       token.NewFileSet(),
 		modulePath: modPath,
 		root:       root,
+		opt:        opt,
 		dirs:       map[string]string{},
 		pkgs:       map[string]*Package{},
 		state:      map[string]int{},
@@ -178,6 +195,9 @@ func (l *loader) load(path string) (*Package, error) {
 	for _, e := range ents {
 		name := e.Name()
 		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") {
+			continue
+		}
+		if strings.HasSuffix(name, "_test.go") && !l.opt.Tests {
 			continue
 		}
 		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.ParseComments)

@@ -1,0 +1,438 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// LockDisciplineAnalyzer mechanizes the locking rules the serving stack's
+// concurrent structures (cache, metrics, sweep plan, faultinject registry)
+// follow by hand:
+//
+//   - values whose type contains a sync.Mutex, sync.RWMutex or
+//     sync.WaitGroup must never be copied: assignment from an existing
+//     location, passing by value, returning by value, range-copying, and
+//     value receivers all silently fork the lock state;
+//   - a Lock/RLock acquired in a function must be released in that same
+//     function, on every path: a receiver with Lock calls but no matching
+//     Unlock is flagged, as is a return statement that executes while the
+//     lock is still held when no deferred Unlock covers it (a linear,
+//     position-ordered approximation of path coverage — defer is both the
+//     fix and the idiom the tree already uses);
+//   - a struct field accessed through sync/atomic (atomic.AddInt64(&s.n,
+//     …)) must not also be read or written plainly in the same package:
+//     mixed access is exactly the race the atomics were bought to prevent.
+//     Locals are exempt — the declare/atomically-fill/read-after-join
+//     pattern the sched tests use is ordered by the loop join, and a local
+//     never escapes the function that can see the whole story.
+//
+// Like sharedwrite, this analyzer runs on _test.go files too — a copied
+// WaitGroup in a chaos suite deadlocks the suite just as surely.
+var LockDisciplineAnalyzer = &Analyzer{
+	Name: "lockdiscipline",
+	Doc:  "no copied locks, no Lock without Unlock on all paths, no mixed atomic/plain field access",
+	Run:  runLockDiscipline,
+}
+
+func runLockDiscipline(pass *Pass) {
+	for _, file := range pass.Pkg.Files {
+		checkLockCopies(pass, file)
+		checkLockPairs(pass, file)
+	}
+	checkAtomicMix(pass)
+}
+
+// containsLock reports whether a value of type t embeds a sync.Mutex,
+// sync.RWMutex or sync.WaitGroup (directly, via struct fields, or via
+// array elements — the shapes a value copy duplicates).
+func containsLock(t types.Type) bool {
+	return containsLockRec(t, map[types.Type]bool{})
+}
+
+func containsLockRec(t types.Type, seen map[types.Type]bool) bool {
+	if t == nil || seen[t] {
+		return false
+	}
+	seen[t] = true
+	if named, ok := t.(*types.Named); ok {
+		obj := named.Obj()
+		if obj.Pkg() != nil && obj.Pkg().Path() == "sync" {
+			switch obj.Name() {
+			case "Mutex", "RWMutex", "WaitGroup":
+				return true
+			}
+		}
+		return containsLockRec(named.Underlying(), seen)
+	}
+	switch t := t.(type) {
+	case *types.Struct:
+		for i := 0; i < t.NumFields(); i++ {
+			if containsLockRec(t.Field(i).Type(), seen) {
+				return true
+			}
+		}
+	case *types.Array:
+		return containsLockRec(t.Elem(), seen)
+	}
+	return false
+}
+
+// isLocation reports whether e denotes an existing addressable location
+// (so copying it duplicates live lock state). Fresh composite literals and
+// call results are not locations.
+func isLocation(e ast.Expr) bool {
+	for {
+		switch t := e.(type) {
+		case *ast.Ident:
+			return t.Name != "_"
+		case *ast.SelectorExpr:
+			e = t.X
+		case *ast.IndexExpr:
+			e = t.X
+		case *ast.StarExpr:
+			e = t.X
+		case *ast.ParenExpr:
+			e = t.X
+		default:
+			return false
+		}
+	}
+}
+
+// lockCopy flags e when it copies a lock-containing value out of an
+// existing location.
+func lockCopy(pass *Pass, e ast.Expr, verb string) {
+	if e == nil || !isLocation(e) {
+		return
+	}
+	t := pass.TypeOf(e)
+	if t == nil || !containsLock(t) {
+		return
+	}
+	pass.Reportf(e.Pos(), "%s copies %s, which contains a sync lock; use a pointer", verb, exprName(e))
+}
+
+func checkLockCopies(pass *Pass, file *ast.File) {
+	ast.Inspect(file, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, rhs := range n.Rhs {
+				lockCopy(pass, rhs, "assignment")
+			}
+		case *ast.CallExpr:
+			for _, arg := range n.Args {
+				lockCopy(pass, arg, "argument")
+			}
+		case *ast.ReturnStmt:
+			for _, res := range n.Results {
+				lockCopy(pass, res, "return")
+			}
+		case *ast.RangeStmt:
+			if n.Value != nil {
+				if t := pass.TypeOf(n.Value); t != nil && containsLock(t) {
+					pass.Reportf(n.Value.Pos(), "range copies elements containing a sync lock; iterate by index")
+				}
+			}
+		case *ast.FuncDecl:
+			if n.Recv != nil && len(n.Recv.List) == 1 {
+				recvType := pass.TypeOf(n.Recv.List[0].Type)
+				if _, isPtr := recvType.(*types.Pointer); !isPtr && recvType != nil && containsLock(recvType) {
+					pass.Reportf(n.Recv.List[0].Pos(),
+						"method %s has a value receiver containing a sync lock; every call copies it — use a pointer receiver", n.Name.Name)
+				}
+			}
+		}
+		return true
+	})
+}
+
+// A lockOp is one Lock/Unlock-family call inside a single function body.
+type lockOp struct {
+	recv     string // rendered receiver expression, e.g. "c.mu"
+	name     string // Lock, Unlock, RLock, RUnlock
+	pos      token.Pos
+	deferred bool
+}
+
+// checkLockPairs verifies per-function acquire/release pairing. Each
+// function literal is its own scope: a lock acquired in an outer function
+// and released in a nested goroutine is a handoff this lexical check does
+// not try to model (and the tree does not use).
+func checkLockPairs(pass *Pass, file *ast.File) {
+	var fns []ast.Node
+	ast.Inspect(file, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncDecl:
+			if n.Body != nil {
+				fns = append(fns, n)
+			}
+		case *ast.FuncLit:
+			fns = append(fns, n)
+		}
+		return true
+	})
+	for _, fn := range fns {
+		checkLockPairsIn(pass, fn)
+	}
+}
+
+// syncLockMethod matches a call to Lock/Unlock/RLock/RUnlock on a sync
+// type and returns the rendered receiver plus the method name.
+func syncLockMethod(pass *Pass, call *ast.CallExpr) (recv, name string, ok bool) {
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	switch sel.Sel.Name {
+	case "Lock", "Unlock", "RLock", "RUnlock":
+	default:
+		return "", "", false
+	}
+	obj := pass.ObjectOf(sel.Sel)
+	if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return "", "", false
+	}
+	return exprName(sel.X), sel.Sel.Name, true
+}
+
+func checkLockPairsIn(pass *Pass, fn ast.Node) {
+	var body *ast.BlockStmt
+	switch fn := fn.(type) {
+	case *ast.FuncDecl:
+		body = fn.Body
+	case *ast.FuncLit:
+		body = fn.Body
+	}
+
+	var ops []lockOp
+	var returns []token.Pos
+	// Walk the body but stop at nested function literals — they are
+	// analyzed as their own scopes.
+	var walk func(n ast.Node, deferred bool)
+	walk = func(root ast.Node, deferred bool) {
+		ast.Inspect(root, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncLit:
+				return n == root // descend only into the root itself
+			case *ast.DeferStmt:
+				if recv, name, ok := syncLockMethod(pass, n.Call); ok {
+					ops = append(ops, lockOp{recv: recv, name: name, pos: n.Pos(), deferred: true})
+					return false
+				}
+				// defer func() { mu.Unlock() }() — the literal runs at
+				// function exit, so its ops count as deferred here.
+				if lit, ok := n.Call.Fun.(*ast.FuncLit); ok {
+					walk(lit, true)
+					return false
+				}
+			case *ast.CallExpr:
+				if recv, name, ok := syncLockMethod(pass, n); ok {
+					ops = append(ops, lockOp{recv: recv, name: name, pos: n.Pos(), deferred: deferred})
+				}
+			case *ast.ReturnStmt:
+				// Returns inside a deferred cleanup literal leave that
+				// literal, not the function under analysis.
+				if !deferred {
+					returns = append(returns, n.Pos())
+				}
+			}
+			return true
+		})
+	}
+	walk(body, false)
+
+	byRecv := map[string][]lockOp{}
+	for _, op := range ops {
+		byRecv[op.recv] = append(byRecv[op.recv], op)
+	}
+	recvs := make([]string, 0, len(byRecv))
+	for r := range byRecv {
+		recvs = append(recvs, r)
+	}
+	sort.Strings(recvs)
+	for _, r := range recvs {
+		checkPairing(pass, r, byRecv[r], "Lock", "Unlock", returns)
+		checkPairing(pass, r, byRecv[r], "RLock", "RUnlock", returns)
+	}
+}
+
+// checkPairing enforces acquire/release pairing for one receiver and one
+// lock flavor inside one function.
+func checkPairing(pass *Pass, recv string, ops []lockOp, lock, unlock string, returns []token.Pos) {
+	var locks []lockOp
+	var unlocks []lockOp
+	deferredUnlock := false
+	for _, op := range ops {
+		switch op.name {
+		case lock:
+			locks = append(locks, op)
+		case unlock:
+			unlocks = append(unlocks, op)
+			if op.deferred {
+				deferredUnlock = true
+			}
+		}
+	}
+	if len(locks) == 0 {
+		return
+	}
+	if len(unlocks) == 0 {
+		pass.Reportf(locks[0].pos,
+			"%s.%s has no matching %s in this function; release on every path (defer %s.%s())",
+			recv, lock, unlock, recv, unlock)
+		return
+	}
+	if deferredUnlock {
+		return // a deferred release covers every path out
+	}
+	// Linear position-ordered hold simulation: a return while the counter
+	// is positive escapes with the lock held on that path.
+	held := 0
+	type event struct {
+		pos  token.Pos
+		kind int // 0 lock, 1 unlock, 2 return
+	}
+	var evs []event
+	for _, op := range locks {
+		evs = append(evs, event{op.pos, 0})
+	}
+	for _, op := range unlocks {
+		evs = append(evs, event{op.pos, 1})
+	}
+	for _, p := range returns {
+		evs = append(evs, event{p, 2})
+	}
+	sort.Slice(evs, func(i, j int) bool { return evs[i].pos < evs[j].pos })
+	for _, ev := range evs {
+		switch ev.kind {
+		case 0:
+			held++
+		case 1:
+			if held > 0 {
+				held--
+			}
+		case 2:
+			if held > 0 {
+				pass.Reportf(ev.pos,
+					"return while %s may still be %sed; release before returning or defer %s.%s()",
+					recv, lock, recv, unlock)
+				return // one finding per receiver/flavor is enough
+			}
+		}
+	}
+}
+
+// checkAtomicMix cross-references atomic and plain accesses per package.
+func checkAtomicMix(pass *Pass) {
+	atomicVars := map[types.Object]bool{}
+	type span struct{ lo, hi token.Pos }
+	var exempt []span
+	inExempt := func(pos token.Pos) bool {
+		for _, s := range exempt {
+			if pos >= s.lo && pos < s.hi {
+				return true
+			}
+		}
+		return false
+	}
+
+	// First walk: record the variables handed to sync/atomic by address and
+	// the argument spans of those calls (uses inside them are the atomic
+	// accesses themselves, not violations).
+	for _, file := range pass.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			obj := pass.ObjectOf(sel.Sel)
+			if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != "sync/atomic" {
+				return true
+			}
+			// Only package-level functions (atomic.AddInt64(&x, …)) treat a
+			// pointer argument as the atomic cell. Methods on the typed
+			// atomics (v.Store(&next)) receive plain values — the cell is
+			// the receiver, and the type system already forbids mixing it.
+			if fn, isFn := obj.(*types.Func); !isFn || fn.Type().(*types.Signature).Recv() != nil {
+				return true
+			}
+			for _, arg := range call.Args {
+				un, ok := arg.(*ast.UnaryExpr)
+				if !ok || un.Op != token.AND {
+					continue
+				}
+				if v := locationVar(pass, un.X); v != nil {
+					atomicVars[v] = true
+					exempt = append(exempt, span{arg.Pos(), arg.End()})
+				}
+			}
+			return true
+		})
+	}
+	if len(atomicVars) == 0 {
+		return
+	}
+
+	// Second walk: any other read or write of those variables is mixed
+	// access. Skipped as non-accesses: declarations (Defs), composite
+	// literal keys, and the Sel half of selectors (the selector node
+	// itself carries the report).
+	for _, file := range pass.Pkg.Files {
+		skip := map[token.Pos]bool{}
+		report := func(pos token.Pos, name string) {
+			if !inExempt(pos) {
+				pass.Reportf(pos,
+					"plain access to %s, which is elsewhere accessed through sync/atomic; use the atomic API everywhere or a mutex",
+					name)
+			}
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CompositeLit:
+				for _, elt := range n.Elts {
+					if kv, ok := elt.(*ast.KeyValueExpr); ok {
+						if id, ok := kv.Key.(*ast.Ident); ok {
+							skip[id.Pos()] = true
+						}
+					}
+				}
+			case *ast.SelectorExpr:
+				skip[n.Sel.Pos()] = true
+				if obj := pass.ObjectOf(n.Sel); obj != nil && atomicVars[obj] {
+					report(n.Pos(), exprName(n))
+				}
+			case *ast.Ident:
+				if skip[n.Pos()] || pass.Pkg.Info.Defs[n] != nil {
+					return true
+				}
+				if obj := pass.ObjectOf(n); obj != nil && atomicVars[obj] {
+					report(n.Pos(), n.Name)
+				}
+			}
+			return true
+		})
+	}
+}
+
+// locationVar resolves the struct-field object behind an addressable
+// expression like s.n. Locals and package variables return nil — the
+// mixed-access rule is scoped to fields (see the analyzer doc).
+func locationVar(pass *Pass, e ast.Expr) types.Object {
+	switch e := e.(type) {
+	case *ast.SelectorExpr:
+		if v, ok := pass.ObjectOf(e.Sel).(*types.Var); ok && v.IsField() {
+			return v
+		}
+	case *ast.IndexExpr:
+		return locationVar(pass, e.X)
+	case *ast.ParenExpr:
+		return locationVar(pass, e.X)
+	}
+	return nil
+}

@@ -1,0 +1,247 @@
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Machine-readable reporting and CI baselines.
+//
+// gridvet -format json emits a Report; -format sarif emits the same
+// findings as minimal SARIF 2.1.0 (the schema CI annotation tooling
+// consumes). A committed Report doubles as a baseline: -baseline loads it
+// and gridvet fails only on findings not in it, so CI can ratchet a large
+// finding set down instead of big-banging to zero. Baseline matching
+// deliberately ignores line and column — refactors move findings around —
+// and matches on (file, analyzer, message) as a multiset: if the baseline
+// records two identical findings in a file and a third appears, the third
+// is new.
+
+// A Report is the machine-readable form of one gridvet run.
+type Report struct {
+	// Tool is always "gridvet".
+	Tool string `json:"tool"`
+	// Count is len(Findings), denormalized for cheap shell checks.
+	Count int `json:"count"`
+	// Findings are sorted by file, line, column, analyzer.
+	Findings []ReportFinding `json:"findings"`
+}
+
+// A ReportFinding is one finding with a module-root-relative, slash-
+// separated path (stable across machines, unlike the absolute paths in
+// token.Position).
+type ReportFinding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+	// Baselined marks findings matched by the -baseline file; they are
+	// reported for visibility but do not fail the run.
+	Baselined bool `json:"baselined,omitempty"`
+}
+
+// NewReport converts findings (already sorted by Run) into a Report with
+// paths relativized against the module root.
+func NewReport(root string, findings []Finding) Report {
+	r := Report{Tool: "gridvet", Count: len(findings), Findings: []ReportFinding{}}
+	for _, f := range findings {
+		name := f.Pos.Filename
+		if rel, err := filepath.Rel(root, name); err == nil && !strings.HasPrefix(rel, "..") {
+			name = filepath.ToSlash(rel)
+		}
+		r.Findings = append(r.Findings, ReportFinding{
+			File:     name,
+			Line:     f.Pos.Line,
+			Col:      f.Pos.Column,
+			Analyzer: f.Analyzer,
+			Message:  f.Message,
+		})
+	}
+	return r
+}
+
+// WriteJSON writes the report as indented JSON.
+func (r Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// baselineKey is the line-insensitive identity used for baseline matching.
+func (f ReportFinding) baselineKey() string {
+	return f.File + "\x00" + f.Analyzer + "\x00" + f.Message
+}
+
+// ReadBaseline parses a committed Report from path.
+func ReadBaseline(path string) (Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Report{}, err
+	}
+	var r Report
+	if err := json.Unmarshal(data, &r); err != nil {
+		return Report{}, fmt.Errorf("baseline %s: %w", path, err)
+	}
+	if r.Tool != "gridvet" {
+		return Report{}, fmt.Errorf("baseline %s: tool is %q, want \"gridvet\"", path, r.Tool)
+	}
+	return r, nil
+}
+
+// ApplyBaseline marks every finding of r that the baseline covers and
+// returns the findings that remain new. Matching is a multiset over
+// (file, analyzer, message).
+func (r *Report) ApplyBaseline(baseline Report) []ReportFinding {
+	budget := map[string]int{}
+	for _, f := range baseline.Findings {
+		budget[f.baselineKey()]++
+	}
+	var fresh []ReportFinding
+	for i := range r.Findings {
+		key := r.Findings[i].baselineKey()
+		if budget[key] > 0 {
+			budget[key]--
+			r.Findings[i].Baselined = true
+		} else {
+			fresh = append(fresh, r.Findings[i])
+		}
+	}
+	return fresh
+}
+
+// VerifyBaseline checks that a baseline is still coherent with the tree:
+// every entry's file must exist under root and every analyzer name must be
+// in the running set (plus the two pseudo-analyzers). A baseline entry for
+// a deleted file is dead weight that would silently excuse a finding if
+// the path ever comes back.
+func VerifyBaseline(root string, baseline Report, analyzers []*Analyzer) error {
+	known := map[string]bool{ignoreName: true, hygieneName: true}
+	for _, a := range analyzers {
+		known[a.Name] = true
+	}
+	var problems []string
+	seen := map[string]bool{}
+	for _, f := range baseline.Findings {
+		if !known[f.Analyzer] {
+			problems = append(problems, fmt.Sprintf("unknown analyzer %q", f.Analyzer))
+			continue
+		}
+		if filepath.IsAbs(f.File) || strings.HasPrefix(f.File, "..") {
+			problems = append(problems, fmt.Sprintf("non-relative path %q", f.File))
+			continue
+		}
+		if seen[f.File] {
+			continue
+		}
+		seen[f.File] = true
+		if _, err := os.Stat(filepath.Join(root, filepath.FromSlash(f.File))); err != nil {
+			problems = append(problems, fmt.Sprintf("entry for missing file %s", f.File))
+		}
+	}
+	if len(problems) > 0 {
+		sort.Strings(problems)
+		return fmt.Errorf("baseline is stale:\n  %s", strings.Join(problems, "\n  "))
+	}
+	return nil
+}
+
+// SARIF 2.1.0 — the minimal subset: one run, one rule per analyzer, one
+// result per finding with a physical location relative to %SRCROOT%.
+
+type sarifLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name  string      `json:"name"`
+	Rules []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID               string    `json:"id"`
+	ShortDescription sarifText `json:"shortDescription"`
+}
+
+type sarifText struct {
+	Text string `json:"text"`
+}
+
+type sarifResult struct {
+	RuleID    string          `json:"ruleId"`
+	Level     string          `json:"level"`
+	Message   sarifText       `json:"message"`
+	Locations []sarifLocation `json:"locations"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysical `json:"physicalLocation"`
+}
+
+type sarifPhysical struct {
+	ArtifactLocation sarifArtifact `json:"artifactLocation"`
+	Region           sarifRegion   `json:"region"`
+}
+
+type sarifArtifact struct {
+	URI       string `json:"uri"`
+	URIBaseID string `json:"uriBaseId"`
+}
+
+type sarifRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn"`
+}
+
+// WriteSARIF writes the report as SARIF 2.1.0. Baselined findings are
+// emitted at level "note", new ones at "warning".
+func (r Report) WriteSARIF(w io.Writer, analyzers []*Analyzer) error {
+	driver := sarifDriver{Name: "gridvet"}
+	for _, a := range analyzers {
+		driver.Rules = append(driver.Rules, sarifRule{ID: a.Name, ShortDescription: sarifText{Text: a.Doc}})
+	}
+	driver.Rules = append(driver.Rules,
+		sarifRule{ID: ignoreName, ShortDescription: sarifText{Text: "malformed or unknown //lint:ignore directives"}},
+		sarifRule{ID: hygieneName, ShortDescription: sarifText{Text: "//lint:ignore directives that suppress nothing"}},
+	)
+	run := sarifRun{Tool: sarifTool{Driver: driver}, Results: []sarifResult{}}
+	for _, f := range r.Findings {
+		level := "warning"
+		if f.Baselined {
+			level = "note"
+		}
+		run.Results = append(run.Results, sarifResult{
+			RuleID:  f.Analyzer,
+			Level:   level,
+			Message: sarifText{Text: f.Message},
+			Locations: []sarifLocation{{PhysicalLocation: sarifPhysical{
+				ArtifactLocation: sarifArtifact{URI: f.File, URIBaseID: "%SRCROOT%"},
+				Region:           sarifRegion{StartLine: f.Line, StartColumn: f.Col},
+			}}},
+		})
+	}
+	log := sarifLog{
+		Schema:  "https://json.schemastore.org/sarif-2.1.0.json",
+		Version: "2.1.0",
+		Runs:    []sarifRun{run},
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(log)
+}

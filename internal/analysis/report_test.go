@@ -1,0 +1,177 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func testFindings(root string) []Finding {
+	return []Finding{
+		{Pos: token.Position{Filename: filepath.Join(root, "internal", "pkg", "a.go"), Line: 10, Column: 2},
+			Analyzer: "errdrop", Message: "call to f drops its error result"},
+		{Pos: token.Position{Filename: filepath.Join(root, "internal", "pkg", "a.go"), Line: 20, Column: 2},
+			Analyzer: "errdrop", Message: "call to f drops its error result"},
+		{Pos: token.Position{Filename: filepath.Join(root, "cmd", "b.go"), Line: 5, Column: 1},
+			Analyzer: "ctxflow", Message: "context.Background mints a fresh root context"},
+	}
+}
+
+func TestNewReportRelativizesPaths(t *testing.T) {
+	root := t.TempDir()
+	r := NewReport(root, testFindings(root))
+	if r.Tool != "gridvet" || r.Count != 3 || len(r.Findings) != 3 {
+		t.Fatalf("report header = %q/%d with %d findings", r.Tool, r.Count, len(r.Findings))
+	}
+	if got := r.Findings[0].File; got != "internal/pkg/a.go" {
+		t.Errorf("relative path = %q, want internal/pkg/a.go", got)
+	}
+	outside := []Finding{{Pos: token.Position{Filename: "/elsewhere/x.go", Line: 1, Column: 1}, Analyzer: "errdrop", Message: "m"}}
+	if got := NewReport(root, outside).Findings[0].File; strings.HasPrefix(got, "..") {
+		t.Errorf("out-of-module path relativized to %q; want it left absolute", got)
+	}
+}
+
+func TestBaselineRoundTrip(t *testing.T) {
+	root := t.TempDir()
+	r := NewReport(root, testFindings(root))
+
+	path := filepath.Join(root, "baseline.json")
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	baseline, err := ReadBaseline(path)
+	if err != nil {
+		t.Fatalf("ReadBaseline: %v", err)
+	}
+
+	// The identical report against its own baseline: nothing fresh, all
+	// findings marked, even though lines differ from the baseline's.
+	moved := NewReport(root, testFindings(root))
+	for i := range moved.Findings {
+		moved.Findings[i].Line += 100
+	}
+	if fresh := moved.ApplyBaseline(baseline); len(fresh) != 0 {
+		t.Errorf("identical (line-shifted) report has %d fresh findings: %v", len(fresh), fresh)
+	}
+	for _, f := range moved.Findings {
+		if !f.Baselined {
+			t.Errorf("finding %v not marked baselined", f)
+		}
+	}
+
+	// Multiset budget: a third copy of a finding the baseline holds twice is
+	// new, as is a finding the baseline never saw.
+	grown := NewReport(root, append(testFindings(root),
+		Finding{Pos: token.Position{Filename: filepath.Join(root, "internal", "pkg", "a.go"), Line: 30, Column: 2},
+			Analyzer: "errdrop", Message: "call to f drops its error result"},
+		Finding{Pos: token.Position{Filename: filepath.Join(root, "new.go"), Line: 1, Column: 1},
+			Analyzer: "goleak", Message: "goroutine has no visible termination path"},
+	))
+	fresh := grown.ApplyBaseline(baseline)
+	if len(fresh) != 2 {
+		t.Fatalf("grown report has %d fresh findings, want 2: %v", len(fresh), fresh)
+	}
+	if fresh[0].Analyzer != "errdrop" || fresh[1].Analyzer != "goleak" {
+		t.Errorf("fresh findings = %v, want the third errdrop copy and the goleak one", fresh)
+	}
+}
+
+func TestReadBaselineRejectsWrongTool(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "b.json")
+	if err := os.WriteFile(path, []byte(`{"tool":"othervet","count":0,"findings":[]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadBaseline(path); err == nil || !strings.Contains(err.Error(), "othervet") {
+		t.Errorf("ReadBaseline error = %v, want a wrong-tool complaint", err)
+	}
+}
+
+func TestVerifyBaseline(t *testing.T) {
+	root := t.TempDir()
+	if err := os.WriteFile(filepath.Join(root, "present.go"), []byte("package p\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	ok := Report{Tool: "gridvet", Count: 1, Findings: []ReportFinding{
+		{File: "present.go", Line: 1, Col: 1, Analyzer: "errdrop", Message: "m"},
+		{File: "present.go", Line: 2, Col: 1, Analyzer: "ignorehygiene", Message: "m"},
+	}}
+	if err := VerifyBaseline(root, ok, Analyzers()); err != nil {
+		t.Errorf("coherent baseline rejected: %v", err)
+	}
+
+	bad := Report{Tool: "gridvet", Findings: []ReportFinding{
+		{File: "present.go", Analyzer: "nosuchvet", Message: "m"},
+		{File: "gone.go", Analyzer: "errdrop", Message: "m"},
+		{File: "/abs/path.go", Analyzer: "errdrop", Message: "m"},
+		{File: "../escape.go", Analyzer: "errdrop", Message: "m"},
+	}}
+	err := VerifyBaseline(root, bad, Analyzers())
+	if err == nil {
+		t.Fatal("stale baseline accepted")
+	}
+	for _, want := range []string{`unknown analyzer "nosuchvet"`, "missing file gone.go", `non-relative path "/abs/path.go"`, `non-relative path "../escape.go"`} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("VerifyBaseline error %q missing %q", err, want)
+		}
+	}
+}
+
+func TestWriteSARIF(t *testing.T) {
+	root := t.TempDir()
+	r := NewReport(root, testFindings(root))
+	r.Findings[0].Baselined = true
+
+	var buf bytes.Buffer
+	if err := r.WriteSARIF(&buf, Analyzers()); err != nil {
+		t.Fatalf("WriteSARIF: %v", err)
+	}
+	var log struct {
+		Version string `json:"version"`
+		Runs    []struct {
+			Tool struct {
+				Driver struct {
+					Name  string `json:"name"`
+					Rules []struct {
+						ID string `json:"id"`
+					} `json:"rules"`
+				} `json:"driver"`
+			} `json:"tool"`
+			Results []struct {
+				RuleID  string `json:"ruleId"`
+				Level   string `json:"level"`
+				Message struct {
+					Text string `json:"text"`
+				} `json:"message"`
+			} `json:"results"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &log); err != nil {
+		t.Fatalf("emitted SARIF does not parse: %v", err)
+	}
+	if log.Version != "2.1.0" || len(log.Runs) != 1 {
+		t.Fatalf("version %q with %d runs", log.Version, len(log.Runs))
+	}
+	run := log.Runs[0]
+	if run.Tool.Driver.Name != "gridvet" {
+		t.Errorf("driver name = %q", run.Tool.Driver.Name)
+	}
+	// One rule per registry analyzer plus the two pseudo-analyzers.
+	if want := len(Analyzers()) + 2; len(run.Tool.Driver.Rules) != want {
+		t.Errorf("%d rules, want %d", len(run.Tool.Driver.Rules), want)
+	}
+	if len(run.Results) != 3 {
+		t.Fatalf("%d results, want 3", len(run.Results))
+	}
+	if run.Results[0].Level != "note" || run.Results[1].Level != "warning" {
+		t.Errorf("levels = %q/%q, want note (baselined) then warning", run.Results[0].Level, run.Results[1].Level)
+	}
+}

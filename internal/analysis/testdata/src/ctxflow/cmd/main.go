@@ -1,0 +1,9 @@
+// Package main may mint root contexts: ctxflow skips main packages.
+package main
+
+import "context"
+
+func main() {
+	ctx := context.Background()
+	<-ctx.Done()
+}

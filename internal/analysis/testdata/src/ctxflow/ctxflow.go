@@ -1,0 +1,47 @@
+// Fixture for the ctxflow analyzer: root contexts minted in library code,
+// ctx parameters out of first position, and severed threading are flagged;
+// deprecated shims, tests and package main are exempt.
+package fixture
+
+import "context"
+
+// doCtx is a context-accepting callee for the threading scenarios.
+func doCtx(ctx context.Context) error {
+	<-ctx.Done()
+	return nil
+}
+
+func mints() {
+	ctx := context.Background() // want "context.Background mints a fresh root context"
+	_ = doCtx(ctx)
+	_ = doCtx(context.TODO()) // want "context.TODO mints a fresh root context"
+}
+
+// Fetch takes its ctx in the wrong slot.
+func Fetch(name string, ctx context.Context) error { // want "exported Fetch takes a context.Context as parameter 2"
+	_ = name
+	return doCtx(ctx)
+}
+
+// Severed accepts a ctx but hands its callee a nil one.
+func Severed(ctx context.Context, name string) error { // want "Severed accepts a ctx but never uses it while calling doCtx"
+	_ = name
+	return doCtx(nil)
+}
+
+// Threaded does it right: ctx first, passed down.
+func Threaded(ctx context.Context) error {
+	return doCtx(ctx)
+}
+
+// Old bridges ctx-free callers onto the ctx-first API.
+//
+// Deprecated: use Threaded.
+func Old() error {
+	return doCtx(context.Background())
+}
+
+func sanctioned() error {
+	//lint:ignore ctxflow fixture demonstrates a justified suppression
+	return doCtx(context.Background())
+}

@@ -1,0 +1,15 @@
+package fixture
+
+import (
+	"context"
+	"testing"
+)
+
+// Tests may mint root contexts freely: ctxflow skips _test.go files.
+func TestBackgroundAllowedInTests(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := doCtx(ctx); err != nil {
+		t.Fatal(err)
+	}
+}

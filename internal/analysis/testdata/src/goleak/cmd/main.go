@@ -1,0 +1,8 @@
+// Package main owns process-lifetime goroutines: goleak skips main packages.
+package main
+
+func main() {
+	go func() {
+		select {}
+	}()
+}

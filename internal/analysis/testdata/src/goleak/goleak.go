@@ -1,0 +1,54 @@
+// Fixture for the goleak analyzer: library goroutines with no visible
+// termination path are flagged; ctx, channels and WaitGroup joins are the
+// accepted stop signals.
+package fixture
+
+import (
+	"context"
+	"sync"
+)
+
+func spin() {}
+
+func leakLiteral() {
+	go func() { // want "goroutine has no visible termination path"
+		for {
+		}
+	}()
+}
+
+func leakNamed() {
+	go spin() // want "goroutine has no visible termination path"
+}
+
+func watch(ctx context.Context) {
+	go func() {
+		<-ctx.Done()
+	}()
+}
+
+func pump(ch chan int) {
+	go func() {
+		for range ch {
+		}
+	}()
+}
+
+func run(ctx context.Context, f func(context.Context)) {
+	go f(ctx) // the ctx argument is the stop signal
+}
+
+func fanout(work func()) {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		work()
+	}()
+	wg.Wait()
+}
+
+func excused() {
+	//lint:ignore goleak fixture demonstrates a justified suppression
+	go spin()
+}

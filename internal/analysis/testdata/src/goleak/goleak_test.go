@@ -1,0 +1,9 @@
+package fixture
+
+import "testing"
+
+// Test goroutines are the harness's to reap: goleak skips _test.go files.
+func TestGoroutineAllowedInTests(t *testing.T) {
+	go spin()
+	t.Log("spawned")
+}

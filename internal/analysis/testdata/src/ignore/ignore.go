@@ -1,5 +1,6 @@
 // Fixture for //lint:ignore handling: correct directives suppress, wrong or
-// malformed ones do not and surface as "ignore" findings.
+// malformed ones do not and surface as "ignore" findings, and a well-formed
+// directive that suppresses nothing surfaces as "ignorehygiene".
 package fixture
 
 func scenarios(a, b float64) bool {
@@ -10,7 +11,9 @@ func scenarios(a, b float64) bool {
 	// Correct usage trailing the offending line also suppresses.
 	r = a == b //lint:ignore floatcmp same-line directive
 
-	// A directive naming a different (known) analyzer does not suppress.
+	// A directive naming a different (known) analyzer does not suppress —
+	// and, having suppressed nothing, is itself stale.
+	// want-next "directive for errdrop suppresses no finding"
 	//lint:ignore errdrop reason that applies to nothing here
 	r = a == b // want "floating-point == comparison"
 

@@ -1,0 +1,117 @@
+// Fixture for the lockdiscipline analyzer: copied locks, unbalanced
+// Lock/Unlock pairs, and mixed atomic/plain field access are flagged;
+// deferred releases, linear pairs and atomically-filled locals are not.
+package fixture
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Guarded contains a mutex, so values must never be copied.
+type Guarded struct {
+	mu sync.Mutex
+	n  int
+}
+
+// pool embeds Guarded through an array: the containment check is recursive.
+type pool struct {
+	slots [2]Guarded
+}
+
+func copies(g *Guarded, all []Guarded) {
+	cp := *g // want "assignment copies g, which contains a sync lock"
+	cp.n++
+	for _, it := range all { // want "range copies elements containing a sync lock"
+		it.n++
+	}
+}
+
+func fetch(p *pool) Guarded {
+	return p.slots[0] // want "return copies p.slots, which contains a sync lock"
+}
+
+func (g Guarded) Count() int { // want "method Count has a value receiver containing a sync lock"
+	return g.n
+}
+
+func waitAll(wg sync.WaitGroup) {
+	wg.Wait()
+}
+
+func joins() {
+	var wg sync.WaitGroup
+	waitAll(wg) // want "argument copies wg, which contains a sync lock"
+	wg.Wait()
+}
+
+func (g *Guarded) leakLock() {
+	g.mu.Lock() // want "g.mu.Lock has no matching Unlock in this function"
+	g.n++
+}
+
+func (g *Guarded) escape(flag bool) int {
+	g.mu.Lock()
+	if flag {
+		return g.n // want "return while g.mu may still be Locked"
+	}
+	g.mu.Unlock()
+	return 0
+}
+
+func (g *Guarded) deferred() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.n
+}
+
+func (g *Guarded) linear() {
+	g.mu.Lock()
+	g.n++
+	g.mu.Unlock()
+}
+
+// RGuarded exercises the RLock/RUnlock flavor.
+type RGuarded struct {
+	mu sync.RWMutex
+	m  map[string]int
+}
+
+func (r *RGuarded) get(k string) int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.m[k]
+}
+
+// counters mixes atomic and plain access to hits — exactly the race the
+// atomics were bought to prevent.
+type counters struct {
+	hits  int64
+	reads int64
+}
+
+func (c *counters) touch() {
+	atomic.AddInt64(&c.hits, 1)
+	c.hits++ // want "plain access to c.hits"
+}
+
+func (c *counters) bump() {
+	atomic.AddInt64(&c.reads, 1)
+}
+
+func (c *counters) read() int64 {
+	return atomic.LoadInt64(&c.reads) // atomic everywhere: fine
+}
+
+func localTally(parts []int64) int64 {
+	var n int64
+	for range parts {
+		atomic.AddInt64(&n, 1)
+	}
+	return n // locals are exempt: the read is ordered by the caller's join
+}
+
+func (g *Guarded) snapshot() Guarded {
+	//lint:ignore lockdiscipline fixture demonstrates a justified suppression
+	return *g
+}

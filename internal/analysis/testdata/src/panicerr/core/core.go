@@ -1,0 +1,8 @@
+// Package core stubs the health-check error type panicerr matches by
+// package-path suffix.
+package core
+
+// HealthError mirrors the real health-check failure.
+type HealthError struct{ Probe string }
+
+func (e *HealthError) Error() string { return "health: " + e.Probe }

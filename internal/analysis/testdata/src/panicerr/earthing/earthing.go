@@ -1,0 +1,17 @@
+// Package earthing stubs the facade: every exported error-bearing function
+// is a containment API in panicerr's eyes.
+package earthing
+
+import "context"
+
+type Report struct{ Req float64 }
+
+func Analyze(ctx context.Context) (Report, error) {
+	_ = ctx
+	return Report{}, nil
+}
+
+func Check(ctx context.Context) error {
+	_ = ctx
+	return nil
+}

@@ -1,0 +1,27 @@
+// Package sched stubs the scheduler surface panicerr matches by
+// package-path suffix: the containment loops and their typed panic error.
+package sched
+
+import "context"
+
+// PanicError mirrors the real containment error.
+type PanicError struct{ Value any }
+
+func (e *PanicError) Error() string { return "panic in worker" }
+
+// Stats mirrors the loop statistics record.
+type Stats struct{ Workers int }
+
+func ForCtx(ctx context.Context, n int, body func(int)) error {
+	_ = ctx
+	_ = n
+	_ = body
+	return nil
+}
+
+func ForStatsCtx(ctx context.Context, n int, body func(int)) (Stats, error) {
+	_ = ctx
+	_ = n
+	_ = body
+	return Stats{}, nil
+}

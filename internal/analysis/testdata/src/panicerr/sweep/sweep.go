@@ -1,0 +1,22 @@
+// Package sweep stubs the batch-solve surface panicerr matches by
+// package-path suffix.
+package sweep
+
+import "context"
+
+type Scenario struct{ GPR float64 }
+
+type Result struct{ Req float64 }
+
+func Run(ctx context.Context, scens []Scenario) ([]Result, error) {
+	_ = ctx
+	_ = scens
+	return nil, nil
+}
+
+func Stream(ctx context.Context, scens []Scenario, fn func(Result) error) error {
+	_ = ctx
+	_ = scens
+	_ = fn
+	return nil
+}

@@ -162,6 +162,7 @@ func (a *Assembler) NumPairs() int {
 // configured loop strategy, schedule and assembly mode. The returned
 // statistics describe how the parallel loop distributed its work.
 func (a *Assembler) Matrix() (*linalg.SymMatrix, sched.Stats, error) {
+	//lint:ignore ctxflow synchronous compatibility wrapper; the ctx-first variant is the primary API
 	return a.MatrixCtx(context.Background())
 }
 

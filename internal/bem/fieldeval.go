@@ -403,6 +403,7 @@ func (s BatchStats) PointsPerSec() float64 {
 // results are bit-identical across schedules and parallel widths.
 func (fe *FieldEvaluator) PotentialBatch(points []geom.Vec3, sigma []float64, scale float64, out []float64, opt BatchOptions) BatchStats {
 	//lint:ignore errdrop background context never cancels, so the error is always nil
+	//lint:ignore ctxflow synchronous compatibility wrapper; the ctx-first variant is the primary API
 	st, _ := fe.PotentialBatchCtx(context.Background(), points, sigma, scale, out, opt)
 	return st
 }
@@ -420,6 +421,7 @@ func (fe *FieldEvaluator) PotentialBatchCtx(ctx context.Context, points []geom.V
 // out must have len(points).
 func (fe *FieldEvaluator) GradBatch(points []geom.Vec3, sigma []float64, out []geom.Vec3, opt BatchOptions) BatchStats {
 	//lint:ignore errdrop background context never cancels, so the error is always nil
+	//lint:ignore ctxflow synchronous compatibility wrapper; the ctx-first variant is the primary API
 	st, _ := fe.GradBatchCtx(context.Background(), points, sigma, out, opt)
 	return st
 }

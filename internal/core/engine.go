@@ -159,6 +159,7 @@ func (r *Result) Assembler() *bem.Assembler { return r.asm }
 // a grounding grid. The grid is split at the soil-model interfaces
 // automatically.
 func Analyze(g *grid.Grid, model soil.Model, cfg Config) (*Result, error) {
+	//lint:ignore ctxflow synchronous compatibility wrapper; the ctx-first variant is the primary API
 	return analyze(context.Background(), g, nil, model, cfg, 0)
 }
 
@@ -175,6 +176,7 @@ func AnalyzeCtx(ctx context.Context, g *grid.Grid, model soil.Model, cfg Config)
 // paper-exact discretizations grid.BarberaMesh and grid.BalaidosMesh. The
 // mesh must already respect the model's layer interfaces.
 func AnalyzeMesh(m *grid.Mesh, model soil.Model, cfg Config) (*Result, error) {
+	//lint:ignore ctxflow synchronous compatibility wrapper; the ctx-first variant is the primary API
 	return analyze(context.Background(), nil, m, model, cfg, 0)
 }
 
@@ -187,6 +189,7 @@ func AnalyzeMeshCtx(ctx context.Context, m *grid.Mesh, model soil.Model, cfg Con
 // AnalyzeReader parses a grid from r (grid text format) and analyzes it,
 // populating the Data Input stage timing.
 func AnalyzeReader(rd io.Reader, model soil.Model, cfg Config) (*Result, error) {
+	//lint:ignore ctxflow synchronous compatibility wrapper; the ctx-first variant is the primary API
 	return AnalyzeReaderCtx(context.Background(), rd, model, cfg)
 }
 

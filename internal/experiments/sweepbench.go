@@ -76,11 +76,11 @@ func sweepWorkload() []sweep.Scenario {
 	return scens
 }
 
-// RunSweepBench measures the sweep engine against the sequential baseline.
-// workers ≤ 0 selects GOMAXPROCS on both sides.
-func RunSweepBench(q Quality, workers int) (SweepBench, error) {
+// RunSweepBench measures the sweep engine against the sequential baseline,
+// honouring ctx cancellation in both legs. workers ≤ 0 selects GOMAXPROCS on
+// both sides.
+func RunSweepBench(ctx context.Context, q Quality, workers int) (SweepBench, error) {
 	q = q.withDefaults()
-	ctx := context.Background()
 	g := grid.Balaidos()
 	scens := sweepWorkload()
 	cfg := core.Config{
@@ -157,11 +157,11 @@ func RunSweepBench(q Quality, workers int) (SweepBench, error) {
 // SweepEngine prints the sweep benchmark and, when jsonPath is non-empty,
 // writes the SweepBench record there as JSON (BENCH_sweep.json in the repo
 // convention).
-func SweepEngine(out io.Writer, q Quality, workers int, jsonPath string) (err error) {
+func SweepEngine(ctx context.Context, out io.Writer, q Quality, workers int, jsonPath string) (err error) {
 	w, flush := buffered(out)
 	defer flush(&err)
 
-	sb, err := RunSweepBench(q, workers)
+	sb, err := RunSweepBench(ctx, q, workers)
 	if err != nil {
 		return err
 	}

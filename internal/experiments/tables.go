@@ -120,6 +120,7 @@ func RunTable61(q Quality) (Table61Result, error) {
 	var out Table61Result
 	// Serialize the Barberá grid so the input stage has real work to do.
 	pr, pw := io.Pipe()
+	//lint:ignore goleak bounded by the pipe: AnalyzeReader drains pr, so CloseWithError returns and the goroutine exits
 	go func() {
 		//lint:ignore errdrop io.PipeWriter.CloseWithError documents that it always returns nil
 		pw.CloseWithError(grid.Write(pw, grid.Barbera()))

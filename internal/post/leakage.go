@@ -120,6 +120,7 @@ func WriteLeakageSummary(w io.Writer, rep LeakageReport, n int) error {
 // concentrate.
 func EFieldRaster(a *bem.Assembler, sigma []float64, scale float64, x0, y0, x1, y1 float64, opt SurfaceOptions) *Raster {
 	//lint:ignore errdrop background context never cancels, so the error is always nil
+	//lint:ignore ctxflow synchronous compatibility wrapper; the ctx-first variant is the primary API
 	r, _ := EFieldRasterCtx(context.Background(), a, sigma, scale, x0, y0, x1, y1, opt)
 	return r
 }
@@ -158,6 +159,7 @@ func EFieldRasterCtx(ctx context.Context, a *bem.Assembler, sigma []float64, sca
 // step-voltage map companion of SurfacePotential.
 func EFieldSurface(a *bem.Assembler, mesh interface{ Bounds() geom.AABB }, sigma []float64, scale float64, opt SurfaceOptions) *Raster {
 	//lint:ignore errdrop background context never cancels, so the error is always nil
+	//lint:ignore ctxflow synchronous compatibility wrapper; the ctx-first variant is the primary API
 	r, _ := EFieldSurfaceCtx(context.Background(), a, mesh, sigma, scale, opt)
 	return r
 }

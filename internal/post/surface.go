@@ -80,6 +80,7 @@ func (o SurfaceOptions) withDefaults() SurfaceOptions {
 // the solved DoF vector (per unit GPR); scale is typically the GPR.
 func SurfacePotential(a *bem.Assembler, mesh interface{ Bounds() geom.AABB }, sigma []float64, scale float64, opt SurfaceOptions) *Raster {
 	//lint:ignore errdrop background context never cancels, so the error is always nil
+	//lint:ignore ctxflow synchronous compatibility wrapper; the ctx-first variant is the primary API
 	r, _ := SurfacePotentialCtx(context.Background(), a, mesh, sigma, scale, opt)
 	return r
 }
@@ -99,6 +100,7 @@ func SurfacePotentialCtx(ctx context.Context, a *bem.Assembler, mesh interface{ 
 // [x0, x1] × [y0, y1] at z = 0 through the batched field evaluator.
 func SurfacePotentialRect(a *bem.Assembler, sigma []float64, scale float64, x0, y0, x1, y1 float64, opt SurfaceOptions) *Raster {
 	//lint:ignore errdrop background context never cancels, so the error is always nil
+	//lint:ignore ctxflow synchronous compatibility wrapper; the ctx-first variant is the primary API
 	r, _ := SurfacePotentialRectCtx(context.Background(), a, sigma, scale, x0, y0, x1, y1, opt)
 	return r
 }

@@ -38,6 +38,7 @@ func ComputeVoltages(a *bem.Assembler, m *grid.Mesh, sigma []float64, gpr float6
 // opt are consulted; the raster geometry is fixed by stepRes).
 func ComputeVoltagesOpt(a *bem.Assembler, m *grid.Mesh, sigma []float64, gpr float64, stepRes float64, opt SurfaceOptions) Voltages {
 	//lint:ignore errdrop background context never cancels, so the error is always nil
+	//lint:ignore ctxflow synchronous compatibility wrapper; the ctx-first variant is the primary API
 	v, _ := ComputeVoltagesCtx(context.Background(), a, m, sigma, gpr, stepRes, opt)
 	return v
 }

@@ -196,6 +196,7 @@ func ForCtx(ctx context.Context, n, p int, s Schedule, body func(i int)) error {
 // executed, which is fewer than n when err is non-nil.
 func ForStatsCtx(ctx context.Context, n, p int, s Schedule, body func(i, worker int)) (Stats, error) {
 	if ctx == nil {
+		//lint:ignore ctxflow nil ctx defaults to Background by documented contract, mirroring net/http
 		ctx = context.Background()
 	}
 	return forStats(ctx, n, p, s, body)

@@ -41,6 +41,7 @@ func RunUntilSignal(s *Server, handler http.Handler, ln net.Listener, sig <-chan
 	}
 
 	s.SetDraining(true)
+	//lint:ignore ctxflow the drain deadline is process-lifecycle scope; every request ctx is already ending
 	ctx, cancel := context.WithTimeout(context.Background(), drainTimeout)
 	defer cancel()
 	if err := hs.Shutdown(ctx); err != nil {
