@@ -10,15 +10,18 @@
 //	paperbench -exp fig5.2 -out figures/   # also write CSV + SVG artifacts
 //
 // Experiments: barbera, table5.1, table6.1, table6.2, table6.3, fig5.1,
-// fig5.2, fig5.3, fig5.4, fig6.1, fieldeval, sweep, ablation-assembly,
-// ablation-tol, ablation-solver, ablation-elements, ablation-threelayer,
-// ablation-grading, baseline-fdm, all.
+// fig5.2, fig5.3, fig5.4, fig6.1, fieldeval, sweep, assembly,
+// ablation-assembly, ablation-tol, ablation-solver, ablation-elements,
+// ablation-threelayer, ablation-grading, baseline-fdm, all.
 //
 // The fieldeval experiment benchmarks the batched field-evaluation engine on
 // the Figure 5.4 raster; with -json it records the result as
 // BENCH_field_eval.json (or the given path). The sweep experiment benchmarks
 // the multi-scenario batch engine (3 Balaidos soils × 3 GPR values) against
-// a sequential Analyze loop; with -json it records BENCH_sweep.json.
+// a sequential Analyze loop; with -json it records BENCH_sweep.json. The
+// assembly experiment benchmarks the flat kernel and blocked/mixed Cholesky
+// against the reference hot path on Balaidos soil B; with -json it records
+// BENCH_assembly.json.
 package main
 
 import (
@@ -54,7 +57,7 @@ func run(args []string, stdout io.Writer) error {
 		out     = fs.String("out", "", "directory for figure artifacts (CSV/SVG)")
 		procs   = fs.String("procs", "1,2,4,8", "worker counts for the parallel tables")
 		repeats = fs.Int("repeats", 1, "timing repetitions (paper used min of 4)")
-		jsonOut = fs.String("json", "", "benchmark JSON path for -exp fieldeval or sweep (e.g. BENCH_sweep.json)")
+		jsonOut = fs.String("json", "", "benchmark JSON path for -exp fieldeval, sweep or assembly (e.g. BENCH_assembly.json)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -116,6 +119,7 @@ func runExperiments(w io.Writer, exp string, q experiments.Quality, workers []in
 		{"fig6.1", func() error { return experiments.Fig61(w, q, workers) }},
 		{"fieldeval", func() error { return experiments.FieldEval(w, q, 0, 0, 0, jsonOut) }},
 		{"sweep", func() error { return experiments.SweepEngine(context.Background(), w, q, 0, jsonOut) }},
+		{"assembly", func() error { return experiments.AssemblyKernels(w, q, 0, jsonOut) }},
 		{"table6.2", func() error { return experiments.Table62(w, q, workers) }},
 		{"table6.3", func() error { return experiments.Table63(w, q, workers) }},
 		{"ablation-assembly", func() error { return experiments.AblationAssembly(w, q, workers) }},

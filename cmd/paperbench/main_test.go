@@ -95,6 +95,58 @@ func TestSweepBenchSmoke(t *testing.T) {
 	}
 }
 
+// TestAssemblyBenchSmoke drives the -exp assembly benchmark end to end at
+// quick fidelity and checks the recorded JSON: both Balaidos soil cases must
+// be present, the blocked factorization must reproduce the reference
+// solution bit for bit, the flat/mixed paths must hold the 1e-10 relative
+// Req contract, and the headline (soil C) combined path must come out ahead.
+func TestAssemblyBenchSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs four full Balaidos assemblies")
+	}
+	jsonPath := filepath.Join(t.TempDir(), "BENCH_assembly.json")
+	var buf bytes.Buffer
+	if err := run([]string{"-exp", "assembly", "-quick", "-json", jsonPath}, &buf); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	data, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ab struct {
+		CombinedSpeedup float64 `json:"combined_speedup"`
+		Cases           []struct {
+			Soil                string  `json:"soil"`
+			DoF                 int     `json:"dof"`
+			BlockedBitIdentical bool    `json:"blocked_bit_identical"`
+			ReqReference        float64 `json:"req_reference_ohm"`
+			MaxAbsDiffReqFlat   float64 `json:"max_abs_diff_req_flat_ohm"`
+			MaxAbsDiffReqMixed  float64 `json:"max_abs_diff_req_mixed_ohm"`
+		} `json:"cases"`
+	}
+	if err := json.Unmarshal(data, &ab); err != nil {
+		t.Fatal(err)
+	}
+	if len(ab.Cases) != 2 || ab.Cases[0].Soil != "C" || ab.Cases[1].Soil != "B" {
+		t.Fatalf("unexpected case set: %+v", ab.Cases)
+	}
+	for _, c := range ab.Cases {
+		if c.DoF == 0 {
+			t.Errorf("soil %s: empty discretization", c.Soil)
+		}
+		if !c.BlockedBitIdentical {
+			t.Errorf("soil %s: blocked factorization not bit-identical", c.Soil)
+		}
+		if tol := 1e-10 * c.ReqReference; c.MaxAbsDiffReqFlat > tol || c.MaxAbsDiffReqMixed > tol {
+			t.Errorf("soil %s: |ΔReq| flat %g / mixed %g exceeds 1e-10 relative (%g)",
+				c.Soil, c.MaxAbsDiffReqFlat, c.MaxAbsDiffReqMixed, tol)
+		}
+	}
+	if ab.CombinedSpeedup <= 1.2 {
+		t.Errorf("flat+blocked path not ahead of reference: speedup %.2f", ab.CombinedSpeedup)
+	}
+}
+
 func TestRunRejectsBadFlags(t *testing.T) {
 	cases := [][]string{
 		{"-exp", "nonesuch"},

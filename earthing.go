@@ -161,16 +161,30 @@ type (
 
 // Solver kinds.
 const (
-	PCG      = core.PCG
+	PCG = core.PCG
+	// Cholesky is the reference direct solver (unblocked column sweep).
 	Cholesky = core.Cholesky
+	// CholeskyBlocked is the tiled packed factorization — bit-identical
+	// results to Cholesky, faster on large systems.
+	CholeskyBlocked = core.CholeskyBlocked
+	// CholeskyMixed adds float32 trailing updates with float64 iterative
+	// refinement; accuracy is validated per solve and the engine refactors in
+	// full precision rather than degrade silently.
+	CholeskyMixed = core.CholeskyMixed
 )
 
-// Loop strategies and assembly modes.
+// Loop strategies, assembly modes and kernel strategies.
 const (
 	OuterLoop         = bem.OuterLoop
 	InnerLoop         = bem.InnerLoop
 	StoreThenAssemble = bem.StoreThenAssemble
 	MutexAssemble     = bem.MutexAssemble
+	// ReferenceKernel (default) evaluates image-series inner integrals with
+	// the bit-exact per-image closed forms; FlatKernel streams precomputed
+	// per-depth image tables (≈2× faster single-thread, results within 1e-10
+	// relative). Select with WithFlatAssembly or Config.BEM.Kernel.
+	ReferenceKernel = bem.ReferenceKernel
+	FlatKernel      = bem.FlatKernel
 )
 
 // Schedule kinds.

@@ -1,0 +1,59 @@
+package bem
+
+// Arena is a per-worker scratch reservoir for column assembly across many
+// assemblers. The sweep engine streams columns of different jobs through each
+// worker goroutine; giving every (job, worker) combination its own
+// ColumnScratch multiplies allocations by the job count, even though at any
+// instant a worker uses exactly one. An Arena caches the most recently built
+// scratch together with its float64 backing storage: consecutive columns of
+// assemblers with the same element kind and integration orders (the common
+// sweep case — same mesh family, different soils) reuse the scratch as-is,
+// and a switch to different dimensions re-slices the backing without
+// reallocating when capacity suffices. The zero value is ready to use.
+//
+// An Arena must not be shared between concurrent workers, exactly like the
+// ColumnScratch it vends.
+type Arena struct {
+	buf    []float64
+	kk, ng int
+	cs     *ColumnScratch
+}
+
+// ColumnScratchFromArena returns a ColumnScratch for this assembler backed by
+// the arena, building (or re-slicing) it only when the cached one has the
+// wrong dimensions. In steady state this is a two-comparison hit and column
+// computation allocates nothing.
+func (a *Assembler) ColumnScratchFromArena(ar *Arena) *ColumnScratch {
+	kk := a.k * a.k
+	ng := a.maxGauss()
+	if ar.cs != nil && ar.kk == kk && ar.ng == ng {
+		return ar.cs
+	}
+	need := 2*kk + a.k + 5*ng
+	if cap(ar.buf) < need {
+		ar.buf = make([]float64, need)
+	}
+	b := ar.buf[:need]
+	for i := range b {
+		b[i] = 0
+	}
+	o1 := kk
+	o2 := 2 * kk
+	o3 := o2 + a.k
+	o4 := o3 + ng
+	o5 := o4 + ng
+	o6 := o5 + ng
+	o7 := o6 + ng
+	ar.cs = &ColumnScratch{s: &pairScratch{
+		elemental: b[0:o1:o1],
+		group:     b[o1:o2:o2],
+		inner:     b[o2:o3:o3],
+		hxy:       b[o3:o4:o4],
+		dxy2:      b[o4:o5:o5],
+		chiZ:      b[o5:o6:o6],
+		wsh0:      b[o6:o7:o7],
+		wsh1:      b[o7:need:need],
+	}}
+	ar.kk, ar.ng = kk, ng
+	return ar.cs
+}

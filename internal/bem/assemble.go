@@ -220,14 +220,38 @@ type pairScratch struct {
 	elemental []float64 // k×k
 	group     []float64 // k×k per-series-group accumulator
 	inner     []float64 // k inner shape integrals
+
+	// Flat-kernel per-Gauss-point hoists (maxGauss-sized): the observation
+	// geometry and the weight×shape products each image of a pair shares.
+	hxy  []float64 // axial projection of the horizontal offset
+	dxy2 []float64 // squared horizontal distance
+	chiZ []float64 // observation depth
+	wsh0 []float64 // gpW·lenB·shape₀ (gpW·lenB for constant elements)
+	wsh1 []float64 // gpW·lenB·shape₁ (unused for constant elements)
+}
+
+// maxGauss returns the larger of the far- and near-field outer rule sizes —
+// the capacity the flat-kernel hoist arrays need.
+func (g *Geometry) maxGauss() int {
+	n := len(g.gpW)
+	if len(g.gpWN) > n {
+		n = len(g.gpWN)
+	}
+	return n
 }
 
 func (a *Assembler) newScratch() *pairScratch {
 	kk := a.k * a.k
+	ng := a.maxGauss()
 	return &pairScratch{
 		elemental: make([]float64, kk),
 		group:     make([]float64, kk),
 		inner:     make([]float64, a.k),
+		hxy:       make([]float64, ng),
+		dxy2:      make([]float64, ng),
+		chiZ:      make([]float64, ng),
+		wsh0:      make([]float64, ng),
+		wsh1:      make([]float64, ng),
 	}
 }
 
@@ -330,7 +354,11 @@ func (a *Assembler) pairMatrix(beta, alpha int, out []float64, s *pairScratch) {
 		out[i] = 0
 	}
 	if _, ok := a.groups[[2]int{a.elemLayer[alpha], a.elemLayer[beta]}]; ok {
-		a.pairMatrixImages(beta, alpha, out, s)
+		if a.opt.Kernel == FlatKernel {
+			a.pairMatrixFlat(beta, alpha, out, s)
+		} else {
+			a.pairMatrixImages(beta, alpha, out, s)
+		}
 	} else {
 		faultinject.Fire(faultinject.Quadrature, beta, out)
 		a.pairMatrixQuadrature(beta, alpha, out, s)

@@ -52,6 +52,10 @@ type lazyPlan struct {
 // flattened into contiguous arrays (computed once, reused for every point).
 type evalPlan struct {
 	elems []planElem
+	// byElem maps a mesh element index to its position in elems (−1 for
+	// quadrature-fallback elements) — the random-access door the flat
+	// assembly kernel uses to address one source element's image table.
+	byElem []int32
 	// quadElems are elements whose (src, obs) layer pair has no image
 	// expansion; they fall back to quadrature of Model.PointPotential.
 	quadElems []int32
@@ -115,15 +119,17 @@ func (fe *FieldEvaluator) plan(obsLayer int) *evalPlan {
 // layer. This is the precompute half of the engine: ApplySegment and the
 // per-element prefactors run once here instead of once per point.
 func buildPlan(a *Assembler, obsLayer int) *evalPlan {
-	p := &evalPlan{}
+	p := &evalPlan{byElem: make([]int32, len(a.mesh.Elements))}
 	for e := range a.mesh.Elements {
 		el := &a.mesh.Elements[e]
 		srcLayer := a.elemLayer[e]
 		groups, ok := a.groups[[2]int{srcLayer, obsLayer}]
 		if !ok {
+			p.byElem[e] = -1
 			p.quadElems = append(p.quadElems, int32(e))
 			continue
 		}
+		p.byElem[e] = int32(len(p.elems))
 		l := el.Seg.Length()
 		t := el.Seg.Dir()
 		pe := planElem{

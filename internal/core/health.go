@@ -82,14 +82,23 @@ func preSolveHealth(r *linalg.SymMatrix, nu []float64) error {
 // system's conditioning. Condition numbers above the limit fail the
 // analysis; the band within limit/1e4 of it appends a warning and lets the
 // result through — degraded, flagged, but usable. The estimate is recorded
-// on the Result either way.
-func postSolveHealth(res *Result, r *linalg.SymMatrix, cfg Config) error {
+// on the Result either way. ch, when non-nil, is a Cholesky factorization of
+// r left over from the solve stage: the estimate then reuses it (and its
+// cache) instead of refactoring the system — for direct-solver analyses the
+// health check costs only the power iteration.
+func postSolveHealth(res *Result, r *linalg.SymMatrix, cfg Config, ch *linalg.Cholesky) error {
 	for i, v := range res.Sigma {
 		if math.IsNaN(v) || math.IsInf(v, 0) {
 			return &HealthError{Reason: HealthNonFiniteSolution, Detail: fmt.Sprintf("sigma[%d] = %g", i, v)}
 		}
 	}
-	cond, err := linalg.ConditionEstimate(r, 0)
+	var cond float64
+	var err error
+	if ch != nil {
+		cond, err = ch.ConditionEstimate(r, 0)
+	} else {
+		cond, err = linalg.ConditionEstimate(r, 0)
+	}
 	if err != nil {
 		return &HealthError{Reason: HealthIndefinite, Detail: err.Error()}
 	}

@@ -1,0 +1,44 @@
+package experiments
+
+import (
+	"testing"
+
+	"earthing/internal/bem"
+	"earthing/internal/core"
+	"earthing/internal/grid"
+)
+
+func benchBalaidosAssembly(b *testing.B, kernel bem.KernelStrategy) {
+	benchBalaidosAssemblyCase(b, kernel, 1)
+}
+
+func benchBalaidosAssemblyCase(b *testing.B, kernel bem.KernelStrategy, soilCase int) {
+	b.Helper()
+	c := BalaidosModels()[soilCase]
+	mesh, _, err := core.BuildMesh(grid.Balaidos(), c.Model, core.Config{RodElements: c.RodElements})
+	if err != nil {
+		b.Fatal(err)
+	}
+	opt := Default().bemOptions(1)
+	opt.Kernel = kernel
+	asm, err := bem.New(mesh, c.Model, opt)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := asm.Matrix(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBalaidosAssemblyReference(b *testing.B) { benchBalaidosAssembly(b, bem.ReferenceKernel) }
+func BenchmarkBalaidosAssemblyFlat(b *testing.B)      { benchBalaidosAssembly(b, bem.FlatKernel) }
+
+func BenchmarkBalaidosAssemblyReferenceC(b *testing.B) {
+	benchBalaidosAssemblyCase(b, bem.ReferenceKernel, 2)
+}
+func BenchmarkBalaidosAssemblyFlatC(b *testing.B) {
+	benchBalaidosAssemblyCase(b, bem.FlatKernel, 2)
+}

@@ -46,6 +46,12 @@ const (
 	// Solve fires on entry of the linear-system-solving stage, with
 	// i = system order and data = the RHS vector.
 	Solve Point = "core.solve"
+	// CholeskyPanel fires once per panel of the blocked factorization
+	// (linalg.NewCholeskyBlocked), before the panel is factored, with
+	// i = panel index and data = the panel's leading diagonal entry
+	// (poisonable: a NaN there surfaces as ErrNotPositiveDefinite, the
+	// typed per-scenario failure the sweep isolates).
+	CholeskyPanel Point = "linalg.cholesky.panel"
 	// CacheGet fires on every server cache lookup (i = 0, data = nil).
 	CacheGet Point = "server.cache.get"
 	// Admission fires on every server admission attempt (i = 0, data = nil).

@@ -8,16 +8,29 @@ import "math"
 // Galerkin grounding matrices (well conditioned for sane discretizations —
 // the reason plain Jacobi-PCG converges in few iterations, §4.3).
 func EstimateExtremeEigenvalues(a *SymMatrix, iters int) (min, max float64, err error) {
+	if a.Order() == 0 {
+		return 0, 0, nil
+	}
+	ch, err := NewCholesky(a)
+	if err != nil {
+		return 0, 0, err
+	}
+	return extremeEigenvalues(a, ch, iters)
+}
+
+// extremeEigenvalues is the shared estimator core: power iteration on a for
+// λmax, inverse iteration through the provided factorization for λmin. The
+// factorization may come from any of the Cholesky constructors; the inverse
+// iteration normalizes every step, so the O(1e-7) perturbation of a
+// mixed-precision factor does not disturb the leading digits of the
+// estimate (it is a diagnostic, quoted to ~3 digits).
+func extremeEigenvalues(a *SymMatrix, ch *Cholesky, iters int) (min, max float64, err error) {
 	n := a.Order()
 	if n == 0 {
 		return 0, 0, nil
 	}
 	if iters <= 0 {
 		iters = 60
-	}
-	ch, err := NewCholesky(a)
-	if err != nil {
-		return 0, 0, err
 	}
 
 	// Deterministic pseudo-random start vector (reproducible diagnostics).
@@ -51,7 +64,8 @@ func EstimateExtremeEigenvalues(a *SymMatrix, iters int) (min, max float64, err 
 	a.MulVec(v, w)
 	max = Dot(v, w)
 
-	// Inverse iteration for λmin.
+	// Inverse iteration for λmin, reusing the factorization's triangular
+	// sweeps directly (no per-step allocation or refinement).
 	for i := range v {
 		seed ^= seed << 13
 		seed ^= seed >> 7
@@ -60,11 +74,8 @@ func EstimateExtremeEigenvalues(a *SymMatrix, iters int) (min, max float64, err 
 	}
 	normalize(v)
 	for k := 0; k < iters; k++ {
-		x, err := ch.Solve(v)
-		if err != nil {
-			return 0, 0, err
-		}
-		copy(v, x)
+		ch.solveInto(w, v)
+		copy(v, w)
 		normalize(v)
 	}
 	a.MulVec(v, w)
@@ -76,7 +87,9 @@ func EstimateExtremeEigenvalues(a *SymMatrix, iters int) (min, max float64, err 
 }
 
 // ConditionEstimate returns the 2-norm condition number estimate
-// λmax/λmin of an SPD matrix.
+// λmax/λmin of an SPD matrix. Callers that already hold a Cholesky handle
+// of a should prefer its ConditionEstimate method, which reuses the
+// factorization and caches the result.
 func ConditionEstimate(a *SymMatrix, iters int) (float64, error) {
 	min, max, err := EstimateExtremeEigenvalues(a, iters)
 	if err != nil {

@@ -32,9 +32,13 @@ func (m *SymMatrix) MulVecParallel(x, y []float64, workers int) {
 		for j, a := range row {
 			sum += a * x[j]
 		}
-		// Upper part via the transposed packed entries.
+		// Upper part via the transposed packed entries: element (j, i) sits
+		// at offset(j) + i with offset advancing by j+1 per row, so the walk
+		// is a single running offset instead of a multiply per element.
+		off := base + i + 1 + i // (i+1)(i+2)/2 + i
 		for j := i + 1; j < m.n; j++ {
-			sum += m.data[j*(j+1)/2+i] * x[j]
+			sum += m.data[off] * x[j]
+			off += j + 1
 		}
 		y[i] = sum
 	})

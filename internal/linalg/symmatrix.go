@@ -59,11 +59,15 @@ func (m *SymMatrix) Add(i, j int, v float64) {
 	m.data[m.index(i, j)] += v
 }
 
-// Diag returns a copy of the diagonal.
+// Diag returns a copy of the diagonal, walking the packed storage with a
+// running offset (diagonal i sits at offset(i)+i, advancing by i+2 per row)
+// instead of one index product per element.
 func (m *SymMatrix) Diag() []float64 {
 	d := make([]float64, m.n)
+	off := 0
 	for i := 0; i < m.n; i++ {
-		d[i] = m.data[m.index(i, i)]
+		d[i] = m.data[off]
+		off += i + 2
 	}
 	return d
 }

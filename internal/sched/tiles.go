@@ -1,0 +1,58 @@
+package sched
+
+import "context"
+
+// Tile helpers: the blocked linear-algebra kernels distribute work in
+// contiguous index ranges (panel rows, trailing-update row tiles) rather than
+// single iterations, because a tile owns a cache-sized slab of the packed
+// matrix. These wrappers map a tile index space onto the existing schedule
+// machinery so tiled loops inherit the OpenMP-style schedules, cancellation
+// and panic containment of For/ForCtx.
+
+// NumTiles returns the number of tiles of size tile covering [0, n): the
+// last tile may be short. tile ≤ 0 is treated as 1.
+func NumTiles(n, tile int) int {
+	if tile < 1 {
+		tile = 1
+	}
+	if n <= 0 {
+		return 0
+	}
+	return (n + tile - 1) / tile
+}
+
+// ForTiles runs body(lo, hi) for every tile [lo, hi) of size tile covering
+// [0, n), distributing tiles over p workers under schedule s. Tiles are
+// disjoint, so bodies writing only inside their range need no
+// synchronization. Panics in a body re-raise on the caller as *PanicError,
+// as in For.
+func ForTiles(n, tile, p int, s Schedule, body func(lo, hi int)) {
+	if tile < 1 {
+		tile = 1
+	}
+	For(NumTiles(n, tile), p, s, func(t int) {
+		lo := t * tile
+		hi := lo + tile
+		if hi > n {
+			hi = n
+		}
+		body(lo, hi)
+	})
+}
+
+// ForTilesCtx is ForTiles with the cooperative-cancellation and
+// panic-containment semantics of ForCtx: workers observe ctx at tile
+// boundaries and a contained body panic is returned as a *PanicError.
+func ForTilesCtx(ctx context.Context, n, tile, p int, s Schedule, body func(lo, hi int)) error {
+	if tile < 1 {
+		tile = 1
+	}
+	return ForCtx(ctx, NumTiles(n, tile), p, s, func(t int) {
+		lo := t * tile
+		hi := lo + tile
+		if hi > n {
+			hi = n
+		}
+		body(lo, hi)
+	})
+}

@@ -9,6 +9,7 @@ import (
 	"earthing/internal/core"
 	"earthing/internal/faultinject"
 	"earthing/internal/grid"
+	"earthing/internal/linalg"
 	"earthing/internal/sched"
 	"earthing/internal/soil"
 )
@@ -36,7 +37,7 @@ func chaosScenarios(n int) []Scenario {
 // column of the job serving scenario scen — a deterministic fault target.
 func firstColumnOf(t *testing.T, g *grid.Grid, scens []Scenario, opt Options, scen int) int {
 	t.Helper()
-	p, err := buildPlan(g, scens, opt, 4)
+	p, err := buildPlan(g, scens, opt)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -152,6 +153,37 @@ func TestChaosSweepNaNHealthIsolation(t *testing.T) {
 	}
 	if he.Reason != core.HealthNonFiniteSystem {
 		t.Errorf("Reason = %q, want %q", he.Reason, core.HealthNonFiniteSystem)
+	}
+}
+
+// TestChaosSweepCholeskyPanelIsolation: a NaN poisoned into the first panel
+// of the blocked factorization fails that scenario's solve with a typed
+// ErrNotPositiveDefinite — the solver-stage counterpart of the
+// assembly-column chaos cases — while sibling jobs complete bit-identically.
+func TestChaosSweepCholeskyPanelIsolation(t *testing.T) {
+	g := chaosGrid()
+	cfg := chaosConfig()
+	// One worker makes job completion (and thus factorization) order
+	// deterministic: job 0 finalizes first and absorbs the Once fault.
+	cfg.BEM.Workers = 1
+	cfg.Solver = core.CholeskyBlocked
+	opt := Options{Config: cfg}
+	scens := chaosScenarios(5)
+
+	baseline := runChaosSweep(t, g, scens, opt)
+	for i, r := range baseline {
+		if r.Err != nil {
+			t.Fatalf("clean run: scenario %d failed: %v", i, r.Err)
+		}
+	}
+
+	defer faultinject.Set(faultinject.CholeskyPanel,
+		faultinject.Once(faultinject.PoisonNaN()))()
+
+	faulty := runChaosSweep(t, g, scens, opt)
+	assertIsolated(t, baseline, faulty, map[int]bool{0: true})
+	if !errors.Is(faulty[0].Err, linalg.ErrNotPositiveDefinite) {
+		t.Fatalf("victim Err = %v, want linalg.ErrNotPositiveDefinite", faulty[0].Err)
 	}
 }
 

@@ -135,7 +135,6 @@ type job struct {
 	store     []float64
 	remaining atomic.Int64
 	busyNanos atomic.Int64
-	scratches []*bem.ColumnScratch
 	// failErr holds the first failure of this job (worker panic, health
 	// check); once set, the job's remaining columns are skipped and its
 	// scenarios are emitted as ReuseFailed results.
@@ -183,7 +182,7 @@ func depthsKey(depths []float64) string {
 }
 
 // buildPlan groups scenarios into mesh groups and assembly jobs.
-func buildPlan(g *grid.Grid, scenarios []Scenario, opt Options, maxW int) (*plan, error) {
+func buildPlan(g *grid.Grid, scenarios []Scenario, opt Options) (*plan, error) {
 	cfg := opt.Config
 	if cfg.GPR == 0 {
 		cfg.GPR = 1
@@ -273,12 +272,11 @@ func buildPlan(g *grid.Grid, scenarios []Scenario, opt Options, maxW int) (*plan
 			return nil, fmt.Errorf("sweep: scenario %d: %w", i, err)
 		}
 		j := &job{
-			group:     grp,
-			model:     sc.Model,
-			asm:       asm,
-			scens:     []int{i},
-			store:     make([]float64, asm.StoreSize()),
-			scratches: make([]*bem.ColumnScratch, maxW+1),
+			group: grp,
+			model: sc.Model,
+			asm:   asm,
+			scens: []int{i},
+			store: make([]float64, asm.StoreSize()),
 		}
 		j.remaining.Store(int64(asm.NumColumns()))
 		jobsByKey[jk] = j
@@ -338,10 +336,14 @@ func Stream(ctx context.Context, g *grid.Grid, scenarios []Scenario, opt Options
 	if maxW <= 0 {
 		maxW = runtime.GOMAXPROCS(0)
 	}
-	p, err := buildPlan(g, scenarios, opt, maxW)
+	p, err := buildPlan(g, scenarios, opt)
 	if err != nil {
 		return err
 	}
+	// Per-worker scratch arenas, shared across every job a worker touches:
+	// scratch memory scales with the worker count, not workers × jobs, and a
+	// worker hopping between same-shaped jobs reuses one warm scratch.
+	arenas := make([]*bem.Arena, maxW+1)
 	schedule := p.cfg.BEM.Schedule
 	if schedule.IsZero() {
 		schedule = sched.Schedule{Kind: sched.Dynamic, Chunk: 1}
@@ -464,14 +466,14 @@ func Stream(ctx context.Context, g *grid.Grid, scenarios []Scenario, opt Options
 		// own outer loop so late chunks are small.
 		beta := j.asm.NumColumns() - 1 - local
 		wi := w
-		if wi >= len(j.scratches) {
-			wi = len(j.scratches) - 1
+		if wi >= len(arenas) {
+			wi = len(arenas) - 1
 		}
-		if j.scratches[wi] == nil {
-			j.scratches[wi] = j.asm.NewColumnScratch()
+		if arenas[wi] == nil {
+			arenas[wi] = &bem.Arena{}
 		}
 		t0 := time.Now()
-		j.asm.ComputeColumn(beta, j.store, j.scratches[wi])
+		j.asm.ComputeColumn(beta, j.store, j.asm.ColumnScratchFromArena(arenas[wi]))
 		if faultinject.Active() {
 			faultinject.Fire(faultinject.SweepColumn, global, j.asm.ColumnRange(beta, j.store))
 		}
