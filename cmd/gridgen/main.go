@@ -7,6 +7,7 @@
 //	gridgen -grid barbera > barbera.txt
 //	gridgen -grid balaidos -svg balaidos.svg
 //	gridgen -grid rect -nx 8 -ny 6 -width 80 -height 60 -depth 0.8
+//	gridgen -preset interconnected -n 10000 -seed 1 > big.txt
 package main
 
 import (
@@ -22,37 +23,57 @@ import (
 )
 
 func main() {
-	var (
-		kind   = flag.String("grid", "rect", "grid: barbera | balaidos | rect | triangle")
-		nx     = flag.Int("nx", 6, "lattice lines along x (rect/triangle)")
-		ny     = flag.Int("ny", 6, "lattice lines along y (rect/triangle)")
-		width  = flag.Float64("width", 60, "plan width in m (rect; triangle leg x)")
-		height = flag.Float64("height", 60, "plan height in m (rect; triangle leg y)")
-		depth  = flag.Float64("depth", 0.8, "burial depth in m")
-		radius = flag.Float64("radius", 0.006, "conductor radius in m")
-		svg    = flag.String("svg", "", "also draw the plan as SVG to this file")
-	)
-	flag.Parse()
-
-	g, err := build(*kind, *nx, *ny, *width, *height, *depth, *radius)
-	if err != nil {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "gridgen:", err)
 		os.Exit(1)
 	}
-	if err := earthing.WriteGrid(os.Stdout, g); err != nil {
-		fmt.Fprintln(os.Stderr, "gridgen:", err)
-		os.Exit(1)
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("gridgen", flag.ContinueOnError)
+	var (
+		kind   = fs.String("grid", "rect", "grid: barbera | balaidos | rect | triangle")
+		preset = fs.String("preset", "", "procedural preset: interconnected (overrides -grid)")
+		n      = fs.Int("n", 10_000, "target DoF for -preset interconnected")
+		seed   = fs.Int64("seed", 1, "seed for -preset interconnected")
+		nx     = fs.Int("nx", 6, "lattice lines along x (rect/triangle)")
+		ny     = fs.Int("ny", 6, "lattice lines along y (rect/triangle)")
+		width  = fs.Float64("width", 60, "plan width in m (rect; triangle leg x)")
+		height = fs.Float64("height", 60, "plan height in m (rect; triangle leg y)")
+		depth  = fs.Float64("depth", 0.8, "burial depth in m")
+		radius = fs.Float64("radius", 0.006, "conductor radius in m")
+		svg    = fs.String("svg", "", "also draw the plan as SVG to this file")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() > 0 {
+		return fmt.Errorf("unexpected argument %q", fs.Arg(0))
+	}
+
+	var g *grid.Grid
+	var err error
+	if *preset != "" {
+		g, err = buildPreset(*preset, *n, *seed)
+	} else {
+		g, err = build(*kind, *nx, *ny, *width, *height, *depth, *radius)
+	}
+	if err != nil {
+		return err
+	}
+	if err := earthing.WriteGrid(stdout, g); err != nil {
+		return err
 	}
 	if *svg != "" {
 		err := fsio.WriteFile(*svg, func(f io.Writer) error {
 			return experiments.PlanSVG(f, g)
 		})
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "gridgen:", err)
-			os.Exit(1)
+			return err
 		}
 		fmt.Fprintln(os.Stderr, "plan drawn to", *svg)
 	}
+	return nil
 }
 
 func build(kind string, nx, ny int, width, height, depth, radius float64) (*grid.Grid, error) {
@@ -67,5 +88,17 @@ func build(kind string, nx, ny int, width, height, depth, radius float64) (*grid
 		return grid.TriangleMesh(width, height, nx, ny, depth, radius), nil
 	default:
 		return nil, fmt.Errorf("unknown grid kind %q", kind)
+	}
+}
+
+func buildPreset(preset string, n int, seed int64) (*grid.Grid, error) {
+	switch preset {
+	case "interconnected":
+		if n < 1 {
+			return nil, fmt.Errorf("-n must be positive, got %d", n)
+		}
+		return grid.Interconnected(n, seed), nil
+	default:
+		return nil, fmt.Errorf("unknown preset %q", preset)
 	}
 }

@@ -1,0 +1,84 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"earthing/internal/grid"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden transcripts")
+
+func goldenPath(name string) string {
+	return filepath.Join("..", "..", "artifacts", "golden", name+".golden")
+}
+
+func checkGolden(t *testing.T, name, got string) {
+	t.Helper()
+	path := goldenPath(name)
+	if *update {
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden (run go test -update): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("transcript differs from %s (%d vs %d bytes); if the generator change is deliberate, run go test -update and re-run the benches",
+			path, len(got), len(want))
+	}
+}
+
+// TestGoldenInterconnected pins the procedural preset end to end through the
+// CLI: the emitted geometry text for a fixed (n, seed) is the contract that
+// lets benches and tests share large grids without shipping geometry files.
+func TestGoldenInterconnected(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-preset", "interconnected", "-n", "300", "-seed", "7"}, &buf); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	out := buf.String()
+	// The transcript must round-trip through the grid reader.
+	if _, err := grid.Read(strings.NewReader(out)); err != nil {
+		t.Fatalf("emitted grid does not parse: %v", err)
+	}
+	checkGolden(t, "gridgen-interconnected-n300-s7", out)
+}
+
+// TestRunRejectsBadFlags: malformed invocations surface as errors, not
+// partial output.
+func TestRunRejectsBadFlags(t *testing.T) {
+	cases := [][]string{
+		{"-grid", "nonesuch"},
+		{"-preset", "nonesuch"},
+		{"-preset", "interconnected", "-n", "0"},
+		{"-preset", "interconnected", "-n", "-5"},
+		{"stray-arg"},
+	}
+	for _, args := range cases {
+		var buf bytes.Buffer
+		if err := run(args, &buf); err == nil {
+			t.Errorf("run(%q) succeeded, want error", args)
+		}
+	}
+}
+
+// TestBuiltinGridsStillEmit guards the pre-preset paths of the CLI refactor.
+func TestBuiltinGridsStillEmit(t *testing.T) {
+	for _, kind := range []string{"barbera", "balaidos", "rect", "triangle"} {
+		var buf bytes.Buffer
+		if err := run([]string{"-grid", kind}, &buf); err != nil {
+			t.Fatalf("-grid %s: %v", kind, err)
+		}
+		if _, err := grid.Read(&buf); err != nil {
+			t.Fatalf("-grid %s output does not parse: %v", kind, err)
+		}
+	}
+}

@@ -10,7 +10,7 @@
 //	paperbench -exp fig5.2 -out figures/   # also write CSV + SVG artifacts
 //
 // Experiments: barbera, table5.1, table6.1, table6.2, table6.3, fig5.1,
-// fig5.2, fig5.3, fig5.4, fig6.1, fieldeval, sweep, assembly,
+// fig5.2, fig5.3, fig5.4, fig6.1, fieldeval, sweep, assembly, hmatrix,
 // ablation-assembly, ablation-tol, ablation-solver, ablation-elements,
 // ablation-threelayer, ablation-grading, baseline-fdm, all.
 //
@@ -21,7 +21,9 @@
 // a sequential Analyze loop; with -json it records BENCH_sweep.json. The
 // assembly experiment benchmarks the flat kernel and blocked/mixed Cholesky
 // against the reference hot path on Balaidos soil B; with -json it records
-// BENCH_assembly.json.
+// BENCH_assembly.json. The hmatrix experiment sweeps the compressed solver
+// over a 1k–20k DoF ladder of interconnected grids against the extrapolated
+// dense cost; with -json it records BENCH_hmatrix.json.
 package main
 
 import (
@@ -57,7 +59,7 @@ func run(args []string, stdout io.Writer) error {
 		out     = fs.String("out", "", "directory for figure artifacts (CSV/SVG)")
 		procs   = fs.String("procs", "1,2,4,8", "worker counts for the parallel tables")
 		repeats = fs.Int("repeats", 1, "timing repetitions (paper used min of 4)")
-		jsonOut = fs.String("json", "", "benchmark JSON path for -exp fieldeval, sweep or assembly (e.g. BENCH_assembly.json)")
+		jsonOut = fs.String("json", "", "benchmark JSON path for -exp fieldeval, sweep, assembly or hmatrix (e.g. BENCH_hmatrix.json)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -120,6 +122,7 @@ func runExperiments(w io.Writer, exp string, q experiments.Quality, workers []in
 		{"fieldeval", func() error { return experiments.FieldEval(w, q, 0, 0, 0, jsonOut) }},
 		{"sweep", func() error { return experiments.SweepEngine(context.Background(), w, q, 0, jsonOut) }},
 		{"assembly", func() error { return experiments.AssemblyKernels(w, q, 0, jsonOut) }},
+		{"hmatrix", func() error { return experiments.HMatrixScaling(w, q, 0, jsonOut) }},
 		{"table6.2", func() error { return experiments.Table62(w, q, workers) }},
 		{"table6.3", func() error { return experiments.Table63(w, q, workers) }},
 		{"ablation-assembly", func() error { return experiments.AblationAssembly(w, q, workers) }},

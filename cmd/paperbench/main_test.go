@@ -147,6 +147,57 @@ func TestAssemblyBenchSmoke(t *testing.T) {
 	}
 }
 
+// TestHMatrixBenchSmoke drives the compressed-solver scaling bench through
+// the CLI on the quick smoke ladder and checks the record's structural and
+// accuracy contracts (the full-ladder time/memory acceptance bars only hold
+// at scale and are asserted by the committed BENCH_hmatrix.json run).
+func TestHMatrixBenchSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds two compressed systems plus their dense references")
+	}
+	jsonPath := filepath.Join(t.TempDir(), "BENCH_hmatrix.json")
+	var buf bytes.Buffer
+	if err := run([]string{"-exp", "hmatrix", "-quick", "-json", jsonPath}, &buf); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	data, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hb struct {
+		Eps          float64 `json:"eps"`
+		MaxReqRelErr float64 `json:"max_req_rel_err"`
+		Rungs        []struct {
+			DoF           int     `json:"dof"`
+			CGIterations  int     `json:"cg_iterations"`
+			LowRankBlocks int     `json:"low_rank_blocks"`
+			DenseMeasured bool    `json:"dense_measured"`
+			ReqHMatrix    float64 `json:"req_hmatrix_ohm"`
+			ReqRelErr     float64 `json:"req_rel_err"`
+		} `json:"rungs"`
+	}
+	if err := json.Unmarshal(data, &hb); err != nil {
+		t.Fatal(err)
+	}
+	if len(hb.Rungs) != 2 {
+		t.Fatalf("quick ladder has %d rungs, want 2", len(hb.Rungs))
+	}
+	for _, r := range hb.Rungs {
+		if r.DoF == 0 || r.CGIterations == 0 || r.ReqHMatrix <= 0 {
+			t.Errorf("rung %+v: incomplete compressed solve record", r)
+		}
+		if r.LowRankBlocks == 0 {
+			t.Errorf("rung n=%d: no admissible blocks; partition degenerate", r.DoF)
+		}
+		if !r.DenseMeasured {
+			t.Errorf("rung n=%d: quick ladder must measure the dense reference", r.DoF)
+		}
+	}
+	if bar := 10 * hb.Eps; hb.MaxReqRelErr > bar {
+		t.Errorf("max |ΔReq|/Req %.3g exceeds 10·ε = %.0e", hb.MaxReqRelErr, bar)
+	}
+}
+
 func TestRunRejectsBadFlags(t *testing.T) {
 	cases := [][]string{
 		{"-exp", "nonesuch"},

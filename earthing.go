@@ -97,6 +97,12 @@ func Barbera() *Grid { return grid.Barbera() }
 // Balaidos returns the Balaidos substation grid of the paper's Example 2.
 func Balaidos() *Grid { return grid.Balaidos() }
 
+// InterconnectedGrid returns a randomized multi-substation grounding system
+// of roughly n degrees of freedom: several rod-cornered lattices joined by
+// tie conductors, the workload of the compressed-solver tier (WithHMatrix).
+// The same (n, seed) always yields the identical geometry.
+func InterconnectedGrid(n int, seed int64) *Grid { return grid.Interconnected(n, seed) }
+
 // ReadGrid parses a grid from its text format.
 func ReadGrid(r io.Reader) (*Grid, error) { return grid.Read(r) }
 
@@ -171,6 +177,13 @@ const (
 	// refinement; accuracy is validated per solve and the engine refactors in
 	// full precision rather than degrade silently.
 	CholeskyMixed = core.CholeskyMixed
+	// SolverHMatrix compresses the system into a hierarchical matrix (ACA on
+	// the admissible far field, dense near-field leaves) and solves it with
+	// near-field-preconditioned conjugate gradients — O(N·log N)-ish memory
+	// and time instead of the dense O(N²)/O(N³). Accuracy follows the block
+	// tolerance (WithHMatrix); small systems degrade to dense PCG with a
+	// warning when compression fails.
+	SolverHMatrix = core.SolverHMatrix
 )
 
 // Loop strategies, assembly modes and kernel strategies.

@@ -46,6 +46,15 @@ func (a *Assembler) ComputeColumn(beta int, store []float64, cs *ColumnScratch) 
 	faultinject.Fire(faultinject.AssemblyColumn, beta, a.ColumnRange(beta, store))
 }
 
+// PairMatrix computes the elemental matrix of the ordered element pair
+// (beta, alpha) into out (row-major k×k, out[j·k+i] = ∫_β w_j ∫_α N_i G) with
+// exactly the kernel arithmetic of the Matrix pair loop. This is the per-pair
+// unit the H-matrix entry generator composes global matrix entries from; cs
+// must not be shared between concurrent workers.
+func (a *Assembler) PairMatrix(beta, alpha int, out []float64, cs *ColumnScratch) {
+	a.pairMatrix(beta, alpha, out, cs.s)
+}
+
 // ColumnRange returns the sub-slice of store that column beta writes — the
 // elemental matrices of the pairs (β, α ≤ β). Exposed so batch engines can
 // address one column's results (e.g. for fault-injection targeting) without

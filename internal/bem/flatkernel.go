@@ -20,6 +20,30 @@ func asinhRatio(t float64) float64 {
 			t*(2027025.0/175472640))))))))
 }
 
+// geomKeyBits is the mantissa precision the quantized pair evaluation keeps
+// of every translation-dependent geometric input (horizontal offsets, the
+// source direction cosines and lengths). Rounding to 2⁻³⁰ relative perturbs
+// the elemental integrals by ≲ 1e-9 relative — two orders below the tightest
+// block tolerance the H-matrix tier accepts the cache at (ε ≥ 1e-7) — while
+// the rounding cells stay ~4 orders wider than the coordinate round-off
+// scatter between congruent element pairs, so lattice translates of one pair
+// collapse onto one key.
+const geomKeyBits = 30
+
+// quantGeom rounds x to geomKeyBits significant mantissa bits (round half
+// up), the canonicalization both the geometric cache key and the quantized
+// kernel evaluation share.
+func quantGeom(x float64) float64 {
+	if x == 0 {
+		return 0 // drop the sign of −0 so both zeros share one key
+	}
+	const drop = 52 - geomKeyBits
+	b := math.Float64bits(x)
+	b += 1 << (drop - 1)
+	b &^= 1<<drop - 1
+	return math.Float64frombits(b)
+}
+
 // pairMatrixFlat computes the same elemental matrix as pairMatrixImages from
 // the flattened per-depth image tables of the field-evaluation plan
 // (fieldeval.go). The legacy kernel re-derives every image-reflected segment
@@ -36,6 +60,18 @@ func asinhRatio(t float64) float64 {
 // difference is ulp-level arithmetic reassociation (grid resistances agree
 // to ≤ 1e-10 relative, pinned by the equivalence tests).
 func (a *Assembler) pairMatrixFlat(beta, alpha int, out []float64, s *pairScratch) {
+	a.pairMatrixFlatOn(beta, alpha, out, s, false)
+}
+
+// pairMatrixFlatOn is pairMatrixFlat with an optional canonicalized-geometry
+// mode: with quant set, every translation-dependent input (the horizontal
+// Gauss-point offsets, the source direction cosines, both lengths) is rounded
+// through quantGeom before use, which makes the result an exact function of
+// the AppendPairGeomKey signature — the property the H-matrix geometric pair
+// cache relies on for schedule-independent reuse. Depth-dependent inputs
+// (observation z, image tables) stay raw; they are part of the signature
+// verbatim. The dense assembly path always runs with quant false.
+func (a *Assembler) pairMatrixFlatOn(beta, alpha int, out []float64, s *pairScratch, quant bool) {
 	elA := &a.mesh.Elements[alpha]
 	elB := &a.mesh.Elements[beta]
 	p := a.Evaluator().plan(a.elemLayer[beta])
@@ -44,13 +80,22 @@ func (a *Assembler) pairMatrixFlat(beta, alpha int, out []float64, s *pairScratc
 	lenB := elB.Seg.Length()
 
 	// Near pairs (self, touching, adjacent) get the refined outer rule —
-	// identical selection to the reference kernel.
+	// identical selection to the reference kernel. The selection runs on the
+	// raw geometry in both modes; the chosen rule is part of the cache key.
 	gpPos, gpW, gpShape := a.gpPos[beta], a.gpW, a.gpShape
 	if beta == alpha ||
 		elB.Seg.DistToSegment(elA.Seg) < 0.5*(lenB+elA.Seg.Length()) {
 		gpPos, gpW, gpShape = a.gpPosN[beta], a.gpWN, a.gpShapeN
 	}
 	ng := len(gpPos)
+
+	l, invL, r2min := pe.l, pe.invL, pe.radius2
+	tx, ty := pe.tx, pe.ty
+	if quant {
+		lenB = quantGeom(lenB)
+		l, invL = quantGeom(l), quantGeom(invL)
+		tx, ty = quantGeom(tx), quantGeom(ty)
+	}
 
 	// Hoist the observation-point geometry and the weight×shape products out
 	// of the image loop: every image of the pair sees the same (hxy, dxy², z)
@@ -61,15 +106,16 @@ func (a *Assembler) pairMatrixFlat(beta, alpha int, out []float64, s *pairScratc
 	for g, chi := range gpPos {
 		dx := chi.X - pe.ax
 		dy := chi.Y - pe.ay
-		hxy[g] = dx*pe.tx + dy*pe.ty
+		if quant {
+			dx, dy = quantGeom(dx), quantGeom(dy)
+		}
+		hxy[g] = dx*tx + dy*ty
 		dxy2[g] = dx*dx + dy*dy
 		chiZ[g] = chi.Z
 		wl := gpW[g] * lenB
 		wsh0[g] = wl * gpShape[g][0]
 		wsh1[g] = wl * gpShape[g][1]
 	}
-
-	l, invL, r2min := pe.l, pe.invL, pe.radius2
 	linear := a.linear
 	group := s.group
 	// Horizontal source elements (tz = 0 ⟹ sz = 0 for every image) see the

@@ -17,6 +17,7 @@ import (
 	"earthing/internal/faultinject"
 	"earthing/internal/geom"
 	"earthing/internal/grid"
+	"earthing/internal/hmatrix"
 	"earthing/internal/linalg"
 	"earthing/internal/sched"
 	"earthing/internal/soil"
@@ -43,6 +44,13 @@ const (
 	// engine refactors in full precision rather than serving a degraded
 	// solution.
 	CholeskyMixed
+	// SolverHMatrix skips dense assembly entirely: the system is compressed
+	// into a hierarchical matrix (ACA on the η-admissible far field, dense
+	// near-field leaves) and solved by near-field-preconditioned conjugate
+	// gradients on the implicit operator. Accuracy is governed by
+	// Config.HMatrix.Eps; below HMatrixConfig.DenseFallbackN a failed
+	// compressed run degrades to dense PCG with a Result warning.
+	SolverHMatrix
 )
 
 // String implements fmt.Stringer.
@@ -56,6 +64,8 @@ func (s SolverKind) String() string {
 		return "cholesky-blocked"
 	case CholeskyMixed:
 		return "cholesky-mixed"
+	case SolverHMatrix:
+		return "hmatrix"
 	default:
 		return fmt.Sprintf("SolverKind(%d)", int(s))
 	}
@@ -84,6 +94,10 @@ type Config struct {
 	Solver SolverKind
 	// CGTol is the PCG relative-residual target (default 1e-10).
 	CGTol float64
+	// HMatrix tunes the compressed solver tier (Solver = SolverHMatrix):
+	// block tolerance, admissibility, leaf size, rank cap and the dense
+	// fallback threshold.
+	HMatrix HMatrixConfig
 	// HealthCheck enables the numerical health checks around the solve
 	// stage: the system matrix and load vector are scanned for NaN/Inf
 	// before factorization, the solved density is scanned afterwards, and
@@ -128,8 +142,11 @@ type Result struct {
 	Timings StageTimings
 	// LoopStats describes how matrix generation distributed work.
 	LoopStats sched.Stats
-	// CG reports solver convergence (PCG only).
+	// CG reports solver convergence (PCG and SolverHMatrix).
 	CG linalg.CGResult
+	// HMatrix holds the compression statistics of a SolverHMatrix run
+	// (zero for dense solvers and after a dense fallback).
+	HMatrix hmatrix.BuildStats
 	// Condition is the 2-norm condition estimate of the system matrix,
 	// populated only when Config.HealthCheck is enabled (0 otherwise).
 	Condition float64
@@ -360,6 +377,10 @@ func solveSystem(res *Result, r *linalg.SymMatrix, cfg Config) error {
 		}
 		chol = ch
 		res.Sigma = x
+	case SolverHMatrix:
+		// The compressed tier owns its own pipeline stages; an externally
+		// assembled dense system has nothing left to compress.
+		return fmt.Errorf("core: SolverHMatrix cannot solve an externally assembled dense system; use CompleteHMatrix")
 	default:
 		return fmt.Errorf("core: unknown solver %v", cfg.Solver)
 	}
@@ -474,6 +495,19 @@ func analyze(ctx context.Context, g *grid.Grid, mesh *grid.Mesh, model soil.Mode
 	}
 	res.asm = asm
 	res.Timings.Preprocess = time.Since(start)
+
+	// The compressed tier replaces both the dense matrix-generation and the
+	// packed solve stages (degrading to them on small systems when the
+	// compression or the iterative solve fails).
+	if cfg.Solver == SolverHMatrix {
+		if err := runHMatrixWithFallback(ctx, res, asm, cfg); err != nil {
+			return nil, err
+		}
+		if err := finishResults(res, cfg.GPR); err != nil {
+			return nil, err
+		}
+		return res, nil
+	}
 
 	// Stage: matrix generation — the dominant cost for layered soils
 	// (Table 6.1) and the parallelized loop (§6.2).

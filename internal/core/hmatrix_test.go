@@ -1,0 +1,111 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"strings"
+	"testing"
+
+	"earthing/internal/faultinject"
+	"earthing/internal/grid"
+	"earthing/internal/linalg"
+	"earthing/internal/soil"
+)
+
+func hmatrixTestConfig() Config {
+	return Config{
+		GPR:        10_000,
+		MaxElemLen: 3,
+		Solver:     SolverHMatrix,
+		HMatrix:    HMatrixConfig{LeafSize: 4},
+	}
+}
+
+// TestAnalyzeHMatrixMatchesDense runs the full pipeline under SolverHMatrix
+// and pins the engineering outputs against the dense PCG reference within
+// the documented 10·ε budget.
+func TestAnalyzeHMatrixMatchesDense(t *testing.T) {
+	g := grid.RectMesh(0, 0, 24, 24, 4, 4, 0.8, 0.006)
+	model := soil.NewUniform(0.016)
+	cfg := hmatrixTestConfig()
+
+	res, err := Analyze(g, model, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.HMatrix.N == 0 {
+		t.Fatal("Result.HMatrix stats empty — compressed path not taken")
+	}
+	if res.HMatrix.LowRank == 0 {
+		t.Fatal("no ACA blocks on a 24 m grid at leaf size 4")
+	}
+	if !res.CG.Converged || res.CG.Iterations == 0 {
+		t.Errorf("CG result not recorded: %+v", res.CG)
+	}
+
+	denseCfg := cfg
+	denseCfg.Solver = PCG
+	want, err := Analyze(g, model, denseCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel := math.Abs(res.Req-want.Req) / want.Req; rel > 10*1e-6 {
+		t.Errorf("Req %.8g vs dense %.8g (rel %.3g), budget 10·ε", res.Req, want.Req, rel)
+	}
+}
+
+// TestHMatrixDenseFallbackWarning: when the compressed solve fails on a
+// system small enough for the dense path, the analysis degrades gracefully —
+// dense PCG result, a Result warning naming the cause, compressed stats
+// cleared — instead of failing.
+func TestHMatrixDenseFallbackWarning(t *testing.T) {
+	g := grid.RectMesh(0, 0, 24, 24, 4, 4, 0.8, 0.006)
+	model := soil.NewUniform(0.016)
+	cfg := hmatrixTestConfig() // DenseFallbackN 0 → default 2000 ≫ this system
+
+	// Poison every compressed operator application: the CG recurrence breaks
+	// down, the dense fallback (which never touches the H-matrix) completes.
+	defer faultinject.Set(faultinject.HMatrixCGIter, faultinject.PoisonNaN())()
+
+	res, err := Analyze(g, model, cfg)
+	if err != nil {
+		t.Fatalf("fallback should have absorbed the compressed failure: %v", err)
+	}
+	found := false
+	for _, w := range res.Warnings {
+		if strings.Contains(w, "fell back to dense pcg") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("no fallback warning on Result; warnings: %q", res.Warnings)
+	}
+	if res.HMatrix.N != 0 {
+		t.Errorf("stale compressed stats on a dense-fallback result: %+v", res.HMatrix)
+	}
+
+	denseCfg := cfg
+	denseCfg.Solver = PCG
+	want, err := Analyze(g, model, denseCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Req != want.Req {
+		t.Errorf("fallback Req %v != dense reference %v (must be the identical path)", res.Req, want.Req)
+	}
+}
+
+// TestHMatrixFallbackDisabled: DenseFallbackN < 0 turns the same failure into
+// a typed error — the contract the chaos suites build on.
+func TestHMatrixFallbackDisabled(t *testing.T) {
+	g := grid.RectMesh(0, 0, 24, 24, 4, 4, 0.8, 0.006)
+	cfg := hmatrixTestConfig()
+	cfg.HMatrix.DenseFallbackN = -1
+
+	defer faultinject.Set(faultinject.HMatrixCGIter, faultinject.PoisonNaN())()
+
+	_, err := Analyze(g, soil.NewUniform(0.016), cfg)
+	if !errors.Is(err, linalg.ErrCGBreakdown) {
+		t.Fatalf("err = %v, want linalg.ErrCGBreakdown", err)
+	}
+}

@@ -52,6 +52,17 @@ const (
 	// (poisonable: a NaN there surfaces as ErrNotPositiveDefinite, the
 	// typed per-scenario failure the sweep isolates).
 	CholeskyPanel Point = "linalg.cholesky.panel"
+	// HMatrixACABlock fires once per admissible block inside the ACA loop
+	// (hmatrix build), after the first cross row is generated, with
+	// i = block index and data = the generated row (poisonable: a NaN there
+	// surfaces as the typed hmatrix.ErrNonFinite build failure the sweep
+	// isolates per scenario).
+	HMatrixACABlock Point = "hmatrix.ACABlock"
+	// HMatrixCGIter fires once per H-matrix operator application of the
+	// compressed CG solve, with i = the application count and data = the
+	// product vector y (poisonable: a NaN there breaks the CG recurrence
+	// into the typed linalg.ErrCGBreakdown).
+	HMatrixCGIter Point = "hmatrix.CGIter"
 	// CacheGet fires on every server cache lookup (i = 0, data = nil).
 	CacheGet Point = "server.cache.get"
 	// Admission fires on every server admission attempt (i = 0, data = nil).

@@ -1,6 +1,11 @@
 package grid
 
-import "fmt"
+import (
+	"fmt"
+	"math"
+
+	"earthing/internal/geom"
+)
 
 // ConnectedComponents returns the number of electrically distinct conductor
 // groups in the grid, treating conductors whose endpoints coincide (within
@@ -61,18 +66,27 @@ func (g *Grid) ConnectedComponents() int {
 		}
 	}
 	// Endpoints landing mid-span of another conductor (e.g. rod tops welded
-	// to a perimeter conductor between its lattice nodes) also bond.
+	// to a perimeter conductor between its lattice nodes) also bond. A
+	// spatial hash over segment bounding boxes keeps this near-linear: a
+	// segment within tol of a point is registered in the point's cell, so
+	// only that cell's candidates need the exact distance test.
 	const tol = 1e-6
+	h := newSegHash(g.Conductors, tol)
 	for i, c := range g.Conductors {
-		for j, d := range g.Conductors {
-			if i == j {
-				continue
-			}
-			if d.Seg.DistToPoint(c.Seg.A) <= tol {
-				union(vertex(i, false), vertex(j, false))
-			}
-			if d.Seg.DistToPoint(c.Seg.B) <= tol {
-				union(vertex(i, true), vertex(j, false))
+		for _, end := range []struct {
+			p geom.Vec3
+			v int
+		}{
+			{c.Seg.A, vertex(i, false)},
+			{c.Seg.B, vertex(i, true)},
+		} {
+			for _, j := range h.near(end.p) {
+				if j == i {
+					continue
+				}
+				if g.Conductors[j].Seg.DistToPoint(end.p) <= tol {
+					union(end.v, vertex(j, false))
+				}
 			}
 		}
 	}
@@ -81,6 +95,63 @@ func (g *Grid) ConnectedComponents() int {
 		roots[find(vertex(i, false))] = true
 	}
 	return len(roots)
+}
+
+// segHash buckets conductor segments by the grid cells their tol-inflated
+// bounding boxes overlap. The cell size tracks the mean segment length, so a
+// lattice conductor lands in O(1) cells and a point query inspects O(1)
+// candidates; one very long segment degrades gracefully to length/cell
+// entries.
+type segHash struct {
+	cell    float64
+	buckets map[[3]int][]int
+}
+
+func newSegHash(conductors []Conductor, tol float64) *segHash {
+	var total float64
+	for _, c := range conductors {
+		total += c.Seg.B.Sub(c.Seg.A).Norm()
+	}
+	cell := total / float64(len(conductors))
+	if cell < 1e-3 {
+		cell = 1e-3
+	}
+	h := &segHash{cell: cell, buckets: map[[3]int][]int{}}
+	for i, c := range conductors {
+		lo, hi := segCellRange(c.Seg.A, c.Seg.B, tol, cell)
+		for x := lo[0]; x <= hi[0]; x++ {
+			for y := lo[1]; y <= hi[1]; y++ {
+				for z := lo[2]; z <= hi[2]; z++ {
+					k := [3]int{x, y, z}
+					h.buckets[k] = append(h.buckets[k], i)
+				}
+			}
+		}
+	}
+	return h
+}
+
+// near returns the candidate segment indices whose inflated boxes cover p's
+// cell; every segment within tol of p is among them.
+func (h *segHash) near(p geom.Vec3) []int {
+	k := [3]int{
+		int(math.Floor(p.X / h.cell)),
+		int(math.Floor(p.Y / h.cell)),
+		int(math.Floor(p.Z / h.cell)),
+	}
+	return h.buckets[k]
+}
+
+func segCellRange(a, b geom.Vec3, tol, cell float64) (lo, hi [3]int) {
+	min3 := func(u, v float64) float64 { return math.Min(u, v) }
+	max3 := func(u, v float64) float64 { return math.Max(u, v) }
+	mins := [3]float64{min3(a.X, b.X) - tol, min3(a.Y, b.Y) - tol, min3(a.Z, b.Z) - tol}
+	maxs := [3]float64{max3(a.X, b.X) + tol, max3(a.Y, b.Y) + tol, max3(a.Z, b.Z) + tol}
+	for d := 0; d < 3; d++ {
+		lo[d] = int(math.Floor(mins[d] / cell))
+		hi[d] = int(math.Floor(maxs[d] / cell))
+	}
+	return lo, hi
 }
 
 // CheckBonding returns nil when the grid is a single bonded network and a

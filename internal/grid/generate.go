@@ -3,6 +3,7 @@ package grid
 import (
 	"fmt"
 	"math"
+	"math/rand"
 
 	"earthing/internal/geom"
 )
@@ -179,6 +180,106 @@ func perimeterPoint(w, h, s float64) (x, y float64) {
 	default:
 		return 0, h - (s - 2*w - h)
 	}
+}
+
+// Interconnected builds a deterministic multi-substation grounding system of
+// approximately n degrees of freedom under the one-linear-element-per-span
+// discretization: several rectangular lattice grids of seeded size and
+// spacing ("substations") laid out along x, bonded end to end by tie
+// conductors between facing lattice nodes, with vertical rods at every
+// substation corner. The same (n, seed) always yields the identical
+// geometry — math/rand with an explicit source, no map iteration, no time —
+// so benches and tests can share large grids by naming two integers instead
+// of shipping megabyte geometry files. Pinned by a golden transcript in
+// cmd/gridgen and a 10k-element digest test in this package.
+//
+// The DoF count tracks n through the node budget (lattice crossings plus rod
+// bottoms); lattice rounding keeps it within a few percent of n.
+func Interconnected(n int, seed int64) *Grid {
+	if n < 16 {
+		n = 16
+	}
+	rng := rand.New(rand.NewSource(seed))
+	substations := 2
+	switch {
+	case n >= 12000:
+		substations = 5
+	case n >= 6000:
+		substations = 4
+	case n >= 1500:
+		substations = 3
+	}
+	const (
+		condRadius = 0.006
+		rodRadius  = 0.007
+		rodLen     = 3.0
+	)
+	// One burial depth for the whole system: the ties are horizontal runs
+	// between lattices, so mixed depths would leave them unbonded.
+	depth := 0.6 + 0.4*rng.Float64()
+	g := &Grid{Name: fmt.Sprintf("interconnected-n%d-s%d", n, seed)}
+
+	// Seeded share of the node budget per substation (rod bottoms take
+	// four nodes each).
+	shares := make([]float64, substations)
+	var sum float64
+	for i := range shares {
+		shares[i] = 0.75 + 0.5*rng.Float64()
+		sum += shares[i]
+	}
+	budget := float64(n - 4*substations)
+
+	x0 := 0.0
+	var prevXMax float64
+	var prevYs []float64
+	for i := 0; i < substations; i++ {
+		target := budget * shares[i] / sum
+		aspect := 0.7 + 0.6*rng.Float64()
+		nx := int(math.Round(math.Sqrt(target * aspect)))
+		if nx < 2 {
+			nx = 2
+		}
+		ny := int(math.Round(target / float64(nx)))
+		if ny < 2 {
+			ny = 2
+		}
+		pitch := 3 + 4*rng.Float64()
+		width := float64(nx-1) * pitch
+		height := float64(ny-1) * pitch
+		yOff := (rng.Float64() - 0.5) * 0.3 * height
+		xs := linspace(x0, x0+width, nx)
+		ys := linspace(yOff, yOff+height, ny)
+		for _, x := range xs {
+			for j := 0; j+1 < ny; j++ {
+				g.AddConductor(geom.V(x, ys[j], depth), geom.V(x, ys[j+1], depth), condRadius)
+			}
+		}
+		for _, y := range ys {
+			for m := 0; m+1 < nx; m++ {
+				g.AddConductor(geom.V(xs[m], y, depth), geom.V(xs[m+1], y, depth), condRadius)
+			}
+		}
+		for _, cx := range []float64{xs[0], xs[nx-1]} {
+			for _, cy := range []float64{ys[0], ys[ny-1]} {
+				g.AddRod(cx, cy, depth, rodLen, rodRadius)
+			}
+		}
+		// Two ties to the previous substation, attached at the quarter and
+		// three-quarter rows of each facing edge: both endpoints coincide
+		// with lattice nodes, so the mesh merges them and the system is
+		// electrically bonded end to end.
+		if i > 0 {
+			for _, q := range []float64{0.25, 0.75} {
+				jp := int(q * float64(len(prevYs)-1))
+				jc := int(q * float64(ny-1))
+				g.AddConductor(geom.V(prevXMax, prevYs[jp], depth), geom.V(xs[0], ys[jc], depth), condRadius)
+			}
+		}
+		prevXMax = xs[nx-1]
+		prevYs = ys
+		x0 = xs[nx-1] + 10 + 8*rng.Float64()
+	}
+	return g
 }
 
 // SingleRod builds a grid consisting of one vertical rod — the classical

@@ -1,0 +1,69 @@
+package grid
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"math"
+	"strings"
+	"testing"
+)
+
+func gridDigest(t *testing.T, g *Grid) string {
+	t.Helper()
+	var sb strings.Builder
+	if err := Write(&sb, g); err != nil {
+		t.Fatal(err)
+	}
+	sum := sha256.Sum256([]byte(sb.String()))
+	return hex.EncodeToString(sum[:8])
+}
+
+// TestInterconnectedSeedStable pins the large-grid generator contract the
+// benches rely on: the same (n, seed) builds the bit-identical geometry, a
+// different seed builds a different one, the 10k-DoF configuration really
+// crosses 10k elements, and the whole system is electrically bonded.
+func TestInterconnectedSeedStable(t *testing.T) {
+	a := Interconnected(10_000, 3)
+	b := Interconnected(10_000, 3)
+	da, db := gridDigest(t, a), gridDigest(t, b)
+	if da != db {
+		t.Fatalf("same (n, seed) built different grids: %s vs %s", da, db)
+	}
+	if dc := gridDigest(t, Interconnected(10_000, 4)); dc == da {
+		t.Errorf("seeds 3 and 4 built the identical grid %s", da)
+	}
+	if err := a.CheckBonding(); err != nil {
+		t.Errorf("interconnected grid not bonded: %v", err)
+	}
+	m, err := Discretize(a, Linear, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Elements) < 10_000 {
+		t.Errorf("n=10000 discretizes to %d elements, want ≥ 10000", len(m.Elements))
+	}
+	if rel := math.Abs(float64(m.NumDoF)-10_000) / 10_000; rel > 0.10 {
+		t.Errorf("n=10000 yields %d DoF (off by %.1f%%), want within 10%%", m.NumDoF, 100*rel)
+	}
+}
+
+// TestInterconnectedSizes checks the DoF targeting across the bench ladder
+// and that small requests stay valid grids.
+func TestInterconnectedSizes(t *testing.T) {
+	for _, n := range []int{1000, 2500, 5000, 20000} {
+		g := Interconnected(n, 1)
+		m, err := Discretize(g, Linear, 0)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if rel := math.Abs(float64(m.NumDoF)-float64(n)) / float64(n); rel > 0.10 {
+			t.Errorf("n=%d yields %d DoF (off by %.1f%%)", n, m.NumDoF, 100*rel)
+		}
+		if err := g.CheckBonding(); err != nil {
+			t.Errorf("n=%d: not bonded: %v", n, err)
+		}
+	}
+	if g := Interconnected(1, 1); len(g.Conductors) == 0 {
+		t.Error("tiny n built an empty grid")
+	}
+}

@@ -1,0 +1,188 @@
+package hmatrix
+
+import (
+	"fmt"
+	"math"
+
+	"earthing/internal/faultinject"
+)
+
+// Adaptive cross approximation with partial pivoting: build A ≈ Σ u_l·v_lᵀ
+// for an admissible block without ever forming it, generating one residual
+// row and one residual column per step. The pivot walk is the standard one
+// (Bebendorf): the next pivot row maximises |u| among unvisited rows, the
+// pivot column maximises |v| within the current residual row. The stopping
+// estimate tracks the Frobenius norm of the accumulated approximant
+// incrementally, so the iteration stops when the newest rank-1 term falls
+// below ε relative to the whole block.
+
+// lowRank is a compressed block A ≈ U·Vᵀ, both factors row-major
+// (U is m×rank, V is n×rank).
+type lowRank struct {
+	u, v []float64
+	rank int
+}
+
+// crossSource serves matrix rows and columns to the ACA cross builder. The
+// production implementation is the filler (BEM entry generator); the fuzz
+// harness substitutes synthetic adversarial matrices.
+type crossSource interface {
+	row(perm []int, rowIdx, colLo int, out []float64)
+	col(perm []int, rowLo, colIdx int, out []float64)
+}
+
+// acaBlock compresses the permuted block rows [rowLo, rowLo+m) ×
+// cols [colLo, colLo+n) to relative Frobenius tolerance eps. blockIdx is the
+// partition index reported to the fault-injection site. The returned factors
+// are recompressed (re-orthogonalized and truncated), so the stored rank can
+// be lower than the number of ACA steps taken.
+func acaBlock(f crossSource, perm []int, rowLo, m, colLo, n int, eps float64, maxRank, blockIdx int) (*lowRank, error) {
+	// us/vs hold the cross vectors back to back: u_l = us[l·m:(l+1)·m],
+	// v_l = vs[l·n:(l+1)·n].
+	var us, vs []float64
+	rowUsed := make([]bool, m)
+	u := make([]float64, m)
+	v := make([]float64, n)
+
+	rank := 0
+	iStar := 0
+	est2 := 0.0 // squared Frobenius norm of the accumulated approximant
+	converged := false
+
+	for {
+		if rank >= m || rank >= n {
+			// As many pivots as rows (or columns): the residual is exactly
+			// zero and the factorization is exact.
+			converged = true
+			break
+		}
+		if rank >= maxRank {
+			break
+		}
+
+		// Residual row iStar: generated entries minus the accumulated crosses.
+		f.row(perm, rowLo+iStar, colLo, v)
+		if rank == 0 {
+			faultinject.Fire(faultinject.HMatrixACABlock, blockIdx, v)
+		}
+		for l := 0; l < rank; l++ {
+			if ul := us[l*m+iStar]; ul != 0 {
+				vl := vs[l*n : (l+1)*n]
+				for j := range v {
+					v[j] -= ul * vl[j]
+				}
+			}
+		}
+		if !allFinite(v) {
+			return nil, ErrNonFinite
+		}
+		rowUsed[iStar] = true
+
+		jStar := 0
+		best := 0.0
+		for j, x := range v {
+			if a := math.Abs(x); a > best {
+				best, jStar = a, j
+			}
+		}
+		delta := v[jStar]
+		if delta == 0 {
+			// This row is already exactly represented; move to the next
+			// unvisited one. Running out of rows means every row's residual
+			// vanished — the factorization is exact.
+			iStar = nextUnused(rowUsed)
+			if iStar < 0 {
+				converged = true
+				break
+			}
+			continue
+		}
+
+		// Residual column jStar, scaled by 1/δ so that u·vᵀ reproduces the
+		// pivot row exactly.
+		f.col(perm, rowLo, colLo+jStar, u)
+		for l := 0; l < rank; l++ {
+			if vl := vs[l*n+jStar]; vl != 0 {
+				ul := us[l*m : (l+1)*m]
+				for i := range u {
+					u[i] -= vl * ul[i]
+				}
+			}
+		}
+		if !allFinite(u) {
+			return nil, ErrNonFinite
+		}
+		inv := 1 / delta
+		for i := range u {
+			u[i] *= inv
+		}
+
+		// ‖S + u·vᵀ‖² = ‖S‖² + ‖u‖²‖v‖² + 2·Σ_l (u·u_l)(v·v_l).
+		nu2 := dot(u, u)
+		nv2 := dot(v, v)
+		cross := 0.0
+		for l := 0; l < rank; l++ {
+			cross += dot(u, us[l*m:(l+1)*m]) * dot(v, vs[l*n:(l+1)*n])
+		}
+		est2 += nu2*nv2 + 2*cross
+		if est2 < nu2*nv2 {
+			est2 = nu2 * nv2 // fp cancellation guard: est² ≥ newest term
+		}
+		us = append(us, u...)
+		vs = append(vs, v...)
+		rank++
+
+		if math.Sqrt(nu2*nv2) <= eps*math.Sqrt(est2) {
+			converged = true
+			break
+		}
+
+		// Next pivot row: largest |u| among unvisited rows.
+		iStar = -1
+		best = -1
+		for i, x := range u {
+			if rowUsed[i] {
+				continue
+			}
+			if a := math.Abs(x); a > best {
+				best, iStar = a, i
+			}
+		}
+		if iStar < 0 {
+			converged = true
+			break
+		}
+	}
+
+	if !converged {
+		return nil, fmt.Errorf("%w: %d×%d block at rank %d (ε=%g)", ErrACAStalled, m, n, rank, eps)
+	}
+	return recompress(us, vs, m, n, rank, eps), nil
+}
+
+// nextUnused returns the first false index of used, or −1.
+func nextUnused(used []bool) int {
+	for i, u := range used {
+		if !u {
+			return i
+		}
+	}
+	return -1
+}
+
+func allFinite(v []float64) bool {
+	for _, x := range v {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			return false
+		}
+	}
+	return true
+}
+
+func dot(a, b []float64) float64 {
+	var s float64
+	for i, x := range a {
+		s += x * b[i]
+	}
+	return s
+}

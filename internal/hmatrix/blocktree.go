@@ -1,0 +1,65 @@
+package hmatrix
+
+// The block partition. The Galerkin matrix is symmetric, so only blocks on
+// or below the diagonal of the permuted matrix are kept and each
+// off-diagonal block is applied twice in the matvec (direct and transposed).
+// Descending the cluster tree from (root, root):
+//
+//   - a diagonal pair (c, c) recurses into (L, L), (R, R) and the strictly
+//     lower off-diagonal pair (R, L); a leaf diagonal pair becomes a dense
+//     block (it is never admissible — distance 0);
+//   - an off-diagonal pair (row, col) with row.Lo ≥ col.Hi becomes a
+//     low-rank block when η-admissible, a dense block when both clusters
+//     are leaves, and otherwise splits its non-leaf sides.
+//
+// Every child of a lower-triangle pair stays in the lower triangle
+// (row.Lo only grows, col.Hi only shrinks), so the partition covers the
+// packed triangle exactly once.
+
+// blockPair is one node of the block partition before compression.
+type blockPair struct {
+	row, col   *Cluster
+	admissible bool
+}
+
+// partition enumerates the leaves of the symmetric block tree in a
+// deterministic depth-first order.
+func partition(root *Cluster, eta float64) []blockPair {
+	var out []blockPair
+	var visitDiag func(c *Cluster)
+	var visitOff func(row, col *Cluster)
+
+	visitOff = func(row, col *Cluster) {
+		if Admissible(row, col, eta) {
+			out = append(out, blockPair{row: row, col: col, admissible: true})
+			return
+		}
+		rl, cl := row.IsLeaf(), col.IsLeaf()
+		switch {
+		case rl && cl:
+			out = append(out, blockPair{row: row, col: col})
+		case rl:
+			visitOff(row, col.Left)
+			visitOff(row, col.Right)
+		case cl:
+			visitOff(row.Left, col)
+			visitOff(row.Right, col)
+		default:
+			visitOff(row.Left, col.Left)
+			visitOff(row.Left, col.Right)
+			visitOff(row.Right, col.Left)
+			visitOff(row.Right, col.Right)
+		}
+	}
+	visitDiag = func(c *Cluster) {
+		if c.IsLeaf() {
+			out = append(out, blockPair{row: c, col: c})
+			return
+		}
+		visitDiag(c.Left)
+		visitDiag(c.Right)
+		visitOff(c.Right, c.Left)
+	}
+	visitDiag(root)
+	return out
+}

@@ -1,0 +1,64 @@
+package hmatrix
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrNonFinite is returned when an ACA cross row or column contains NaN or
+// ±Inf — a poisoned kernel evaluation. The compressed representation would
+// silently propagate the non-finite value into every matvec, so the build
+// fails with this typed error instead.
+var ErrNonFinite = errors.New("hmatrix: non-finite entry in ACA cross")
+
+// ErrACAStalled is returned when an admissible block does not reach the
+// requested relative tolerance within the rank cap. The η-admissible far
+// field of the grounding kernels is exponentially low-rank, so a stall means
+// the block partition and the geometry disagree (or the cap is set far too
+// low for the tolerance).
+var ErrACAStalled = errors.New("hmatrix: ACA did not converge within the rank cap")
+
+// ErrCGStalled is returned by Solve when the preconditioned conjugate
+// gradient iteration exhausts its iteration cap without reaching the
+// residual target.
+var ErrCGStalled = errors.New("hmatrix: CG did not converge")
+
+// BuildError wraps a failure of the compression stage with the block it
+// occurred in, so sweep logs can localize a poisoned kernel to a matrix
+// region.
+type BuildError struct {
+	Block BlockID // which block tree node failed
+	Err   error
+}
+
+// BlockID locates a block in the partition: permuted row and column ranges.
+type BlockID struct {
+	RowLo, RowHi int
+	ColLo, ColHi int
+}
+
+// Error implements error.
+func (e *BuildError) Error() string {
+	return fmt.Sprintf("hmatrix: build failed on block rows [%d,%d) cols [%d,%d): %v",
+		e.Block.RowLo, e.Block.RowHi, e.Block.ColLo, e.Block.ColHi, e.Err)
+}
+
+// Unwrap exposes the underlying cause to errors.Is/As.
+func (e *BuildError) Unwrap() error { return e.Err }
+
+// SolveError wraps a failure of the iterative solve stage with the iteration
+// state at failure.
+type SolveError struct {
+	Iterations int
+	Residual   float64
+	Err        error
+}
+
+// Error implements error.
+func (e *SolveError) Error() string {
+	return fmt.Sprintf("hmatrix: solve failed after %d iterations (residual %.3g): %v",
+		e.Iterations, e.Residual, e.Err)
+}
+
+// Unwrap exposes the underlying cause to errors.Is/As.
+func (e *SolveError) Unwrap() error { return e.Err }

@@ -1,0 +1,218 @@
+package hmatrix
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"earthing/internal/geom"
+)
+
+// FuzzClusterTree drives the geometric partition with adversarial point
+// clouds (duplicates, collinear runs, huge and tiny coordinates) and asserts
+// the structural invariants every later stage relies on: Perm is a
+// permutation with consistent inverse, the leaves tile [0, n) exactly, every
+// point lies inside its cluster's bounding box at every tree level, and
+// every admissible block of the η-partition is genuinely well-separated.
+func FuzzClusterTree(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12}, uint8(4), false)
+	f.Add([]byte{0, 0, 0, 0, 0, 0, 0, 0}, uint8(1), true)
+	f.Add([]byte{255, 0, 255, 0, 255, 0, 1, 1, 1, 2, 2, 2, 3, 3, 3}, uint8(2), false)
+	f.Fuzz(func(t *testing.T, data []byte, leaf uint8, collinear bool) {
+		// Three bytes per point; cap the cloud so the O(n²) coverage check
+		// below stays fast.
+		n := len(data) / 3
+		if n == 0 {
+			return
+		}
+		if n > 96 {
+			n = 96
+		}
+		pts := make([]geom.Vec3, n)
+		for i := range pts {
+			b := data[3*i : 3*i+3]
+			// Spread a few magnitudes; collinear mode pins y = z = 0.
+			x := (float64(b[0]) - 128) * math.Pow(10, float64(b[2]%7)-3)
+			y := (float64(b[1]) - 128) * 0.25
+			z := float64(b[2]) * 0.125
+			if collinear {
+				y, z = 0, 0
+			}
+			pts[i] = geom.V(x, y, z)
+		}
+		tree, err := NewClusterTree(pts, int(leaf%17))
+		if err != nil {
+			t.Fatalf("tree build rejected %d finite points: %v", n, err)
+		}
+
+		seen := make([]bool, n)
+		for p, d := range tree.Perm {
+			if d < 0 || d >= n || seen[d] {
+				t.Fatalf("Perm is not a permutation: Perm[%d] = %d", p, d)
+			}
+			seen[d] = true
+			if tree.Inv[d] != p {
+				t.Fatalf("Inv[Perm[%d]] = %d, want %d", p, tree.Inv[d], p)
+			}
+		}
+
+		// Leaves tile the index range exactly, in order.
+		next := 0
+		for _, lf := range tree.Leaves {
+			if !lf.IsLeaf() {
+				t.Fatal("Leaves contains an interior cluster")
+			}
+			if lf.Lo != next || lf.Hi <= lf.Lo {
+				t.Fatalf("leaf [%d,%d) does not continue tiling at %d", lf.Lo, lf.Hi, next)
+			}
+			next = lf.Hi
+		}
+		if next != n {
+			t.Fatalf("leaves tile [0,%d), want [0,%d)", next, n)
+		}
+
+		// Every point is inside its cluster's box at every level.
+		var walk func(c *Cluster)
+		walk = func(c *Cluster) {
+			for p := c.Lo; p < c.Hi; p++ {
+				pt := pts[tree.Perm[p]]
+				if pt.X < c.Box.Min.X || pt.X > c.Box.Max.X ||
+					pt.Y < c.Box.Min.Y || pt.Y > c.Box.Max.Y ||
+					pt.Z < c.Box.Min.Z || pt.Z > c.Box.Max.Z {
+					t.Fatalf("point %v outside cluster box [%v, %v]", pt, c.Box.Min, c.Box.Max)
+				}
+			}
+			if c.IsLeaf() {
+				return
+			}
+			if c.Left.Lo != c.Lo || c.Left.Hi != c.Right.Lo || c.Right.Hi != c.Hi {
+				t.Fatalf("children [%d,%d)+[%d,%d) do not bisect [%d,%d)",
+					c.Left.Lo, c.Left.Hi, c.Right.Lo, c.Right.Hi, c.Lo, c.Hi)
+			}
+			walk(c.Left)
+			walk(c.Right)
+		}
+		walk(tree.Root)
+
+		// The symmetric block partition covers every matrix entry exactly
+		// once (off-diagonal blocks count for both triangles), and every
+		// admissible block is separated per the η-criterion.
+		eta := 0.5 + float64(leaf%4)
+		cover := make([]int, n*n)
+		for _, bp := range partition(tree.Root, eta) {
+			if bp.admissible {
+				if !Admissible(bp.row, bp.col, eta) {
+					t.Fatalf("block [%d,%d)×[%d,%d) marked admissible but boxes are not well-separated",
+						bp.row.Lo, bp.row.Hi, bp.col.Lo, bp.col.Hi)
+				}
+				if Dist(bp.row, bp.col) <= 0 {
+					t.Fatal("admissible block with touching boxes")
+				}
+			}
+			diag := bp.row == bp.col
+			for r := bp.row.Lo; r < bp.row.Hi; r++ {
+				for c := bp.col.Lo; c < bp.col.Hi; c++ {
+					cover[r*n+c]++
+					if !diag {
+						cover[c*n+r]++
+					}
+				}
+			}
+		}
+		for r := 0; r < n; r++ {
+			for c := 0; c < n; c++ {
+				if cover[r*n+c] != 1 {
+					t.Fatalf("entry (%d,%d) covered %d times", r, c, cover[r*n+c])
+				}
+			}
+		}
+	})
+}
+
+// denseSource serves a synthetic row-major matrix to the ACA builder.
+type denseSource struct {
+	a    []float64
+	cols int
+}
+
+func (s *denseSource) row(perm []int, rowIdx, colLo int, out []float64) {
+	base := perm[rowIdx] * s.cols
+	copy(out, s.a[base+colLo:base+colLo+len(out)])
+}
+
+func (s *denseSource) col(perm []int, rowLo, colIdx int, out []float64) {
+	for i := range out {
+		out[i] = s.a[perm[rowLo+i]*s.cols+colIdx]
+	}
+}
+
+// FuzzACABlock feeds adversarial low-rank-plus-spike matrices to the cross
+// approximation: whatever the input, acaBlock must either return finite
+// factors within the rank cap or fail with one of its typed errors — never
+// NaN/Inf factors, never a panic. On matrices it reports converged and that
+// are exactly low-rank, the factorization must reproduce the block.
+func FuzzACABlock(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8}, uint8(6), uint8(5), uint8(3), false)
+	f.Add([]byte{0, 0, 0, 0}, uint8(3), uint8(3), uint8(1), false)
+	f.Add([]byte{9, 9, 9, 9, 200, 1, 2, 250}, uint8(8), uint8(7), uint8(2), true)
+	f.Fuzz(func(t *testing.T, data []byte, mu, nu, ranku uint8, spike bool) {
+		m := int(mu%24) + 1
+		n := int(nu%24) + 1
+		genRank := int(ranku%4) + 1
+		if len(data) < 2 {
+			return
+		}
+		// A = Σ_k x_k·y_kᵀ with entries drawn from the fuzz bytes, plus
+		// optional spikes (huge isolated entries, a NaN when byte 0 is 255).
+		a := make([]float64, m*n)
+		idx := 0
+		nextByte := func() float64 {
+			v := data[idx%len(data)]
+			idx++
+			return (float64(v) - 128) / 16
+		}
+		for k := 0; k < genRank; k++ {
+			x := make([]float64, m)
+			y := make([]float64, n)
+			for i := range x {
+				x[i] = nextByte()
+			}
+			for j := range y {
+				y[j] = nextByte()
+			}
+			for i := 0; i < m; i++ {
+				for j := 0; j < n; j++ {
+					a[i*n+j] += x[i] * y[j]
+				}
+			}
+		}
+		if spike {
+			a[(int(data[0])*31)%(m*n)] = 1e12
+			if data[0] == 255 {
+				a[(int(data[1])*17)%(m*n)] = math.NaN()
+			}
+		}
+
+		src := &denseSource{a: a, cols: n}
+		perm := make([]int, m)
+		for i := range perm {
+			perm[i] = i
+		}
+		eps := math.Pow(10, -float64(data[0]%9)-1)
+		maxRank := int(data[1]%16) + 1
+
+		lr, err := acaBlock(src, perm, 0, m, 0, n, eps, maxRank, 0)
+		if err != nil {
+			if !errors.Is(err, ErrNonFinite) && !errors.Is(err, ErrACAStalled) {
+				t.Fatalf("untyped ACA failure: %v", err)
+			}
+			return
+		}
+		if lr.rank > maxRank {
+			t.Fatalf("recompressed rank %d exceeds cap %d", lr.rank, maxRank)
+		}
+		if !allFinite(lr.u) || !allFinite(lr.v) {
+			t.Fatalf("ACA returned non-finite factors (rank %d)", lr.rank)
+		}
+	})
+}

@@ -1,0 +1,62 @@
+package hmatrix
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"earthing/internal/grid"
+	"earthing/internal/soil"
+)
+
+// TestGeoCacheMatchesExactBuild compares a default build (geometric pair
+// cache enabled) against an ExactGeometry build of the same system: the
+// cached build's product must stay within the documented canonicalization
+// budget of the exact one — far below the ε = 1e-6 block tolerance — and the
+// compressed Req must move by an amount negligible against the 10·ε
+// engineering budget.
+func TestGeoCacheMatchesExactBuild(t *testing.T) {
+	g := grid.Interconnected(300, 2)
+	s := buildSystem(t, g, soil.NewTwoLayer(0.0025, 0.020, 1.0), 0)
+
+	exact, err := Build(context.Background(), s.asm, Params{Eps: 1e-6, Workers: 2, ExactGeometry: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cached, err := Build(context.Background(), s.asm, Params{Eps: 1e-6, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if got := matvecRelErr(t, cached, s.dense, 17); got > 50e-6 {
+		t.Errorf("cached build matvec error %.3g vs dense; budget 50·ε", got)
+	}
+	reqExact := reqCompressed(t, s, exact)
+	reqCached := reqCompressed(t, s, cached)
+	if rel := math.Abs(reqCached-reqExact) / reqExact; rel > 1e-7 {
+		t.Errorf("geometric cache moved Req by %.3g relative (exact %.8g, cached %.8g)",
+			rel, reqExact, reqCached)
+	}
+}
+
+// TestGeoCacheDisabledBelowEps pins the gating contract: a build tighter than
+// ε = 1e-7 must not enable the cache (its ≲ 1e-9 perturbation would eat the
+// error budget), and neither must ExactGeometry, so both configurations
+// reproduce the dense matrix bit-for-bit on an all-near-field partition.
+func TestGeoCacheDisabledBelowEps(t *testing.T) {
+	g := grid.RectMesh(0, 0, 10, 10, 3, 3, 0.5, 0.01)
+	s := buildSystem(t, g, soil.NewUniform(0.02), 3)
+	for _, p := range []Params{
+		{Eps: 1e-8, Eta: 1e-9, LeafSize: 8, Workers: 2},
+		{Eps: 1e-6, Eta: 1e-9, LeafSize: 8, Workers: 2, ExactGeometry: true},
+	} {
+		h, err := Build(context.Background(), s.asm, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := matvecRelErr(t, h, s.dense, 9); got > 1e-12 {
+			t.Errorf("Eps=%g ExactGeometry=%v: all-dense build differs from dense matrix by %.3g",
+				p.Eps, p.ExactGeometry, got)
+		}
+	}
+}

@@ -1,0 +1,199 @@
+package hmatrix
+
+import "math"
+
+// Recompression. ACA's cross vectors are not orthogonal, so the achieved
+// rank usually overshoots what the tolerance needs. The standard fix
+// (Bebendorf–Grzhibovskis) re-orthogonalizes both factors and truncates in
+// the SVD basis of the small core: with U = Qu·Ru and V = Qv·Rv,
+//
+//	A ≈ U·Vᵀ = Qu·(Ru·Rvᵀ)·Qvᵀ = Qu·(W·Σ·Zᵀ)·Qvᵀ,
+//
+// and dropping the trailing singular values whose combined Frobenius mass
+// is below ε leaves the optimal rank for the achieved accuracy. All core
+// operations are r×r with r capped at the ACA rank limit, so the cost is
+// negligible next to entry generation.
+
+// recompress orthogonalizes and truncates the cross factors (us/vs hold the
+// rank-major columns of U and V, see acaBlock) and packs the result
+// row-major.
+func recompress(us, vs []float64, m, n, r int, eps float64) *lowRank {
+	if r == 0 {
+		return &lowRank{rank: 0}
+	}
+	qu, ru := mgsQR(us, m, r)
+	qv, rv := mgsQR(vs, n, r)
+
+	// Core M = Ru·Rvᵀ; both factors are upper triangular, so the inner sum
+	// starts at max(i, j).
+	core := make([]float64, r*r)
+	for i := 0; i < r; i++ {
+		for j := 0; j < r; j++ {
+			k0 := i
+			if j > k0 {
+				k0 = j
+			}
+			var s float64
+			for k := k0; k < r; k++ {
+				s += ru[i*r+k] * rv[j*r+k]
+			}
+			core[i*r+j] = s
+		}
+	}
+
+	// One-sided Jacobi leaves core = W·Σ (columns of norm σ) and the
+	// accumulated right rotations Z.
+	z := jacobiSVD(core, r)
+	sig2 := make([]float64, r)
+	total2 := 0.0
+	for j := 0; j < r; j++ {
+		var s float64
+		for i := 0; i < r; i++ {
+			s += core[i*r+j] * core[i*r+j]
+		}
+		sig2[j] = s
+		total2 += s
+	}
+	order := make([]int, r)
+	for i := range order {
+		order[i] = i
+	}
+	// Insertion sort by descending σ² (r is small; deterministic ties by
+	// column index).
+	less := func(a, b int) bool {
+		//lint:ignore floatcmp exact inequality guards the deterministic index tie-break; a tolerance would reorder near-equal singular values by input scale
+		if sig2[a] != sig2[b] {
+			return sig2[a] > sig2[b]
+		}
+		return a < b
+	}
+	for i := 1; i < r; i++ {
+		for j := i; j > 0 && less(order[j], order[j-1]); j-- {
+			order[j], order[j-1] = order[j-1], order[j]
+		}
+	}
+
+	// Relative Frobenius truncation: discard the largest trailing set whose
+	// mass stays within ε²·‖A‖²_F.
+	keep := 0
+	tail2 := 0.0
+	budget := eps * eps * total2
+	for t := r - 1; t >= 0; t-- {
+		s2 := sig2[order[t]]
+		if tail2+s2 > budget {
+			keep = t + 1
+			break
+		}
+		tail2 += s2
+	}
+	if keep == 0 {
+		return &lowRank{rank: 0}
+	}
+
+	// Unew = Qu·(W·Σ) and Vnew = Qv·Z, packed row-major with the kept
+	// columns in descending-σ order.
+	u := make([]float64, m*keep)
+	v := make([]float64, n*keep)
+	for t := 0; t < keep; t++ {
+		c := order[t]
+		for k := 0; k < r; k++ {
+			if w := core[k*r+c]; w != 0 {
+				col := qu[k*m : (k+1)*m]
+				for i := 0; i < m; i++ {
+					u[i*keep+t] += col[i] * w
+				}
+			}
+			if w := z[k*r+c]; w != 0 {
+				col := qv[k*n : (k+1)*n]
+				for i := 0; i < n; i++ {
+					v[i*keep+t] += col[i] * w
+				}
+			}
+		}
+	}
+	return &lowRank{u: u, v: v, rank: keep}
+}
+
+// mgsQR computes a thin QR of the ℓ×r matrix whose columns are packed back
+// to back in cols (column l at cols[l·ℓ:(l+1)·ℓ]), by modified Gram–Schmidt
+// with a second orthogonalization pass ("twice is enough"). Returns Q in the
+// same packed-column layout and R row-major upper triangular. Numerically
+// dependent columns yield a zero Q column and a zero R diagonal, which the
+// core SVD absorbs.
+func mgsQR(cols []float64, l, r int) (q, rMat []float64) {
+	q = make([]float64, l*r)
+	rMat = make([]float64, r*r)
+	w := make([]float64, l)
+	for j := 0; j < r; j++ {
+		copy(w, cols[j*l:(j+1)*l])
+		for pass := 0; pass < 2; pass++ {
+			for i := 0; i < j; i++ {
+				qi := q[i*l : (i+1)*l]
+				p := dot(qi, w)
+				rMat[i*r+j] += p
+				for t := range w {
+					w[t] -= p * qi[t]
+				}
+			}
+		}
+		nrm := math.Sqrt(dot(w, w))
+		rMat[j*r+j] = nrm
+		if nrm > 0 {
+			inv := 1 / nrm
+			qj := q[j*l : (j+1)*l]
+			for t := range w {
+				qj[t] = w[t] * inv
+			}
+		}
+	}
+	return q, rMat
+}
+
+// jacobiSVD runs one-sided Jacobi rotations on the r×r matrix a (row-major,
+// modified in place) until all column pairs are numerically orthogonal:
+// afterwards a = W·Σ (each column has norm σ_j) and the returned z holds the
+// accumulated right rotations, so that a_in = a_out·zᵀ.
+func jacobiSVD(a []float64, r int) (z []float64) {
+	z = make([]float64, r*r)
+	for i := 0; i < r; i++ {
+		z[i*r+i] = 1
+	}
+	const tol = 1e-15
+	for sweep := 0; sweep < 30; sweep++ {
+		rotated := false
+		for p := 0; p < r-1; p++ {
+			for q := p + 1; q < r; q++ {
+				var app, aqq, apq float64
+				for i := 0; i < r; i++ {
+					cp, cq := a[i*r+p], a[i*r+q]
+					app += cp * cp
+					aqq += cq * cq
+					apq += cp * cq
+				}
+				if math.Abs(apq) <= tol*math.Sqrt(app*aqq) || apq == 0 {
+					continue
+				}
+				zeta := (aqq - app) / (2 * apq)
+				t := 1 / (math.Abs(zeta) + math.Sqrt(1+zeta*zeta))
+				if zeta < 0 {
+					t = -t
+				}
+				c := 1 / math.Sqrt(1+t*t)
+				s := c * t
+				for i := 0; i < r; i++ {
+					cp, cq := a[i*r+p], a[i*r+q]
+					a[i*r+p] = c*cp - s*cq
+					a[i*r+q] = s*cp + c*cq
+					zp, zq := z[i*r+p], z[i*r+q]
+					z[i*r+p] = c*zp - s*zq
+					z[i*r+q] = s*zp + c*zq
+				}
+				rotated = true
+			}
+		}
+		if !rotated {
+			break
+		}
+	}
+	return z
+}

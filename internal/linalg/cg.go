@@ -25,6 +25,46 @@ type CGOptions struct {
 // a zero or negative curvature direction, i.e. the matrix is not SPD.
 var ErrCGBreakdown = errors.New("linalg: conjugate gradient breakdown (matrix not SPD?)")
 
+// Operator abstracts the matrix-vector product of the CG kernel, so the
+// solver serves both the packed dense SymMatrix and implicit operators such
+// as the compressed H-matrix (whose product is a sum over near-field dense
+// and low-rank block applications). Apply must compute y = A·x without
+// retaining either slice.
+type Operator interface {
+	Order() int
+	Apply(x, y []float64)
+}
+
+// Preconditioner abstracts the z = M⁻¹·r application of preconditioned CG.
+// Precondition must not retain its arguments; z and r never alias.
+type Preconditioner interface {
+	Precondition(r, z []float64)
+}
+
+// JacobiPreconditioner is the diagonal preconditioner M = diag(d). The
+// reciprocals are taken once at construction.
+type JacobiPreconditioner struct{ invD []float64 }
+
+// NewJacobiPreconditioner builds a Jacobi preconditioner from the matrix
+// diagonal d (consumed: overwritten with its reciprocals). A zero diagonal
+// is a breakdown — SPD matrices have strictly positive diagonals.
+func NewJacobiPreconditioner(d []float64) (*JacobiPreconditioner, error) {
+	for i, v := range d {
+		if v == 0 {
+			return nil, fmt.Errorf("%w: zero diagonal at %d", ErrCGBreakdown, i)
+		}
+		d[i] = 1 / v
+	}
+	return &JacobiPreconditioner{invD: d}, nil
+}
+
+// Precondition implements Preconditioner: z = D⁻¹·r.
+func (j *JacobiPreconditioner) Precondition(r, z []float64) {
+	for i, v := range r {
+		z[i] = j.invD[i] * v
+	}
+}
+
 // SolveCG solves A·x = b by conjugate gradients with Jacobi (diagonal)
 // preconditioning — the "diagonal preconditioned conjugate gradient algorithm
 // with assembly of the global matrix" that §4.3 reports as the best solver
@@ -38,9 +78,22 @@ type serialOperator struct{ m *SymMatrix }
 func (s serialOperator) Order() int           { return s.m.Order() }
 func (s serialOperator) Apply(x, y []float64) { s.m.MulVec(x, y) }
 
-// solveCGWith is the preconditioned CG kernel over an abstract operator.
-// diag is consumed (overwritten with its reciprocals).
-func solveCGWith(a operator, diag, b []float64, opt CGOptions) (CGResult, error) {
+// solveCGWith is the Jacobi-preconditioned CG kernel over an abstract
+// operator. diag is consumed (overwritten with its reciprocals).
+func solveCGWith(a Operator, diag, b []float64, opt CGOptions) (CGResult, error) {
+	m, err := NewJacobiPreconditioner(diag)
+	if err != nil {
+		return CGResult{}, err
+	}
+	return SolveCGOp(a, m, b, opt)
+}
+
+// SolveCGOp is the preconditioned CG kernel over an abstract operator and an
+// abstract preconditioner — the entry point of implicit-operator solves (the
+// H-matrix path pairs its block matvec with a near-field block-Cholesky or
+// Jacobi preconditioner here). The arithmetic is identical to SolveCG when
+// given the dense operator and the Jacobi preconditioner.
+func SolveCGOp(a Operator, m Preconditioner, b []float64, opt CGOptions) (CGResult, error) {
 	n := a.Order()
 	if len(b) != n {
 		return CGResult{}, fmt.Errorf("linalg: rhs length %d, want %d", len(b), n)
@@ -50,15 +103,6 @@ func solveCGWith(a operator, diag, b []float64, opt CGOptions) (CGResult, error)
 	}
 	if opt.MaxIter <= 0 {
 		opt.MaxIter = 10 * n
-	}
-
-	// Jacobi preconditioner M = diag(A); guard against zero diagonals.
-	invD := diag
-	for i, d := range invD {
-		if d == 0 {
-			return CGResult{}, fmt.Errorf("%w: zero diagonal at %d", ErrCGBreakdown, i)
-		}
-		invD[i] = 1 / d
 	}
 
 	x := make([]float64, n)
@@ -83,9 +127,7 @@ func solveCGWith(a operator, diag, b []float64, opt CGOptions) (CGResult, error)
 		return CGResult{X: x, Converged: true}, nil
 	}
 
-	for i := range z {
-		z[i] = invD[i] * r[i]
-	}
+	m.Precondition(r, z)
 	copy(p, z)
 	rz := Dot(r, z)
 
@@ -108,9 +150,7 @@ func solveCGWith(a operator, diag, b []float64, opt CGOptions) (CGResult, error)
 			x[i] += alpha * p[i]
 			r[i] -= alpha * ap[i]
 		}
-		for i := range z {
-			z[i] = invD[i] * r[i]
-		}
+		m.Precondition(r, z)
 		rzNew := Dot(r, z)
 		beta := rzNew / rz
 		rz = rzNew

@@ -102,12 +102,6 @@ func NewCholeskyParallel(a *SymMatrix, workers int) (*Cholesky, error) {
 	return &Cholesky{n: n, l: l}, nil
 }
 
-// operator abstracts the matrix-vector product for the CG kernel.
-type operator interface {
-	Order() int
-	Apply(x, y []float64)
-}
-
 type parallelOperator struct {
 	m       *SymMatrix
 	workers int

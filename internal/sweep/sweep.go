@@ -20,6 +20,13 @@
 //     jobs whose element-pair columns are interleaved on one sched.For
 //     loop, so the pool never idles between scenarios and the assembled
 //     systems stay bit-identical to Analyze's store-then-assemble path.
+//
+// Under Config.Solver = SolverHMatrix the fresh-assembly tier changes shape:
+// each job runs the whole compressed pipeline (core.CompleteHMatrix) as one
+// work unit on the shared loop, with the pool width divided across the
+// concurrent jobs. The reuse tiers and the per-job fault isolation are
+// unchanged — both operate on the solved unit result, which the compressed
+// and dense paths produce alike.
 package sweep
 
 import (
@@ -60,7 +67,9 @@ type Options struct {
 	// GPR is the default for scenarios that set none. The BEM Loop and
 	// Assembly strategies are ignored: the sweep always generates matrices
 	// column-wise into a store and assembles sequentially (the
-	// deterministic store-then-assemble path).
+	// deterministic store-then-assemble path) — except under
+	// Solver = SolverHMatrix, where each job runs the compressed pipeline
+	// whole (no dense store exists to stream).
 	Config core.Config
 	// AllowScaled enables the scaled-reuse tier: scenarios whose model is
 	// an exact conductivity multiple of another scenario's are derived by
@@ -122,17 +131,25 @@ type meshGroup struct {
 	geo      *bem.Geometry
 }
 
-// job is one fresh assembly: a distinct (mesh, model) pair.
+// job is one fresh assembly: a distinct (mesh, model) pair. In the dense
+// solvers it is a stream of matrix columns interleaved with other jobs; under
+// Config.Solver = SolverHMatrix it is a single work unit that runs the whole
+// compressed pipeline (cluster tree, ACA build, preconditioned CG) in one
+// worker while sibling jobs occupy the rest of the pool.
 type job struct {
 	group *meshGroup
 	model soil.Model
 	asm   *bem.Assembler
+	units int   // work units on the shared loop: NumColumns, or 1 (hmatrix)
 	scens []int // scenario indices served by this job, ascending
 	// scaled lists the proportional models derived from this job's
 	// solution (AllowScaled tier).
 	scaled []*scaledTier
 
-	store     []float64
+	store []float64
+	// hres is the unit-GPR result of an H-matrix job (nil for column jobs
+	// and for failed jobs).
+	hres      *core.Result
 	remaining atomic.Int64
 	busyNanos atomic.Int64
 	// failErr holds the first failure of this job (worker panic, health
@@ -165,11 +182,12 @@ type scaledTier struct {
 // plan is the grouped, deduplicated work list of a sweep.
 type plan struct {
 	cfg     core.Config
+	hmatrix bool      // Solver == SolverHMatrix: jobs are single units
 	gprs    []float64 // resolved per-scenario GPR
 	ids     []string  // resolved per-scenario ID
 	jobs    []*job
-	offsets []int // offsets[j] = first global column index of jobs[j]
-	total   int   // total columns across jobs
+	offsets []int // offsets[j] = first global work-unit index of jobs[j]
+	total   int   // total work units across jobs
 }
 
 // depthsKey renders interface depths at full precision.
@@ -191,9 +209,10 @@ func buildPlan(g *grid.Grid, scenarios []Scenario, opt Options) (*plan, error) {
 		return nil, fmt.Errorf("sweep: invalid default GPR %g", opt.Config.GPR)
 	}
 	p := &plan{
-		cfg:  cfg,
-		gprs: make([]float64, len(scenarios)),
-		ids:  make([]string, len(scenarios)),
+		cfg:     cfg,
+		hmatrix: cfg.Solver == core.SolverHMatrix,
+		gprs:    make([]float64, len(scenarios)),
+		ids:     make([]string, len(scenarios)),
 	}
 	groups := map[string]*meshGroup{}
 	jobsByKey := map[string]*job{}
@@ -275,10 +294,18 @@ func buildPlan(g *grid.Grid, scenarios []Scenario, opt Options) (*plan, error) {
 			group: grp,
 			model: sc.Model,
 			asm:   asm,
+			units: asm.NumColumns(),
 			scens: []int{i},
-			store: make([]float64, asm.StoreSize()),
 		}
-		j.remaining.Store(int64(asm.NumColumns()))
+		if p.hmatrix {
+			// The compressed pipeline builds and solves as one unit; the
+			// pool width is split across concurrent jobs instead, inside
+			// each job's own build loop (see Stream).
+			j.units = 1
+		} else {
+			j.store = make([]float64, asm.StoreSize())
+		}
+		j.remaining.Store(int64(j.units))
 		jobsByKey[jk] = j
 		p.jobs = append(p.jobs, j)
 	}
@@ -286,7 +313,7 @@ func buildPlan(g *grid.Grid, scenarios []Scenario, opt Options) (*plan, error) {
 	p.offsets = make([]int, len(p.jobs))
 	for j, jb := range p.jobs {
 		p.offsets[j] = p.total
-		p.total += jb.asm.NumColumns()
+		p.total += jb.units
 	}
 	return p, nil
 }
@@ -396,23 +423,35 @@ func Stream(ctx context.Context, g *grid.Grid, scenarios []Scenario, opt Options
 	// finalize assembles, solves and emits a completed job. It runs inside
 	// the worker that computed the job's last column while other workers
 	// continue on the remaining jobs' columns. Numerical failures (solver,
-	// health checks) fail this job alone.
+	// health checks) fail this job alone. H-matrix jobs arrive here already
+	// solved (the unit result is stored on the job); finalize only emits.
 	finalize := func(j *job) {
 		if ictx.Err() != nil {
 			return
 		}
-		t0 := time.Now()
-		rmat := j.asm.AssembleStore(j.store)
-		j.store = nil
-		cfgUnit := p.cfg
-		cfgUnit.GPR = 1
-		unit, err := core.CompleteAssembled(j.asm, j.model, rmat, sched.Stats{}, j.group.warnings, cfgUnit)
-		if err != nil {
-			emitFailed(j, err)
-			return
+		var (
+			unit            *core.Result
+			err             error
+			solve, assembly time.Duration
+		)
+		if p.hmatrix {
+			unit = j.hres
+			j.hres = nil
+			solve, assembly = unit.Timings.Solve, unit.Timings.MatrixGen
+		} else {
+			t0 := time.Now()
+			rmat := j.asm.AssembleStore(j.store)
+			j.store = nil
+			cfgUnit := p.cfg
+			cfgUnit.GPR = 1
+			unit, err = core.CompleteAssembled(j.asm, j.model, rmat, sched.Stats{}, j.group.warnings, cfgUnit)
+			if err != nil {
+				emitFailed(j, err)
+				return
+			}
+			solve = time.Since(t0)
+			assembly = time.Duration(j.busyNanos.Load())
 		}
-		solve := time.Since(t0)
-		assembly := time.Duration(j.busyNanos.Load())
 
 		mu.Lock()
 		defer mu.Unlock()
@@ -480,8 +519,38 @@ func Stream(ctx context.Context, g *grid.Grid, scenarios []Scenario, opt Options
 		j.busyNanos.Add(int64(time.Since(t0)))
 	}
 
-	// completeJob dispatches a job whose last column just finished: failed
-	// jobs emit error results, healthy ones assemble and solve.
+	// runHMatrixJob runs one scenario's whole compressed pipeline as a single
+	// work unit, with the same per-job fault containment as computeColumn: a
+	// panic or a typed failure (poisoned ACA block, stalled CG, health check)
+	// marks this job failed and leaves sibling jobs untouched. The pool width
+	// is divided across the concurrent jobs so a multi-scenario sweep does not
+	// oversubscribe workers² goroutines; the division cannot change results —
+	// the compressed build and matvec are bit-identical across worker counts.
+	runHMatrixJob := func(j *job, w, global int) {
+		defer func() {
+			if v := recover(); v != nil {
+				j.fail(&sched.PanicError{Value: v, Stack: debug.Stack(), Iteration: global, Worker: w})
+			}
+		}()
+		cfgUnit := p.cfg
+		cfgUnit.GPR = 1
+		inner := maxW / len(p.jobs)
+		if inner < 1 {
+			inner = 1
+		}
+		cfgUnit.BEM.Workers = inner
+		res, err := core.CompleteHMatrix(ictx, j.asm, j.model, j.group.warnings, cfgUnit)
+		if err != nil {
+			if ictx.Err() == nil {
+				j.fail(err)
+			}
+			return
+		}
+		j.hres = res
+	}
+
+	// completeJob dispatches a job whose last work unit just finished: failed
+	// jobs emit error results, healthy ones assemble (dense) and emit.
 	completeJob := func(j *job) {
 		if err := j.failed(); err != nil {
 			emitFailed(j, err)
@@ -492,11 +561,15 @@ func Stream(ctx context.Context, g *grid.Grid, scenarios []Scenario, opt Options
 
 	_, loopErr := sched.ForStatsCtx(ictx, p.total, workers, schedule, func(i, w int) {
 		j, local := p.locate(i)
-		// Columns of an already-failed job are skipped (their output would
-		// be discarded) but still counted, so the job reaches completion
-		// and reports its scenarios.
+		// Work units of an already-failed job are skipped (their output
+		// would be discarded) but still counted, so the job reaches
+		// completion and reports its scenarios.
 		if j.failed() == nil {
-			computeColumn(j, local, w, i)
+			if p.hmatrix {
+				runHMatrixJob(j, w, i)
+			} else {
+				computeColumn(j, local, w, i)
+			}
 		}
 		if j.remaining.Add(-1) == 0 {
 			completeJob(j)

@@ -92,6 +92,22 @@ func WithHealthCheck(condLimit float64) Option {
 	}
 }
 
+// WithHMatrix selects the compressed hierarchical-matrix solver
+// (Config.Solver = SolverHMatrix) with the given block tolerance and
+// admissibility parameter. eps ≤ 0 keeps the default 1e-6 (relative
+// Frobenius tolerance per compressed block; the equivalent resistance
+// tracks it within a small multiple). eta ≤ 0 keeps the default 2 —
+// larger values compress more of the matrix at slightly higher rank.
+// Leaf size, rank cap and the dense fallback threshold stay at their
+// Config.HMatrix defaults unless the base Config sets them.
+func WithHMatrix(eps, eta float64) Option {
+	return func(s *settings) {
+		s.cfg.Solver = SolverHMatrix
+		s.cfg.HMatrix.Eps = eps
+		s.cfg.HMatrix.Eta = eta
+	}
+}
+
 // WithScaledReuse lets Sweep serve a scenario whose soil model is an exact
 // proportional rescaling of an already-assembled one by scaling that
 // solution instead of assembling again (σ′ = s·σ, R′ = R/s). The derivation
