@@ -11,8 +11,9 @@
 //
 // Experiments: barbera, table5.1, table6.1, table6.2, table6.3, fig5.1,
 // fig5.2, fig5.3, fig5.4, fig6.1, fieldeval, sweep, assembly, hmatrix,
-// ablation-assembly, ablation-tol, ablation-solver, ablation-elements,
-// ablation-threelayer, ablation-grading, baseline-fdm, all.
+// optimize, ablation-assembly, ablation-tol, ablation-solver,
+// ablation-elements, ablation-threelayer, ablation-grading, baseline-fdm,
+// all.
 //
 // The fieldeval experiment benchmarks the batched field-evaluation engine on
 // the Figure 5.4 raster; with -json it records the result as
@@ -23,7 +24,10 @@
 // against the reference hot path on Balaidos soil B; with -json it records
 // BENCH_assembly.json. The hmatrix experiment sweeps the compressed solver
 // over a 1k–20k DoF ladder of interconnected grids against the extrapolated
-// dense cost; with -json it records BENCH_hmatrix.json.
+// dense cost; with -json it records BENCH_hmatrix.json. The optimize
+// experiment benchmarks the grid-synthesis design loop on a Balaidos-class
+// site against naive per-candidate solves; with -json it records
+// BENCH_optimize.json.
 package main
 
 import (
@@ -59,7 +63,7 @@ func run(args []string, stdout io.Writer) error {
 		out     = fs.String("out", "", "directory for figure artifacts (CSV/SVG)")
 		procs   = fs.String("procs", "1,2,4,8", "worker counts for the parallel tables")
 		repeats = fs.Int("repeats", 1, "timing repetitions (paper used min of 4)")
-		jsonOut = fs.String("json", "", "benchmark JSON path for -exp fieldeval, sweep, assembly or hmatrix (e.g. BENCH_hmatrix.json)")
+		jsonOut = fs.String("json", "", "benchmark JSON path for -exp fieldeval, sweep, assembly, hmatrix or optimize (e.g. BENCH_optimize.json)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -123,6 +127,7 @@ func runExperiments(w io.Writer, exp string, q experiments.Quality, workers []in
 		{"sweep", func() error { return experiments.SweepEngine(context.Background(), w, q, 0, jsonOut) }},
 		{"assembly", func() error { return experiments.AssemblyKernels(w, q, 0, jsonOut) }},
 		{"hmatrix", func() error { return experiments.HMatrixScaling(w, q, 0, jsonOut) }},
+		{"optimize", func() error { return experiments.OptimizeLoop(context.Background(), w, q, 0, jsonOut) }},
 		{"table6.2", func() error { return experiments.Table62(w, q, workers) }},
 		{"table6.3", func() error { return experiments.Table63(w, q, workers) }},
 		{"ablation-assembly", func() error { return experiments.AblationAssembly(w, q, workers) }},

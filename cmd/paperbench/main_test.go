@@ -213,3 +213,55 @@ func TestRunRejectsBadFlags(t *testing.T) {
 		}
 	}
 }
+
+// TestOptimizeBenchSmoke drives the design-loop benchmark through the CLI at
+// quick fidelity and checks the recorded JSON: the search must issue at
+// least 200 candidate requests on the Balaidos-class site, amortize a
+// meaningful share of them through the evaluation cache, reproduce the
+// winner across worker counts, and come out ahead of naive per-candidate
+// solves (the committed BENCH_optimize.json pins the ≥2× acceptance bar;
+// the smoke bar is >1 to tolerate loaded CI machines).
+func TestOptimizeBenchSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the 400-eval synthesis search twice plus the naive leg")
+	}
+	jsonPath := filepath.Join(t.TempDir(), "BENCH_optimize.json")
+	var buf bytes.Buffer
+	if err := run([]string{"-exp", "optimize", "-quick", "-json", jsonPath}, &buf); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	data, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ob struct {
+		Requested     int     `json:"requested"`
+		Evaluated     int     `json:"evaluated"`
+		CacheHits     int     `json:"cache_hits"`
+		HitRate       float64 `json:"hit_rate"`
+		Feasible      bool    `json:"feasible"`
+		Speedup       float64 `json:"speedup"`
+		Deterministic bool    `json:"deterministic"`
+	}
+	if err := json.Unmarshal(data, &ob); err != nil {
+		t.Fatal(err)
+	}
+	if ob.Requested < 200 {
+		t.Errorf("only %d candidates requested, want ≥ 200", ob.Requested)
+	}
+	if ob.Requested != ob.Evaluated+ob.CacheHits {
+		t.Errorf("candidate accounting off: %+v", ob)
+	}
+	if ob.HitRate <= 0 {
+		t.Error("no cache amortization measured")
+	}
+	if !ob.Feasible {
+		t.Error("search found no feasible design on the benchmark site")
+	}
+	if !ob.Deterministic {
+		t.Error("winner not reproduced across worker counts")
+	}
+	if ob.Speedup <= 1 {
+		t.Errorf("design loop slower than naive solves: speedup %.2f", ob.Speedup)
+	}
+}

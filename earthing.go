@@ -220,24 +220,10 @@ func Analyze(ctx context.Context, g *Grid, model SoilModel, cfg Config, opts ...
 	return core.AnalyzeCtx(ctx, g, model, applyOptions(cfg, opts).cfg)
 }
 
-// AnalyzeCtx forwards to Analyze.
-//
-// Deprecated: Analyze is context-first now; call it directly.
-func AnalyzeCtx(ctx context.Context, g *Grid, model SoilModel, cfg Config) (*Result, error) {
-	return Analyze(ctx, g, model, cfg)
-}
-
 // AnalyzeMesh analyzes an explicitly discretized mesh, with the
 // cancellation semantics of Analyze.
 func AnalyzeMesh(ctx context.Context, m *Mesh, model SoilModel, cfg Config, opts ...Option) (*Result, error) {
 	return core.AnalyzeMeshCtx(ctx, m, model, applyOptions(cfg, opts).cfg)
-}
-
-// AnalyzeMeshCtx forwards to AnalyzeMesh.
-//
-// Deprecated: AnalyzeMesh is context-first now; call it directly.
-func AnalyzeMeshCtx(ctx context.Context, m *Mesh, model SoilModel, cfg Config) (*Result, error) {
-	return AnalyzeMesh(ctx, m, model, cfg)
 }
 
 // AnalyzeReader parses a grid from its text format and analyzes it, with
@@ -265,13 +251,6 @@ func SurfacePotential(ctx context.Context, res *Result, opt SurfaceOptions) (*Ra
 	return post.SurfacePotentialCtx(ctx, res.Assembler(), res.Mesh, res.Sigma, res.GPR, opt)
 }
 
-// SurfacePotentialCtx forwards to SurfacePotential.
-//
-// Deprecated: SurfacePotential is context-first now; call it directly.
-func SurfacePotentialCtx(ctx context.Context, res *Result, opt SurfaceOptions) (*Raster, error) {
-	return SurfacePotential(ctx, res, opt)
-}
-
 // PotentialProfile samples the surface potential along a straight line.
 func PotentialProfile(res *Result, x0, y0, x1, y1 float64, n int) (s, v []float64) {
 	return post.ProfilePotential(res.Assembler(), res.Sigma, res.GPR, x0, y0, x1, y1, n)
@@ -285,26 +264,12 @@ func StepVoltageMap(ctx context.Context, res *Result, opt SurfaceOptions) (*Rast
 	return post.EFieldSurfaceCtx(ctx, res.Assembler(), res.Mesh, res.Sigma, res.GPR, opt)
 }
 
-// StepVoltageMapCtx forwards to StepVoltageMap.
-//
-// Deprecated: StepVoltageMap is context-first now; call it directly.
-func StepVoltageMapCtx(ctx context.Context, res *Result, opt SurfaceOptions) (*Raster, error) {
-	return StepVoltageMap(ctx, res, opt)
-}
-
 // ComputeVoltages estimates touch, step and mesh voltages from a solved
 // analysis (raster resolution stepRes metres; ≤ 0 selects 1 m), with
 // cooperative cancellation of the underlying raster evaluation plus
 // worker/schedule knobs via opt.
 func ComputeVoltages(ctx context.Context, res *Result, stepRes float64, opt SurfaceOptions) (Voltages, error) {
 	return post.ComputeVoltagesCtx(ctx, res.Assembler(), res.Mesh, res.Sigma, res.GPR, stepRes, opt)
-}
-
-// ComputeVoltagesCtx forwards to ComputeVoltages.
-//
-// Deprecated: ComputeVoltages is context-first now; call it directly.
-func ComputeVoltagesCtx(ctx context.Context, res *Result, stepRes float64, opt SurfaceOptions) (Voltages, error) {
-	return ComputeVoltages(ctx, res, stepRes, opt)
 }
 
 // Contours extracts equipotential polylines from a raster.

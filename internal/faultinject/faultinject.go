@@ -63,6 +63,14 @@ const (
 	// product vector y (poisonable: a NaN there breaks the CG recurrence
 	// into the typed linalg.ErrCGBreakdown).
 	HMatrixCGIter Point = "hmatrix.CGIter"
+	// OptimizeCandidate fires once per unique candidate evaluation of the
+	// design-synthesis engine (internal/designopt), after the candidate's
+	// voltages are extracted and before the objective is scored, with
+	// i = the candidate's evaluation ordinal and data = the four scored
+	// values [cost, maxStep, maxTouch, maxMesh] (poisonable: a NaN there
+	// fails that one candidate with the penalty objective while the rest of
+	// the search continues).
+	OptimizeCandidate Point = "designopt.candidate"
 	// CacheGet fires on every server cache lookup (i = 0, data = nil).
 	CacheGet Point = "server.cache.get"
 	// Admission fires on every server admission attempt (i = 0, data = nil).

@@ -117,7 +117,14 @@ func DecrementFactor(faultDuration, xOverR, freqHz float64) float64 {
 		return 1
 	}
 	ta := xOverR / (2 * math.Pi * freqHz)
-	return math.Sqrt(1 + ta/faultDuration*(1-math.Exp(-2*faultDuration/ta)))
+	df := math.Sqrt(1 + ta/faultDuration*(1-math.Exp(-2*faultDuration/ta)))
+	if math.IsNaN(df) {
+		// For vanishing tf/Ta the product above is the 0·∞ form of its
+		// full-offset limit 2 (asymmetrical RMS √3): return that instead of
+		// letting the NaN poison the design current.
+		return math.Sqrt(3)
+	}
+	return df
 }
 
 // Verdict is the outcome of checking computed voltages against the limits.

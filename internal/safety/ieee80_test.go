@@ -159,3 +159,108 @@ func TestFractionExceeding(t *testing.T) {
 		t.Errorf("limit 100: got %v, want 0", f)
 	}
 }
+
+// TestCheckExactlyAtLimit pins the boundary semantics: a voltage exactly at
+// its limit passes (the standard's limits are tolerable maxima, "must be
+// kept under certain maximum safe limits" inclusive), and the next
+// representable value above fails.
+func TestCheckExactlyAtLimit(t *testing.T) {
+	c := Criteria{FaultDuration: 0.5, SoilRho: 100, SurfaceRho: 3000, SurfaceThickness: 0.1}
+	step, touch := c.StepLimit(), c.TouchLimit()
+	v, err := c.Check(step, touch, touch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.Safe() {
+		t.Errorf("exactly-at-limit voltages must pass: %v", v)
+	}
+	above := func(x float64) float64 { return math.Nextafter(x, math.Inf(1)) }
+	v, err = c.Check(above(step), above(touch), above(touch))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.StepOK || v.TouchOK || v.MeshOK {
+		t.Errorf("one ULP above the limit must fail every criterion: %v", v)
+	}
+}
+
+// TestCheckNaNVoltagesFail pins the poisoned-input behaviour: a NaN voltage
+// compares false against any limit, so the verdict is unsafe rather than
+// silently passing a corrupted analysis.
+func TestCheckNaNVoltagesFail(t *testing.T) {
+	c := Criteria{FaultDuration: 0.5, SoilRho: 100}
+	nan := math.NaN()
+	v, err := c.Check(nan, nan, nan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.StepOK || v.TouchOK || v.MeshOK || v.Safe() {
+		t.Errorf("NaN voltages must not pass: %v", v)
+	}
+}
+
+// TestFractionExceedingEmpty pins the empty-raster contract: no samples means
+// no measured hazard area (0), not NaN from a 0/0 division.
+func TestFractionExceedingEmpty(t *testing.T) {
+	if got := FractionExceeding(nil, 100); got != 0 {
+		t.Errorf("FractionExceeding(nil) = %v, want 0", got)
+	}
+	if got := FractionExceeding([]float64{}, 100); got != 0 {
+		t.Errorf("FractionExceeding(empty) = %v, want 0", got)
+	}
+}
+
+// TestFractionExceedingNaN pins the NaN-sample behaviour: NaN > limit is
+// false, so poisoned samples count as not exceeding — the hazard fraction
+// stays well-defined and the boundary sample at the limit is not counted.
+func TestFractionExceedingNaN(t *testing.T) {
+	limit := 100.0
+	vals := []float64{math.NaN(), 50, 150, limit}
+	if got, want := FractionExceeding(vals, limit), 0.25; got != want {
+		t.Errorf("FractionExceeding = %v, want %v (only the 150 sample exceeds)", got, want)
+	}
+	if got := FractionExceeding([]float64{math.NaN()}, limit); got != 0 {
+		t.Errorf("all-NaN raster: got %v, want 0", got)
+	}
+}
+
+// TestDecrementFactorDegenerate pins the degenerate fault durations: zero,
+// negative and NaN-producing inputs return the symmetrical factor 1 rather
+// than propagating Inf/NaN into the design current.
+func TestDecrementFactorDegenerate(t *testing.T) {
+	cases := []struct{ t, xr, f float64 }{
+		{0, 10, 50},
+		{-1, 10, 50},
+		{0.5, 0, 50},
+		{0.5, -3, 50},
+		{0.5, 10, 0},
+	}
+	for _, tc := range cases {
+		if got := DecrementFactor(tc.t, tc.xr, tc.f); got != 1 {
+			t.Errorf("DecrementFactor(%g, %g, %g) = %v, want 1", tc.t, tc.xr, tc.f, got)
+		}
+	}
+}
+
+// TestDecrementFactorLimits pins the asymptotics: Df → 1 for long faults
+// (the offset decays away), grows as the fault shortens, and approaches the
+// full-offset bound √3 — finitely — for vanishing durations, where the raw
+// formula's Ta/tf·(1 − e^{−2tf/Ta}) term degenerates to the 0·∞ form.
+func TestDecrementFactorLimits(t *testing.T) {
+	long := DecrementFactor(3, 10, 50)
+	short := DecrementFactor(0.03, 10, 50)
+	if long < 1 || long > 1.02 {
+		t.Errorf("long-fault Df = %v, want ≈ 1", long)
+	}
+	if short <= long {
+		t.Errorf("short-fault Df %v must exceed long-fault Df %v", short, long)
+	}
+	bound := math.Sqrt(3)
+	if short > bound {
+		t.Errorf("Df %v exceeds the √3 full-offset bound", short)
+	}
+	df := DecrementFactor(math.SmallestNonzeroFloat64, 10, 50)
+	if math.IsNaN(df) || df > bound {
+		t.Errorf("denormal fault duration: Df = %v, want finite ≤ √3", df)
+	}
+}

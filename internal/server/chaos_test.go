@@ -214,6 +214,37 @@ func TestChaosSweepPartialFailure(t *testing.T) {
 	}
 }
 
+// TestChaosOptimizePoisonedCandidate: a candidate evaluation poisoned inside
+// a /v1/optimize search fails that one design — the search completes, streams
+// a 200 and still closes with a feasible best, with exactly one failure in
+// the terminal stats.
+func TestChaosOptimizePoisonedCandidate(t *testing.T) {
+	resetFaults(t)
+	_, ts := newTestServer(t, Config{MaxConcurrent: 2, Workers: 2})
+
+	defer faultinject.Set(faultinject.OptimizeCandidate,
+		faultinject.At(2, faultinject.PoisonNaN()))()
+
+	code, _, resp := post(t, context.Background(), ts.URL, "/v1/optimize", fastOptimize(""))
+	if code != http.StatusOK {
+		t.Fatalf("status %d: %s", code, resp)
+	}
+	lines := decodeOptimize(t, resp)
+	final := lines[len(lines)-1]
+	if !final.Final || final.Stats == nil {
+		t.Fatalf("terminal line %+v, want final summary", final)
+	}
+	if final.Stats.Failed != 1 {
+		t.Errorf("failed candidates = %d, want exactly the poisoned one", final.Stats.Failed)
+	}
+	if final.Best == nil || !final.Best.Feasible {
+		t.Errorf("final best %+v, want feasible design despite poisoned sibling", final.Best)
+	}
+	if final.Error != "" {
+		t.Errorf("terminal error %q, want clean completion", final.Error)
+	}
+}
+
 // TestChaosRetryAfterOn429: load-shed responses carry a Retry-After hint
 // derived from the backlog.
 func TestChaosRetryAfterOn429(t *testing.T) {

@@ -15,10 +15,17 @@ import (
 // (see PublishExpvar).
 type Metrics struct {
 	// Request counters by endpoint.
-	SolveRequests  atomic.Int64
-	SweepRequests  atomic.Int64
-	RasterRequests atomic.Int64
-	SafetyRequests atomic.Int64
+	SolveRequests    atomic.Int64
+	SweepRequests    atomic.Int64
+	RasterRequests   atomic.Int64
+	SafetyRequests   atomic.Int64
+	OptimizeRequests atomic.Int64
+
+	// Design-loop accounting: OptimizeCandidates is the cumulative count of
+	// unique candidate layouts solved by /v1/optimize searches;
+	// OptimizeNanos the wall time spent inside the search engine.
+	OptimizeCandidates atomic.Int64
+	OptimizeNanos      atomic.Int64
 
 	// Cache accounting. Assemblies counts full pipeline runs (matrix
 	// generation + factorization); on a pure cache hit it does not move —
@@ -54,47 +61,53 @@ type Metrics struct {
 
 // Snapshot is a plain-value copy of the counters for JSON serialization.
 type Snapshot struct {
-	SolveRequests     int64 `json:"solveRequests"`
-	SweepRequests     int64 `json:"sweepRequests"`
-	RasterRequests    int64 `json:"rasterRequests"`
-	SafetyRequests    int64 `json:"safetyRequests"`
-	CacheHits         int64 `json:"cacheHits"`
-	CacheMisses       int64 `json:"cacheMisses"`
-	CacheEntries      int   `json:"cacheEntries"`
-	Assemblies        int64 `json:"assemblies"`
-	RejectedQueueFull int64 `json:"rejectedQueueFull"`
-	DeadlineExceeded  int64 `json:"deadlineExceeded"`
-	ClientCancelled   int64 `json:"clientCancelled"`
-	WorkerPanics      int64 `json:"workerPanics"`
-	HandlerPanics     int64 `json:"handlerPanics"`
-	HealthFailures    int64 `json:"healthFailures"`
-	QueueDepth        int64 `json:"queueDepth"`
-	BusyWorkers       int64 `json:"busyWorkers"`
-	AssembleNanos     int64 `json:"assembleNanos"`
-	PostNanos         int64 `json:"postNanos"`
+	SolveRequests      int64 `json:"solveRequests"`
+	SweepRequests      int64 `json:"sweepRequests"`
+	RasterRequests     int64 `json:"rasterRequests"`
+	SafetyRequests     int64 `json:"safetyRequests"`
+	OptimizeRequests   int64 `json:"optimizeRequests"`
+	OptimizeCandidates int64 `json:"optimizeCandidates"`
+	OptimizeNanos      int64 `json:"optimizeNanos"`
+	CacheHits          int64 `json:"cacheHits"`
+	CacheMisses        int64 `json:"cacheMisses"`
+	CacheEntries       int   `json:"cacheEntries"`
+	Assemblies         int64 `json:"assemblies"`
+	RejectedQueueFull  int64 `json:"rejectedQueueFull"`
+	DeadlineExceeded   int64 `json:"deadlineExceeded"`
+	ClientCancelled    int64 `json:"clientCancelled"`
+	WorkerPanics       int64 `json:"workerPanics"`
+	HandlerPanics      int64 `json:"handlerPanics"`
+	HealthFailures     int64 `json:"healthFailures"`
+	QueueDepth         int64 `json:"queueDepth"`
+	BusyWorkers        int64 `json:"busyWorkers"`
+	AssembleNanos      int64 `json:"assembleNanos"`
+	PostNanos          int64 `json:"postNanos"`
 }
 
 // snapshot captures the counters plus the cache size.
 func (m *Metrics) snapshot(cacheEntries int) Snapshot {
 	return Snapshot{
-		SolveRequests:     m.SolveRequests.Load(),
-		SweepRequests:     m.SweepRequests.Load(),
-		RasterRequests:    m.RasterRequests.Load(),
-		SafetyRequests:    m.SafetyRequests.Load(),
-		CacheHits:         m.CacheHits.Load(),
-		CacheMisses:       m.CacheMisses.Load(),
-		CacheEntries:      cacheEntries,
-		Assemblies:        m.Assemblies.Load(),
-		RejectedQueueFull: m.RejectedQueueFull.Load(),
-		DeadlineExceeded:  m.DeadlineExceeded.Load(),
-		ClientCancelled:   m.ClientCancelled.Load(),
-		WorkerPanics:      m.WorkerPanics.Load(),
-		HandlerPanics:     m.HandlerPanics.Load(),
-		HealthFailures:    m.HealthFailures.Load(),
-		QueueDepth:        m.QueueDepth.Load(),
-		BusyWorkers:       m.BusyWorkers.Load(),
-		AssembleNanos:     m.AssembleNanos.Load(),
-		PostNanos:         m.PostNanos.Load(),
+		SolveRequests:      m.SolveRequests.Load(),
+		SweepRequests:      m.SweepRequests.Load(),
+		RasterRequests:     m.RasterRequests.Load(),
+		SafetyRequests:     m.SafetyRequests.Load(),
+		OptimizeRequests:   m.OptimizeRequests.Load(),
+		OptimizeCandidates: m.OptimizeCandidates.Load(),
+		OptimizeNanos:      m.OptimizeNanos.Load(),
+		CacheHits:          m.CacheHits.Load(),
+		CacheMisses:        m.CacheMisses.Load(),
+		CacheEntries:       cacheEntries,
+		Assemblies:         m.Assemblies.Load(),
+		RejectedQueueFull:  m.RejectedQueueFull.Load(),
+		DeadlineExceeded:   m.DeadlineExceeded.Load(),
+		ClientCancelled:    m.ClientCancelled.Load(),
+		WorkerPanics:       m.WorkerPanics.Load(),
+		HandlerPanics:      m.HandlerPanics.Load(),
+		HealthFailures:     m.HealthFailures.Load(),
+		QueueDepth:         m.QueueDepth.Load(),
+		BusyWorkers:        m.BusyWorkers.Load(),
+		AssembleNanos:      m.AssembleNanos.Load(),
+		PostNanos:          m.PostNanos.Load(),
 	}
 }
 
@@ -111,6 +124,9 @@ func (s *Server) PublishExpvar() {
 	pub("sweepRequests", s.metrics.SweepRequests.Load)
 	pub("rasterRequests", s.metrics.RasterRequests.Load)
 	pub("safetyRequests", s.metrics.SafetyRequests.Load)
+	pub("optimizeRequests", s.metrics.OptimizeRequests.Load)
+	pub("optimizeCandidates", s.metrics.OptimizeCandidates.Load)
+	pub("optimizeNanos", s.metrics.OptimizeNanos.Load)
 	pub("cacheHits", s.metrics.CacheHits.Load)
 	pub("cacheMisses", s.metrics.CacheMisses.Load)
 	pub("assemblies", s.metrics.Assemblies.Load)

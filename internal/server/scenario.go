@@ -230,6 +230,59 @@ func (s SoilSpec) canonicalSoil() string {
 	}
 }
 
+// buildConfig validates the envelope's discretization and execution knobs and
+// assembles the engine configuration shared by every /v1/* endpoint (unit
+// GPR, deterministic Cholesky). Factored out of build so grid-free requests
+// (/v1/optimize synthesizes its own grids) reuse exactly the same validation.
+func (sc Scenario) buildConfig(defaultWorkers int) (earthing.Config, error) {
+	var cfg earthing.Config
+	if sc.MaxElemLen < 0 || math.IsNaN(sc.MaxElemLen) {
+		return cfg, fmt.Errorf("maxElemLen %g must be non-negative", sc.MaxElemLen)
+	}
+	if sc.RodElements < 0 {
+		return cfg, fmt.Errorf("rodElements %d must be non-negative", sc.RodElements)
+	}
+	seriesTol := sc.SeriesTol
+	if seriesTol == 0 {
+		seriesTol = 1e-7 // the bem.Options default; pinned here so it keys identically
+	}
+	if seriesTol < 0 || seriesTol >= 1 || math.IsNaN(seriesTol) {
+		return cfg, fmt.Errorf("seriesTol %g must be in (0, 1)", sc.SeriesTol)
+	}
+	if sc.Workers < 0 {
+		return cfg, fmt.Errorf("workers %d must be non-negative", sc.Workers)
+	}
+	workers := sc.Workers
+	if workers == 0 {
+		workers = defaultWorkers
+	}
+	schedule := earthing.Schedule{}
+	if sc.Schedule != "" {
+		var err error
+		schedule, err = earthing.ParseSchedule(sc.Schedule)
+		if err != nil {
+			return cfg, err
+		}
+	}
+	return earthing.Config{
+		// Solved at unit GPR; responses scale by the request GPR, so one
+		// cache entry serves every fault level.
+		GPR:         1,
+		MaxElemLen:  sc.MaxElemLen,
+		RodElements: sc.RodElements,
+		// Cholesky is deterministic across worker counts (each entry of L is
+		// reduced in a fixed order; only independent row updates run in
+		// parallel), which PCG's worker-partitioned dot products are not —
+		// and the factorization is exactly what the LRU amortizes.
+		Solver: earthing.Cholesky,
+		BEM: earthing.BEMOptions{
+			Workers:   workers,
+			Schedule:  schedule,
+			SeriesTol: seriesTol,
+		},
+	}, nil
+}
+
 // build validates the scenario, constructs the grid and soil model, and
 // derives the canonical cache key.
 func (sc Scenario) build(defaultWorkers int) (*built, error) {
@@ -248,58 +301,16 @@ func (sc Scenario) build(defaultWorkers int) (*built, error) {
 	if !finitePos(gpr) {
 		return nil, fmt.Errorf("gpr %g must be positive and finite", sc.GPR)
 	}
-	if sc.MaxElemLen < 0 || math.IsNaN(sc.MaxElemLen) {
-		return nil, fmt.Errorf("maxElemLen %g must be non-negative", sc.MaxElemLen)
+	cfg, err := sc.buildConfig(defaultWorkers)
+	if err != nil {
+		return nil, err
 	}
-	if sc.RodElements < 0 {
-		return nil, fmt.Errorf("rodElements %d must be non-negative", sc.RodElements)
-	}
-	seriesTol := sc.SeriesTol
-	if seriesTol == 0 {
-		seriesTol = 1e-7 // the bem.Options default; pinned here so it keys identically
-	}
-	if seriesTol < 0 || seriesTol >= 1 || math.IsNaN(seriesTol) {
-		return nil, fmt.Errorf("seriesTol %g must be in (0, 1)", sc.SeriesTol)
-	}
-	if sc.Workers < 0 {
-		return nil, fmt.Errorf("workers %d must be non-negative", sc.Workers)
-	}
-	workers := sc.Workers
-	if workers == 0 {
-		workers = defaultWorkers
-	}
-	schedule := earthing.Schedule{}
-	if sc.Schedule != "" {
-		schedule, err = earthing.ParseSchedule(sc.Schedule)
-		if err != nil {
-			return nil, err
-		}
-	}
-
-	cfg := earthing.Config{
-		// Solved at unit GPR; responses scale by the request GPR, so one
-		// cache entry serves every fault level.
-		GPR:         1,
-		MaxElemLen:  sc.MaxElemLen,
-		RodElements: sc.RodElements,
-		// Cholesky is deterministic across worker counts (each entry of L is
-		// reduced in a fixed order; only independent row updates run in
-		// parallel), which PCG's worker-partitioned dot products are not —
-		// and the factorization is exactly what the LRU amortizes.
-		Solver: earthing.Cholesky,
-		BEM: earthing.BEMOptions{
-			Workers:   workers,
-			Schedule:  schedule,
-			SeriesTol: seriesTol,
-		},
-	}
-
 	return &built{
 		grid:  g,
 		model: model,
 		cfg:   cfg,
 		gpr:   gpr,
-		key:   scenarioKey(g, sc.Soil, sc.MaxElemLen, sc.RodElements, seriesTol),
+		key:   scenarioKey(g, sc.Soil, sc.MaxElemLen, sc.RodElements, cfg.BEM.SeriesTol),
 	}, nil
 }
 

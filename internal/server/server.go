@@ -101,6 +101,7 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("POST /v1/sweep", s.handleSweep)
 	s.mux.HandleFunc("POST /v1/raster", s.handleRaster)
 	s.mux.HandleFunc("POST /v1/safety", s.handleSafety)
+	s.mux.HandleFunc("POST /v1/optimize", s.handleOptimize)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
 	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
@@ -166,6 +167,9 @@ func (s *Server) Draining() bool { return s.draining.Load() }
 type httpError struct {
 	status int
 	msg    string
+	// code overrides the machine-readable error code; when empty writeError
+	// derives it from the status.
+	code string
 	// retryAfter, when > 0, emits a Retry-After header (seconds) so
 	// load-shedding responses (429/503) tell well-behaved clients when to
 	// come back.
@@ -178,7 +182,48 @@ func badRequest(err error) *httpError {
 	return &httpError{status: http.StatusBadRequest, msg: err.Error()}
 }
 
-// writeError emits the JSON error envelope.
+// ErrorBody is the typed error envelope every /v1/* handler emits: a stable
+// machine-readable code, the human diagnostic, and (for load-shedding
+// responses) the Retry-After hint mirrored into the body.
+type ErrorBody struct {
+	Code        string `json:"code"`
+	Message     string `json:"message"`
+	RetryAfterS int    `json:"retry_after,omitempty"`
+}
+
+// errorCode maps a status to its stable error code. Clients switch on these
+// rather than parsing messages or memorizing status-code nuances.
+func errorCode(status int) string {
+	switch status {
+	case http.StatusBadRequest:
+		return "bad_request"
+	case http.StatusUnprocessableEntity:
+		return "unprocessable"
+	case http.StatusTooManyRequests:
+		return "queue_full"
+	case http.StatusServiceUnavailable:
+		return "draining"
+	case http.StatusGatewayTimeout:
+		return "deadline_exceeded"
+	case StatusClientClosedRequest:
+		return "client_cancelled"
+	case http.StatusInternalServerError:
+		return "internal"
+	default:
+		return "error"
+	}
+}
+
+// errorBody renders the typed envelope for an httpError.
+func (e *httpError) errorBody() ErrorBody {
+	code := e.code
+	if code == "" {
+		code = errorCode(e.status)
+	}
+	return ErrorBody{Code: code, Message: e.msg, RetryAfterS: e.retryAfter}
+}
+
+// writeError emits the typed JSON error envelope.
 func (s *Server) writeError(w http.ResponseWriter, he *httpError) {
 	w.Header().Set("Content-Type", "application/json")
 	if he.retryAfter > 0 {
@@ -186,7 +231,7 @@ func (s *Server) writeError(w http.ResponseWriter, he *httpError) {
 	}
 	w.WriteHeader(he.status)
 	//lint:ignore errdrop encode-to-client failure means the client is gone; nothing to do
-	json.NewEncoder(w).Encode(map[string]string{"error": he.msg})
+	json.NewEncoder(w).Encode(he.errorBody())
 }
 
 // writeJSON emits a 200 with v as the body and the cache disposition in a

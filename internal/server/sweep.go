@@ -16,27 +16,28 @@ import (
 const maxSweepScenarios = 256
 
 // SweepScenarioSpec is one variant of a sweep: a soil model plus the GPR to
-// report results at (default 1 V, like /v1/solve).
+// report results at. Both fall back to the envelope's values (the soil when
+// the per-scenario one is absent, the GPR when zero; the final default is
+// 1 V, like /v1/solve).
 type SweepScenarioSpec struct {
 	// ID labels this scenario's output line (default "s<index>").
 	ID   string   `json:"id,omitempty"`
-	Soil SoilSpec `json:"soil"`
+	Soil SoilSpec `json:"soil,omitempty"`
 	GPR  float64  `json:"gpr,omitempty"`
 }
 
 // SweepRequest asks for a batch solve of one grid under many soil/GPR
-// variants. The grid and discretization knobs are shared by every scenario —
-// that is what lets the engine amortize meshing and interleave assemblies.
+// variants. It embeds the shared Scenario envelope: the grid and the
+// discretization/execution knobs are common to every variant — that is what
+// lets the engine amortize meshing and interleave assemblies — and the
+// envelope's soil/GPR serve as defaults for scenarios that omit their own.
+// The embedding promotes the same JSON field names the endpoint has always
+// used (grid, maxElemLen, rodElements, seriesTol, workers, schedule), so
+// legacy flattened requests decode unchanged.
 type SweepRequest struct {
-	Grid      GridSpec            `json:"grid"`
+	Scenario
 	Scenarios []SweepScenarioSpec `json:"scenarios"`
-	// Shared discretization and execution knobs (same meaning as Scenario).
-	MaxElemLen  float64 `json:"maxElemLen,omitempty"`
-	RodElements int     `json:"rodElements,omitempty"`
-	SeriesTol   float64 `json:"seriesTol,omitempty"`
-	Workers     int     `json:"workers,omitempty"`
-	Schedule    string  `json:"schedule,omitempty"`
-	TimeoutMs   int     `json:"timeoutMs,omitempty"`
+	TimeoutMs int                 `json:"timeoutMs,omitempty"`
 	// AllowScaled enables the proportional-soil reuse tier. Results served
 	// from it are exact up to rounding but not bit-identical to a fresh
 	// assembly, and are never entered into the system cache.
@@ -63,17 +64,21 @@ type SweepLine struct {
 	WallMs      float64  `json:"wallMs,omitempty"`
 	Warnings    []string `json:"warnings,omitempty"`
 	Error       string   `json:"error,omitempty"`
+	// Code carries the typed error code on the terminal (Index −1) error
+	// line, matching the pre-stream ErrorBody envelope.
+	Code string `json:"code,omitempty"`
 }
 
 // sweepWriter streams NDJSON lines, deferring the status line until the
 // first write so pre-stream failures can still use proper status codes.
+// Shared by every streaming endpoint (/v1/sweep, /v1/optimize).
 type sweepWriter struct {
 	w     http.ResponseWriter
 	f     http.Flusher
 	wrote bool
 }
 
-func (sw *sweepWriter) emit(line SweepLine) error {
+func (sw *sweepWriter) emit(line any) error {
 	if !sw.wrote {
 		sw.w.Header().Set("Content-Type", "application/x-ndjson")
 		sw.w.WriteHeader(http.StatusOK)
@@ -106,19 +111,18 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	}
 
 	// Build every scenario up front: one bad variant fails the whole request
-	// before any work starts.
+	// before any work starts. Each variant is the shared envelope with its
+	// own soil/GPR overriding the envelope defaults.
 	builts := make([]*built, len(req.Scenarios))
 	for i, spec := range req.Scenarios {
-		b, err := (Scenario{
-			Grid:        req.Grid,
-			Soil:        spec.Soil,
-			GPR:         spec.GPR,
-			MaxElemLen:  req.MaxElemLen,
-			RodElements: req.RodElements,
-			SeriesTol:   req.SeriesTol,
-			Workers:     req.Workers,
-			Schedule:    req.Schedule,
-		}).build(s.cfg.Workers)
+		sc := req.Scenario
+		if spec.Soil.Kind != "" {
+			sc.Soil = spec.Soil
+		}
+		if spec.GPR != 0 {
+			sc.GPR = spec.GPR
+		}
+		b, err := sc.build(s.cfg.Workers)
 		if err != nil {
 			s.writeError(w, badRequest(fmt.Errorf("scenario %d: %w", i, err)))
 			return
@@ -212,9 +216,9 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		// Mid-stream failure: the status line is gone, so the error travels
-		// as a terminal NDJSON line.
+		// as a terminal NDJSON line carrying the typed code.
 		//lint:ignore errdrop the client is the only consumer of this line; if it is gone, so is the report
-		sw.emit(SweepLine{Index: -1, Error: herr.msg})
+		sw.emit(SweepLine{Index: -1, Error: herr.msg, Code: errorCode(herr.status)})
 	}
 }
 

@@ -1,14 +1,16 @@
 // Package sweep is the batch solve engine: it takes one grounding grid plus
-// N scenario variants (soil models, GPR values) and schedules all of their
-// matrix work through a single shared worker pool, exploiting structure
-// across scenarios instead of running N independent pipelines.
+// N scenario variants (soil models, GPR values, optionally per-scenario grid
+// overrides) and schedules all of their matrix work through a single shared
+// worker pool, exploiting structure across scenarios instead of running N
+// independent pipelines.
 //
 // Reuse tiers, cheapest first:
 //
-//  1. Geometry cache — scenarios whose soil models share interface depths
-//     discretize to the same mesh, so the mesh and the quadrature geometry
-//     (Gauss positions, weights, shape values; bem.Geometry) are built once
-//     per group and shared by every assembler in it.
+//  1. Geometry cache — scenarios whose grids serialize identically and whose
+//     soil models share interface depths discretize to the same mesh, so the
+//     mesh and the quadrature geometry (Gauss positions, weights, shape
+//     values; bem.Geometry) are built once per group and shared by every
+//     assembler in it.
 //  2. Solve reuse — scenarios differing only in GPR map to one assembly +
 //     factorization at unit GPR; each variant is an O(1) rescale that is
 //     bit-identical to a fresh analysis at that GPR (core.Result.WithGPR).
@@ -50,7 +52,7 @@ import (
 )
 
 // Scenario is one variant of the swept analysis: a soil model plus the GPR
-// the results are scaled to.
+// the results are scaled to, optionally on its own grid.
 type Scenario struct {
 	// ID labels the scenario in results (default "s<index>").
 	ID string
@@ -59,6 +61,12 @@ type Scenario struct {
 	// GPR is the ground potential rise in volts (0 selects the sweep
 	// config's GPR, itself defaulting to 1).
 	GPR float64
+	// Grid, when non-nil, overrides the shared grid passed to Run/Stream for
+	// this scenario — the multi-grid form the design-synthesis engine batches
+	// candidate layouts through. Scenarios whose grids serialize identically
+	// (and whose soil models share interface depths) land in the same mesh
+	// group, so duplicated candidate layouts pay one assembly between them.
+	Grid *grid.Grid
 }
 
 // Options configures a sweep.
@@ -199,6 +207,23 @@ func depthsKey(depths []float64) string {
 	return b.String()
 }
 
+// gridKeys canonicalizes scenario grids through their text serialization,
+// memoized per pointer: two *grid.Grid values that serialize identically key
+// identically, so duplicated candidate layouts collapse into one mesh group.
+type gridKeys map[*grid.Grid]string
+
+func (gk gridKeys) key(g *grid.Grid) (string, error) {
+	if k, ok := gk[g]; ok {
+		return k, nil
+	}
+	var b strings.Builder
+	if err := grid.Write(&b, g); err != nil {
+		return "", err
+	}
+	gk[g] = b.String()
+	return b.String(), nil
+}
+
 // buildPlan groups scenarios into mesh groups and assembly jobs.
 func buildPlan(g *grid.Grid, scenarios []Scenario, opt Options) (*plan, error) {
 	cfg := opt.Config
@@ -217,10 +242,18 @@ func buildPlan(g *grid.Grid, scenarios []Scenario, opt Options) (*plan, error) {
 	groups := map[string]*meshGroup{}
 	jobsByKey := map[string]*job{}
 	scaledByKey := map[string]*scaledTier{}
+	gkeys := gridKeys{}
 
 	for i, sc := range scenarios {
 		if sc.Model == nil {
 			return nil, fmt.Errorf("sweep: scenario %d: nil soil model", i)
+		}
+		sg := sc.Grid
+		if sg == nil {
+			sg = g
+		}
+		if sg == nil {
+			return nil, fmt.Errorf("sweep: scenario %d: no grid (nil shared grid and no per-scenario override)", i)
 		}
 		gpr := sc.GPR
 		if gpr == 0 {
@@ -235,10 +268,14 @@ func buildPlan(g *grid.Grid, scenarios []Scenario, opt Options) (*plan, error) {
 			p.ids[i] = fmt.Sprintf("s%d", i)
 		}
 
-		mk := depthsKey(core.InterfaceDepths(sc.Model))
+		gkey, err := gkeys.key(sg)
+		if err != nil {
+			return nil, fmt.Errorf("sweep: scenario %d: %w", i, err)
+		}
+		mk := gkey + "\x01" + depthsKey(core.InterfaceDepths(sc.Model))
 		grp, ok := groups[mk]
 		if !ok {
-			mesh, warnings, err := core.BuildMesh(g, sc.Model, cfg)
+			mesh, warnings, err := core.BuildMesh(sg, sc.Model, cfg)
 			if err != nil {
 				return nil, fmt.Errorf("sweep: scenario %d: %w", i, err)
 			}
@@ -346,15 +383,16 @@ func Run(ctx context.Context, g *grid.Grid, scenarios []Scenario, opt Options) (
 // On ctx cancellation the workers stop at the next schedule chunk boundary
 // and Stream returns ctx's error; results already emitted stay valid.
 //
+// g is the shared grid; a scenario with a non-nil Grid overrides it. g may be
+// nil when every scenario carries its own grid (the design-synthesis multi-grid
+// form).
+//
 // Faults are isolated per assembly job: a worker panic during one job's
 // columns, or a solver/health failure of one job's system, emits ReuseFailed
 // results (Err set, Res nil) for that job's scenarios while every other job
 // completes normally. Stream itself returns nil in that case — per-scenario
 // failures live on the Results, not the sweep.
 func Stream(ctx context.Context, g *grid.Grid, scenarios []Scenario, opt Options, emit func(Result) error) error {
-	if g == nil {
-		return fmt.Errorf("sweep: nil grid")
-	}
 	if len(scenarios) == 0 {
 		return nil
 	}

@@ -229,6 +229,67 @@ func TestSweepMeshGrouping(t *testing.T) {
 	}
 }
 
+// TestSweepMultiGrid covers the per-scenario grid override (the design-loop
+// form): distinct grids assemble independently, a duplicated layout collapses
+// into the first grid's job as a solve-tier rescale, and every result is
+// bit-identical to an independent analysis of that scenario's grid.
+func TestSweepMultiGrid(t *testing.T) {
+	cfg := testConfig(0)
+	model := soil.NewTwoLayer(0.0025, 0.020, 0.7)
+	barbera, balaidos := grid.Barbera(), grid.Balaidos()
+	// A third *grid.Grid value that serializes identically to barbera: the
+	// dedup must key on content, not pointer.
+	barberaDup := grid.Barbera()
+	scens := []Scenario{
+		{ID: "barbera", Model: model, GPR: 10_000, Grid: barbera},
+		{ID: "balaidos", Model: model, GPR: 10_000, Grid: balaidos},
+		{ID: "barbera-dup", Model: model, GPR: 12_000, Grid: barberaDup},
+	}
+	// nil shared grid: every scenario carries its own.
+	got, err := Run(context.Background(), nil, scens, Options{Config: cfg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantReuse := []Reuse{ReuseAssembled, ReuseAssembled, ReuseSolve}
+	for i, r := range got {
+		if r.Reuse != wantReuse[i] {
+			t.Errorf("%s: reuse %q, want %q", r.ID, r.Reuse, wantReuse[i])
+		}
+		seqCfg := cfg
+		seqCfg.GPR = scens[i].GPR
+		want, err := core.Analyze(scens[i].Grid, model, seqCfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Res.Req != want.Req || r.Res.GPR != want.GPR {
+			t.Errorf("%s: (Req, GPR) = (%v, %v), want (%v, %v)",
+				r.ID, r.Res.Req, r.Res.GPR, want.Req, want.GPR)
+		}
+		sameFloats(t, r.ID+" Sigma", r.Res.Sigma, want.Sigma)
+	}
+	if got[0].Res.Mesh == got[1].Res.Mesh {
+		t.Error("distinct grids share a mesh")
+	}
+	if got[0].Res.Mesh != got[2].Res.Mesh {
+		t.Error("identical layouts under different pointers did not share a mesh")
+	}
+	// A per-scenario grid also overrides a non-nil shared grid.
+	mixed, err := Run(context.Background(), balaidos,
+		[]Scenario{
+			{ID: "shared", Model: model, GPR: 10_000},
+			{ID: "override", Model: model, GPR: 10_000, Grid: barbera},
+		}, Options{Config: cfg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mixed[0].Res.Req != got[1].Res.Req {
+		t.Errorf("shared-grid scenario Req %v != balaidos %v", mixed[0].Res.Req, got[1].Res.Req)
+	}
+	if mixed[1].Res.Req != got[0].Res.Req {
+		t.Errorf("override scenario Req %v != barbera %v", mixed[1].Res.Req, got[0].Res.Req)
+	}
+}
+
 // TestSweepScaledTier checks the opt-in proportional-conductivity tier:
 // exact up to rounding, correct post-processing kernels, no extra assembly.
 func TestSweepScaledTier(t *testing.T) {

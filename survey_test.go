@@ -77,6 +77,46 @@ func TestFieldFacade(t *testing.T) {
 	}
 }
 
+func TestOptimizeFacade(t *testing.T) {
+	spec := earthing.OptimizeSpec{
+		Width: 10, Height: 10,
+		Model:        earthing.UniformSoil(0.02),
+		FaultCurrent: 100,
+		Safety:       earthing.SafetyCriteria{FaultDuration: 0.5, SoilRho: 50},
+		MinLines:     2, MaxLines: 4,
+		MaxRods:  2,
+		MinDepth: 0.5, MaxDepth: 0.7, DepthStep: 0.1,
+		VoltageRes: 2.5,
+	}
+	opt := earthing.OptimizeOptions{Starts: 2, MaxEvals: 80}
+	opt.Config.BEM.SeriesTol = 1e-2
+
+	var updates int
+	best, stats, err := earthing.OptimizeStream(context.Background(), spec, opt,
+		func(p earthing.OptimizeProgress) error { updates++; return nil },
+		earthing.WithWorkers(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best == nil || !best.Feasible || !best.Verdict.Safe() {
+		t.Fatalf("best = %+v", best)
+	}
+	if updates == 0 || stats.Evaluated == 0 {
+		t.Errorf("updates %d, stats %+v", updates, stats)
+	}
+
+	// An impossible fault current surfaces the sentinel error with the
+	// least-violating design attached.
+	spec.FaultCurrent = 1e6
+	worst, _, err := earthing.Optimize(context.Background(), spec, opt)
+	if err != earthing.ErrNoFeasibleOptimize {
+		t.Errorf("err = %v, want ErrNoFeasibleOptimize", err)
+	}
+	if worst == nil || worst.Feasible {
+		t.Errorf("worst = %+v, want infeasible design", worst)
+	}
+}
+
 func TestDesignFacade(t *testing.T) {
 	space := earthing.DesignSpace{Width: 30, Height: 30, MinLines: 3, MaxLines: 7}
 	best, trace, err := earthing.DesignSearch(space, earthing.UniformSoil(0.02),
