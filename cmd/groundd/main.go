@@ -27,11 +27,42 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"earthing/internal/cluster"
 	"earthing/internal/server"
+	"earthing/internal/store"
 )
+
+// parsePeers turns "-peers id1=http://host1,id2=http://host2" into ring
+// membership. The local node is appended automatically (with an empty URL —
+// it is never dialed) when the list does not already name it.
+func parsePeers(spec, nodeID string) ([]cluster.Member, error) {
+	var members []cluster.Member
+	self := false
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		id, url, ok := strings.Cut(part, "=")
+		if !ok || id == "" {
+			return nil, fmt.Errorf("peer %q must be id=url", part)
+		}
+		if id == nodeID {
+			self = true
+		} else if url == "" {
+			return nil, fmt.Errorf("peer %q needs a URL", id)
+		}
+		members = append(members, cluster.Member{ID: id, URL: url})
+	}
+	if !self {
+		members = append(members, cluster.Member{ID: nodeID})
+	}
+	return members, nil
+}
 
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
@@ -39,6 +70,10 @@ func main() {
 	maxConc := flag.Int("max-concurrent", 0, "concurrent scenario bound (0 = GOMAXPROCS)")
 	queue := flag.Int("queue", 0, "admission queue depth (0 = 4x max-concurrent)")
 	cache := flag.Int("cache", 64, "solved-system LRU entries (negative disables)")
+	cacheBytes := flag.Int64("cache-bytes", 0, "LRU resident-byte bound (0 = 256 MiB default, negative disables)")
+	storeDir := flag.String("store", "", "durable scenario store directory (empty disables persistence)")
+	nodeID := flag.String("node-id", "", "this node's identity on the fleet ring (requires -peers)")
+	peers := flag.String("peers", "", "fleet membership as id=url,... (requires -node-id)")
 	timeout := flag.Duration("timeout", 30*time.Second, "default per-request deadline")
 	maxTimeout := flag.Duration("max-timeout", 2*time.Minute, "largest deadline a request may ask for")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "in-flight request budget after SIGINT/SIGTERM")
@@ -59,16 +94,41 @@ func main() {
 		os.Exit(2)
 	}
 
-	srv := server.New(server.Config{
+	if (*nodeID == "") != (*peers == "") {
+		fmt.Fprintf(os.Stderr, "groundd: -node-id and -peers must be set together\n")
+		os.Exit(2)
+	}
+
+	cfg := server.Config{
 		MaxConcurrent:  *maxConc,
 		QueueDepth:     *queue,
 		DefaultTimeout: *timeout,
 		MaxTimeout:     *maxTimeout,
 		CacheEntries:   *cache,
+		CacheBytes:     *cacheBytes,
 		Workers:        *workers,
 		HealthCheck:    *healthCheck,
 		EnablePprof:    *pprofOn,
-	})
+	}
+	if *storeDir != "" {
+		st, err := store.Open(*storeDir, store.Options{})
+		if err != nil {
+			log.Fatalf("groundd: store: %v", err)
+		}
+		cfg.Store = st
+	}
+	if *nodeID != "" {
+		members, err := parsePeers(*peers, *nodeID)
+		if err != nil {
+			log.Fatalf("groundd: -peers: %v", err)
+		}
+		cfg.Fleet = &server.FleetConfig{NodeID: *nodeID, Members: members}
+	}
+
+	srv, err := server.NewFleet(cfg)
+	if err != nil {
+		log.Fatalf("groundd: %v", err)
+	}
 	srv.PublishExpvar()
 
 	mux := http.NewServeMux()

@@ -226,6 +226,18 @@ func AnalyzeMesh(ctx context.Context, m *Mesh, model SoilModel, cfg Config, opts
 	return core.AnalyzeMeshCtx(ctx, m, model, applyOptions(cfg, opts).cfg)
 }
 
+// Rehydrate rebuilds a solved Result from a previously stored unit-GPR
+// density without re-running matrix generation or the solve: only the
+// deterministic preprocessing and results stages execute, so a density
+// produced by Analyze of the same scenario yields bit-identical design
+// parameters at a tiny fraction of the cost. This is how groundd warm-starts
+// from its durable scenario store and serves entries fetched from fleet
+// peers. A density that does not match the scenario's discretization (or is
+// physically inconsistent) is rejected with an error.
+func Rehydrate(g *Grid, model SoilModel, sigma []float64, cfg Config, opts ...Option) (*Result, error) {
+	return core.Rehydrate(g, model, sigma, applyOptions(cfg, opts).cfg)
+}
+
 // AnalyzeReader parses a grid from its text format and analyzes it, with
 // the cancellation semantics of Analyze.
 func AnalyzeReader(ctx context.Context, r io.Reader, model SoilModel, cfg Config, opts ...Option) (*Result, error) {

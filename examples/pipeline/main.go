@@ -31,6 +31,7 @@ import (
 	"time"
 
 	"earthing"
+	"earthing/internal/backoff"
 	"earthing/internal/server"
 )
 
@@ -162,7 +163,7 @@ func burstAgainstGroundd() {
 // and is jittered to U[w/2, w) so a burst of clients does not retry in
 // lockstep. Any status other than 200 and 429 fails immediately.
 func postWithRetry(client *http.Client, url, body string, rng *rand.Rand, onRetry func(time.Duration)) ([]byte, error) {
-	backoff := 250 * time.Millisecond
+	policy := backoff.Default()
 	const maxAttempts = 8
 	for attempt := 1; ; attempt++ {
 		resp, err := client.Post(url, "application/json", strings.NewReader(body))
@@ -181,15 +182,17 @@ func postWithRetry(client *http.Client, url, body string, rng *rand.Rand, onRetr
 		if resp.StatusCode != http.StatusTooManyRequests || attempt == maxAttempts {
 			return nil, fmt.Errorf("%s: %s", resp.Status, bytes.TrimSpace(data))
 		}
-		wait := backoff
+		var wait time.Duration
 		if secs, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && secs > 0 {
-			wait = time.Duration(secs) * time.Second
+			// The server's hint overrides the exponential base for this
+			// attempt; the jitter still applies so a burst spreads out.
+			wait = backoff.Jitter(time.Duration(secs)*time.Second, rng)
+		} else {
+			wait = policy.Wait(attempt, rng)
 		}
-		wait = wait/2 + time.Duration(rng.Int63n(int64(wait/2)))
 		if onRetry != nil {
 			onRetry(wait)
 		}
 		time.Sleep(wait)
-		backoff *= 2
 	}
 }

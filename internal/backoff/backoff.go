@@ -1,0 +1,102 @@
+// Package backoff implements the jittered exponential retry schedule the
+// groundd ecosystem uses whenever one party must wait out another: clients
+// absorbing 429 load-shed responses (examples/pipeline) and cluster nodes
+// retrying a slow peer before falling back to a local solve
+// (internal/server fleet mode).
+//
+// The schedule doubles a base wait per attempt up to a cap, then jitters the
+// result uniformly over [w/2, w) so a burst of independent retriers does not
+// re-arrive in lockstep — the classic retry-storm failure mode. A server
+// hint (Retry-After) can override the exponential base for one attempt while
+// keeping the jitter.
+//
+// All randomness flows through an explicit *rand.Rand so tests can pin a
+// seed and assert the exact schedule; rand.Rand is not goroutine-safe, so
+// concurrent retriers each use their own (see examples/pipeline).
+package backoff
+
+import (
+	"context"
+	"math/rand"
+	"time"
+)
+
+// Policy is a jittered exponential backoff schedule. The zero value is
+// usable and equals Default().
+type Policy struct {
+	// Base is the un-jittered wait before the first retry (default 250 ms).
+	Base time.Duration
+	// Cap bounds the un-jittered wait (default 30 s).
+	Cap time.Duration
+	// Factor is the per-attempt growth (default 2).
+	Factor float64
+}
+
+// Default returns the schedule groundd components share: 250 ms base,
+// doubling, capped at 30 s.
+func Default() Policy {
+	return Policy{Base: 250 * time.Millisecond, Cap: 30 * time.Second, Factor: 2}
+}
+
+// withDefaults fills zero fields.
+func (p Policy) withDefaults() Policy {
+	if p.Base <= 0 {
+		p.Base = 250 * time.Millisecond
+	}
+	if p.Cap <= 0 {
+		p.Cap = 30 * time.Second
+	}
+	if p.Factor < 1 {
+		p.Factor = 2
+	}
+	return p
+}
+
+// Wait returns the jittered wait before retry attempt (1-based): the
+// exponential Base·Factor^(attempt-1), capped, then jittered over [w/2, w).
+// A nil rng disables jitter and returns the deterministic upper bound —
+// callers that want decorrelation must bring their own source.
+func (p Policy) Wait(attempt int, rng *rand.Rand) time.Duration {
+	p = p.withDefaults()
+	if attempt < 1 {
+		attempt = 1
+	}
+	w := float64(p.Base)
+	for i := 1; i < attempt; i++ {
+		w *= p.Factor
+		if w >= float64(p.Cap) {
+			w = float64(p.Cap)
+			break
+		}
+	}
+	if w > float64(p.Cap) {
+		w = float64(p.Cap)
+	}
+	return Jitter(time.Duration(w), rng)
+}
+
+// Jitter spreads w uniformly over [w/2, w). A nil rng or a non-positive w
+// returns w unchanged.
+func Jitter(w time.Duration, rng *rand.Rand) time.Duration {
+	if rng == nil || w <= 1 {
+		return w
+	}
+	return w/2 + time.Duration(rng.Int63n(int64(w/2)))
+}
+
+// Sleep waits for d or until ctx is done, whichever comes first, reporting
+// ctx.Err() when the context won. It replaces bare time.Sleep in retry loops
+// so a cancelled request stops waiting on a peer immediately.
+func Sleep(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}

@@ -1,0 +1,101 @@
+package backoff
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// TestWaitDeterministicSeed pins the exact schedule for a fixed seed: the
+// same Policy and seed must reproduce the same waits forever (the property
+// the chaos suites lean on to make retry timing reproducible).
+func TestWaitDeterministicSeed(t *testing.T) {
+	p := Policy{Base: 100 * time.Millisecond, Cap: time.Second, Factor: 2}
+	a := rand.New(rand.NewSource(42))
+	b := rand.New(rand.NewSource(42))
+	for attempt := 1; attempt <= 6; attempt++ {
+		wa, wb := p.Wait(attempt, a), p.Wait(attempt, b)
+		if wa != wb {
+			t.Fatalf("attempt %d: same seed diverged: %v vs %v", attempt, wa, wb)
+		}
+	}
+}
+
+// TestWaitEnvelope: every jittered wait lies in [w/2, w) of the un-jittered
+// exponential, and the exponential itself doubles up to the cap.
+func TestWaitEnvelope(t *testing.T) {
+	p := Policy{Base: 80 * time.Millisecond, Cap: 500 * time.Millisecond, Factor: 2}
+	rng := rand.New(rand.NewSource(7))
+	want := []time.Duration{
+		80 * time.Millisecond,
+		160 * time.Millisecond,
+		320 * time.Millisecond,
+		500 * time.Millisecond, // capped
+		500 * time.Millisecond,
+	}
+	for i, w := range want {
+		if got := p.Wait(i+1, nil); got != w {
+			t.Errorf("attempt %d un-jittered wait = %v, want %v", i+1, got, w)
+		}
+		for trial := 0; trial < 50; trial++ {
+			got := p.Wait(i+1, rng)
+			if got < w/2 || got >= w {
+				t.Fatalf("attempt %d jittered wait %v outside [%v, %v)", i+1, got, w/2, w)
+			}
+		}
+	}
+}
+
+// TestWaitZeroValue: the zero Policy behaves as Default().
+func TestWaitZeroValue(t *testing.T) {
+	var z Policy
+	if got, want := z.Wait(1, nil), Default().Wait(1, nil); got != want {
+		t.Errorf("zero-value Wait(1) = %v, want default %v", got, want)
+	}
+	if got := z.Wait(0, nil); got != 250*time.Millisecond {
+		t.Errorf("Wait(0) = %v, want clamped first attempt", got)
+	}
+}
+
+// TestJitterBounds: Jitter stays inside [w/2, w) and passes tiny or nil
+// inputs through unchanged.
+func TestJitterBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	w := 64 * time.Millisecond
+	for i := 0; i < 200; i++ {
+		j := Jitter(w, rng)
+		if j < w/2 || j >= w {
+			t.Fatalf("jitter %v outside [%v, %v)", j, w/2, w)
+		}
+	}
+	if got := Jitter(w, nil); got != w {
+		t.Errorf("nil rng jitter = %v, want passthrough %v", got, w)
+	}
+	if got := Jitter(1, rng); got != 1 {
+		t.Errorf("1ns jitter = %v, want passthrough", got)
+	}
+	if got := Jitter(0, rng); got != 0 {
+		t.Errorf("zero jitter = %v, want passthrough", got)
+	}
+}
+
+// TestSleepHonorsContext: a cancelled context interrupts the wait promptly
+// and surfaces the context error.
+func TestSleepHonorsContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	start := time.Now()
+	if err := Sleep(ctx, 10*time.Second); err != context.Canceled {
+		t.Fatalf("Sleep on cancelled ctx = %v, want context.Canceled", err)
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Fatalf("Sleep took %v on a cancelled context", elapsed)
+	}
+	if err := Sleep(context.Background(), time.Millisecond); err != nil {
+		t.Fatalf("Sleep(1ms) = %v, want nil", err)
+	}
+	if err := Sleep(context.Background(), 0); err != nil {
+		t.Fatalf("Sleep(0) = %v, want nil", err)
+	}
+}

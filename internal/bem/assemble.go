@@ -122,6 +122,20 @@ func NewWithGeometry(geo *Geometry, model soil.Model, opt Options) (*Assembler, 
 	return a, nil
 }
 
+// Footprint estimates the resident bytes an assembler pins beyond its mesh:
+// the quadrature geometry plus the per-layer-pair image expansions (32 B per
+// soil.Image). It is the sizing input of groundd's byte-bounded cache of
+// solved systems.
+func (a *Assembler) Footprint() int64 {
+	n := a.Geometry.Footprint() + int64(len(a.elemLayer))*8
+	for _, series := range a.groups {
+		for _, imgs := range series {
+			n += int64(len(imgs)) * 32
+		}
+	}
+	return n
+}
+
 // WorkerBusy returns the per-worker busy durations of the most recent
 // Matrix call. On a host with one free core per worker, Σbusy/max(busy)
 // approximates the achievable wall-clock speed-up; on oversubscribed hosts

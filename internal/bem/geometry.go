@@ -91,3 +91,23 @@ func NewGeometry(m *grid.Mesh, opt Options) (*Geometry, error) {
 
 // Mesh returns the discretized mesh the geometry was built from.
 func (g *Geometry) Mesh() *grid.Mesh { return g.mesh }
+
+// Footprint estimates the resident bytes of the precomputed quadrature data:
+// Gauss point positions (24 B per point), weights, shape values and reference
+// coordinates, counting the refined near-field set only when it does not
+// alias the far-field one. Used to size byte-bounded caches of solved
+// systems; an estimate, not an accounting of every allocator header.
+func (g *Geometry) Footprint() int64 {
+	var n int64
+	for _, p := range g.gpPos {
+		n += int64(len(p)) * 24
+	}
+	n += int64(len(g.gpW))*8 + int64(len(g.gpShape))*16 + int64(len(g.gpT))*8
+	if g.nearGaussOrder != g.gaussOrder {
+		for _, p := range g.gpPosN {
+			n += int64(len(p)) * 24
+		}
+		n += int64(len(g.gpWN))*8 + int64(len(g.gpShapeN))*16
+	}
+	return n
+}

@@ -1,0 +1,134 @@
+package cluster
+
+import (
+	"sync"
+	"time"
+)
+
+// BreakerState is the classic three-state circuit-breaker lifecycle.
+type BreakerState int
+
+const (
+	// BreakerClosed: the peer is trusted; requests flow.
+	BreakerClosed BreakerState = iota
+	// BreakerOpen: the peer is quarantined; requests skip it entirely and
+	// fall straight to the local solve. Only the half-open probe may test it.
+	BreakerOpen
+	// BreakerHalfOpen: one probe is in flight; its outcome decides between
+	// Closed and a fresh quarantine window.
+	BreakerHalfOpen
+)
+
+// String implements fmt.Stringer.
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half-open"
+	default:
+		return "unknown"
+	}
+}
+
+// Breaker is a per-peer circuit breaker. Consecutive failures open it;
+// a poisoned (checksum-failing) response trips it instantly via Trip; after
+// Cooldown a single half-open probe — issued by the fleet's prober
+// goroutine, not the request path — decides whether to close it again.
+// The zero value is not usable; call NewBreaker.
+type Breaker struct {
+	mu        sync.Mutex
+	state     BreakerState
+	failures  int
+	openUntil time.Time
+
+	threshold int
+	cooldown  time.Duration
+	now       func() time.Time
+}
+
+// NewBreaker builds a breaker opening after threshold consecutive failures
+// (≤ 0 selects 3) and cooling down for cooldown before the first probe
+// (≤ 0 selects 2 s). now overrides the clock for tests (nil = time.Now).
+func NewBreaker(threshold int, cooldown time.Duration, now func() time.Time) *Breaker {
+	if threshold <= 0 {
+		threshold = 3
+	}
+	if cooldown <= 0 {
+		cooldown = 2 * time.Second
+	}
+	if now == nil {
+		now = time.Now
+	}
+	return &Breaker{threshold: threshold, cooldown: cooldown, now: now}
+}
+
+// Allow reports whether the request path may use this peer: only when the
+// breaker is closed. Open and half-open peers are routed around — recovery
+// belongs to the probe, so request latency never rides on a sick peer.
+func (b *Breaker) Allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state == BreakerClosed
+}
+
+// ProbeDue reports whether a half-open probe should be sent now, and if so
+// transitions Open → HalfOpen (claiming the single probe slot).
+func (b *Breaker) ProbeDue() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state != BreakerOpen || b.now().Before(b.openUntil) {
+		return false
+	}
+	b.state = BreakerHalfOpen
+	return true
+}
+
+// Success records a working interaction: any state closes.
+func (b *Breaker) Success() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.state = BreakerClosed
+	b.failures = 0
+}
+
+// Failure records a failed interaction: enough consecutive ones (or any
+// failure while half-open) open the breaker for a fresh cooldown window.
+func (b *Breaker) Failure() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerHalfOpen:
+		b.open()
+	case BreakerClosed:
+		b.failures++
+		if b.failures >= b.threshold {
+			b.open()
+		}
+	}
+}
+
+// Trip quarantines the peer immediately, bypassing the threshold — the
+// response for a poisoned payload that failed checksum verification. A peer
+// that lies once is not owed two more chances.
+func (b *Breaker) Trip() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.open()
+}
+
+// open transitions to Open; callers hold b.mu.
+func (b *Breaker) open() {
+	b.state = BreakerOpen
+	b.failures = 0
+	b.openUntil = b.now().Add(b.cooldown)
+}
+
+// State reports the current state.
+func (b *Breaker) State() BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}

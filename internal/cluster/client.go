@@ -1,0 +1,100 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"time"
+
+	"earthing/internal/faultinject"
+)
+
+// ErrNotFound reports a clean peer miss: the owner is healthy but has not
+// solved this scenario either. Not a peer failure — no retry, no breaker
+// penalty, straight to the local solve.
+var ErrNotFound = errors.New("cluster: entry not found on peer")
+
+// maxEntryBytes bounds a peer response; anything larger than the store's
+// own frame limits is garbage by construction.
+const maxEntryBytes = 512 << 20
+
+// Client fetches store records from peer nodes over groundd's internal API.
+// The zero value uses http.DefaultClient; fleets configure their own
+// transport timeouts via HTTP.
+type Client struct {
+	// HTTP is the underlying client (nil = http.DefaultClient). Per-attempt
+	// deadlines arrive via the context, so no Timeout is needed here.
+	HTTP *http.Client
+}
+
+func (c *Client) httpClient() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return http.DefaultClient
+}
+
+// FetchEntry performs ONE attempt to fetch the encoded record for key from
+// the peer at baseURL, bounded by ctx. attempt (1-based) labels the fault
+// injection firing so chaos tests can break exactly the attempt they mean
+// to. The returned bytes are the raw frame as the owner stored it — the
+// caller decodes and checksum-verifies before trusting a byte of it.
+func (c *Client) FetchEntry(ctx context.Context, baseURL, key string, attempt int) ([]byte, error) {
+	faultinject.Fire(faultinject.ClusterPeerFetch, attempt, nil)
+	u := baseURL + "/internal/v1/entry?key=" + url.QueryEscape(key)
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: fetch %s: %w", key, err)
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: fetch %s: %w", key, err)
+	}
+	//lint:ignore errdrop the frame is checksum-verified after reading; a lossy Close cannot corrupt it undetected
+	defer resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusOK:
+	case http.StatusNotFound:
+		//lint:ignore errdrop the miss disposition is decided; the body is empty either way
+		io.Copy(io.Discard, resp.Body)
+		return nil, ErrNotFound
+	default:
+		//lint:ignore errdrop the error disposition is decided by the status alone
+		io.Copy(io.Discard, resp.Body)
+		return nil, fmt.Errorf("cluster: fetch %s: peer answered %s", key, resp.Status)
+	}
+	data, err := io.ReadAll(io.LimitReader(resp.Body, maxEntryBytes+1))
+	if err != nil {
+		return nil, fmt.Errorf("cluster: fetch %s: %w", key, err)
+	}
+	if len(data) > maxEntryBytes {
+		return nil, fmt.Errorf("cluster: fetch %s: response exceeds %d bytes", key, maxEntryBytes)
+	}
+	return data, nil
+}
+
+// Ping probes a peer's internal API liveness (the half-open breaker probe).
+// Any 200 within the deadline counts as healthy.
+func (c *Client) Ping(ctx context.Context, baseURL string, timeout time.Duration) error {
+	ctx, cancel := context.WithTimeout(ctx, timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, baseURL+"/internal/v1/ping", nil)
+	if err != nil {
+		return fmt.Errorf("cluster: ping: %w", err)
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return fmt.Errorf("cluster: ping: %w", err)
+	}
+	//lint:ignore errdrop only the status decides liveness
+	defer resp.Body.Close()
+	//lint:ignore errdrop only the status decides liveness
+	io.Copy(io.Discard, resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("cluster: ping: peer answered %s", resp.Status)
+	}
+	return nil
+}

@@ -1,0 +1,223 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+// TestRingDeterministic: two rings built from the same member set (in any
+// order) route every key identically — the property that lets each node
+// build its own ring from its own flags.
+func TestRingDeterministic(t *testing.T) {
+	a, err := NewRing([]Member{{ID: "n1"}, {ID: "n2"}, {ID: "n3"}}, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewRing([]Member{{ID: "n3"}, {ID: "n1"}, {ID: "n2"}}, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 500; i++ {
+		key := fmt.Sprintf("scenario-%x", i*2654435761)
+		if a.Owner(key) != b.Owner(key) {
+			t.Fatalf("key %q: owner %q vs %q across build orders", key, a.Owner(key), b.Owner(key))
+		}
+	}
+}
+
+// TestRingDistribution: with vnodes, ownership spreads across all members —
+// no node is starved or handed everything.
+func TestRingDistribution(t *testing.T) {
+	r, err := NewRing([]Member{{ID: "n1"}, {ID: "n2"}, {ID: "n3"}, {ID: "n4"}}, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[string]int{}
+	const n = 4000
+	for i := 0; i < n; i++ {
+		counts[r.Owner(fmt.Sprintf("key-%d", i))]++
+	}
+	for id, c := range counts {
+		if c < n/16 || c > n/2 {
+			t.Errorf("member %s owns %d of %d keys: distribution badly skewed", id, c, n)
+		}
+	}
+	if len(counts) != 4 {
+		t.Errorf("only %d members received keys, want all 4", len(counts))
+	}
+}
+
+// TestRingStabilityUnderMembershipChange: removing one of four members must
+// move only the departed member's keys (consistent hashing's whole point).
+func TestRingStabilityUnderMembershipChange(t *testing.T) {
+	full, err := NewRing([]Member{{ID: "n1"}, {ID: "n2"}, {ID: "n3"}, {ID: "n4"}}, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reduced, err := NewRing([]Member{{ID: "n1"}, {ID: "n2"}, {ID: "n3"}}, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	moved := 0
+	const n = 2000
+	for i := 0; i < n; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		before, after := full.Owner(key), reduced.Owner(key)
+		if before == "n4" {
+			continue // n4's keys must move somewhere
+		}
+		if before != after {
+			moved++
+		}
+	}
+	if moved != 0 {
+		t.Errorf("%d keys not owned by the departed member changed owner; want 0", moved)
+	}
+}
+
+// TestRingValidation: empty sets, empty IDs and duplicates are rejected.
+func TestRingValidation(t *testing.T) {
+	if _, err := NewRing(nil, 0); err == nil {
+		t.Error("empty membership accepted")
+	}
+	if _, err := NewRing([]Member{{ID: ""}}, 0); err == nil {
+		t.Error("empty member ID accepted")
+	}
+	if _, err := NewRing([]Member{{ID: "a"}, {ID: "a"}}, 0); err == nil {
+		t.Error("duplicate member ID accepted")
+	}
+}
+
+// fakeClock is a manually advanced clock for breaker tests.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+
+// TestBreakerLifecycle walks the full state machine: threshold failures
+// open, cooldown gates the probe, probe success closes, probe failure
+// re-opens, and Trip quarantines instantly.
+func TestBreakerLifecycle(t *testing.T) {
+	clock := &fakeClock{t: time.Unix(1000, 0)}
+	b := NewBreaker(3, time.Second, clock.now)
+
+	if !b.Allow() || b.State() != BreakerClosed {
+		t.Fatal("new breaker not closed")
+	}
+	b.Failure()
+	b.Failure()
+	if !b.Allow() {
+		t.Fatal("breaker opened before threshold")
+	}
+	b.Failure()
+	if b.Allow() || b.State() != BreakerOpen {
+		t.Fatal("breaker not open after threshold failures")
+	}
+	if b.ProbeDue() {
+		t.Fatal("probe due before cooldown elapsed")
+	}
+	clock.advance(time.Second + time.Millisecond)
+	if !b.ProbeDue() {
+		t.Fatal("probe not due after cooldown")
+	}
+	if b.State() != BreakerHalfOpen || b.Allow() {
+		t.Fatal("ProbeDue did not claim the half-open slot (or request path allowed)")
+	}
+	if b.ProbeDue() {
+		t.Fatal("second concurrent probe allowed")
+	}
+	// Probe fails: back to quarantine for a fresh window.
+	b.Failure()
+	if b.State() != BreakerOpen {
+		t.Fatal("failed probe did not re-open")
+	}
+	clock.advance(time.Second + time.Millisecond)
+	if !b.ProbeDue() {
+		t.Fatal("second probe not due")
+	}
+	b.Success()
+	if !b.Allow() || b.State() != BreakerClosed {
+		t.Fatal("successful probe did not close")
+	}
+
+	// A lying peer is quarantined on the spot.
+	b.Trip()
+	if b.Allow() || b.State() != BreakerOpen {
+		t.Fatal("Trip did not quarantine instantly")
+	}
+}
+
+// TestBreakerSuccessResetsFailureStreak: intermittent failures below the
+// threshold never open a breaker as long as successes land between them.
+func TestBreakerSuccessResetsFailureStreak(t *testing.T) {
+	b := NewBreaker(2, time.Second, nil)
+	for i := 0; i < 10; i++ {
+		b.Failure()
+		b.Success()
+	}
+	if !b.Allow() {
+		t.Error("breaker opened despite successes resetting the streak")
+	}
+}
+
+// TestClientFetchEntry covers the client's three dispositions: 200 with
+// bytes, 404 as the typed clean miss, and any other status as an error.
+func TestClientFetchEntry(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/internal/v1/entry" {
+			// Ping hits /internal/v1/ping; this server plays a peer that
+			// does not implement it.
+			http.Error(w, "boom", http.StatusInternalServerError)
+			return
+		}
+		switch r.URL.Query().Get("key") {
+		case "present":
+			w.Write([]byte("frame-bytes"))
+		case "missing":
+			http.NotFound(w, r)
+		default:
+			http.Error(w, "boom", http.StatusInternalServerError)
+		}
+	}))
+	defer ts.Close()
+
+	var c Client
+	data, err := c.FetchEntry(context.Background(), ts.URL, "present", 1)
+	if err != nil || string(data) != "frame-bytes" {
+		t.Fatalf("FetchEntry(present) = %q, %v", data, err)
+	}
+	if _, err := c.FetchEntry(context.Background(), ts.URL, "missing", 1); err != ErrNotFound {
+		t.Fatalf("FetchEntry(missing) = %v, want ErrNotFound", err)
+	}
+	if _, err := c.FetchEntry(context.Background(), ts.URL, "broken", 1); err == nil {
+		t.Fatal("FetchEntry on 500 did not error")
+	}
+	if err := c.Ping(context.Background(), ts.URL, time.Second); err == nil {
+		t.Fatal("Ping on a server without /internal/v1/ping did not error")
+	}
+}
+
+// TestClientFetchHonorsContext: a cancelled context aborts the attempt.
+func TestClientFetchHonorsContext(t *testing.T) {
+	blocked := make(chan struct{})
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		<-blocked
+	}))
+	defer ts.Close()
+	defer close(blocked)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	var c Client
+	if _, err := c.FetchEntry(ctx, ts.URL, "any", 1); err == nil {
+		t.Fatal("fetch against a hung peer returned without error")
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("fetch took %v; per-attempt deadline not honored", elapsed)
+	}
+}

@@ -1,0 +1,100 @@
+// Package cluster is groundd's fleet substrate: a consistent-hash ring that
+// routes content-addressed scenario keys to owner nodes, a per-peer circuit
+// breaker that quarantines dead or lying peers, and a small HTTP client that
+// fetches store records from an owner under per-attempt timeouts with one
+// jittered-backoff retry.
+//
+// Everything here is mechanism; policy (the degradation ladder peer-hit →
+// retry → local-solve) lives in internal/server, which composes these pieces
+// so a dead, slow or poisoned peer costs bounded latency, never an error.
+package cluster
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+)
+
+// Member is one node of the fleet: a stable ID (the ring hashes IDs, so
+// routing survives URL changes) and the base URL peers reach it at. The
+// local node lists itself with its own ID; its URL may be empty.
+type Member struct {
+	ID  string
+	URL string
+}
+
+// Ring is an immutable consistent-hash ring over the fleet membership.
+// Every node must build its ring from the same member-ID set (URLs may
+// differ per viewpoint) or keys will route inconsistently — harmless for
+// correctness here (a mis-route is just a cache miss) but bad for hit rate.
+type Ring struct {
+	points []ringPoint
+	vnodes int
+}
+
+type ringPoint struct {
+	hash uint64
+	id   string
+}
+
+// NewRing builds a ring with vnodes virtual points per member (≤ 0 selects
+// the default 64). Duplicate or empty member IDs are rejected.
+func NewRing(members []Member, vnodes int) (*Ring, error) {
+	if len(members) == 0 {
+		return nil, fmt.Errorf("cluster: ring needs at least one member")
+	}
+	if vnodes <= 0 {
+		vnodes = 64
+	}
+	seen := make(map[string]bool, len(members))
+	r := &Ring{vnodes: vnodes, points: make([]ringPoint, 0, len(members)*vnodes)}
+	for _, m := range members {
+		if m.ID == "" {
+			return nil, fmt.Errorf("cluster: member with empty ID")
+		}
+		if seen[m.ID] {
+			return nil, fmt.Errorf("cluster: duplicate member ID %q", m.ID)
+		}
+		seen[m.ID] = true
+		for v := 0; v < vnodes; v++ {
+			r.points = append(r.points, ringPoint{hash: hash64(fmt.Sprintf("%s#%d", m.ID, v)), id: m.ID})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		// Hash ties (astronomically rare with 64-bit FNV) break on ID so
+		// every node sorts identically.
+		return r.points[i].id < r.points[j].id
+	})
+	return r, nil
+}
+
+// Owner returns the member ID owning key: the first ring point at or after
+// the key's hash, wrapping at the top. Deterministic across processes.
+func (r *Ring) Owner(key string) string {
+	h := hash64(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0
+	}
+	return r.points[i].id
+}
+
+// hash64 is FNV-1a followed by a splitmix64 finalizer. FNV alone clusters
+// badly on short, similar strings like "n2#17", which starves members of
+// ring arc; the finalizer spreads those raw hashes uniformly while staying
+// stdlib-only and stable across releases.
+func hash64(s string) uint64 {
+	h := fnv.New64a()
+	//lint:ignore errdrop writing to a hash.Hash never fails
+	h.Write([]byte(s))
+	z := h.Sum64()
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	z ^= z >> 31
+	return z
+}

@@ -436,6 +436,64 @@ func CompleteAssembled(asm *bem.Assembler, model soil.Model, r *linalg.SymMatrix
 	return res, nil
 }
 
+// Rehydrate rebuilds a solved Result from a previously computed unit-GPR
+// density (e.g. one replayed from groundd's durable scenario store) without
+// re-running matrix generation or the solve — the two stages that are ≫ 99 %
+// of Analyze (Table 6.1). Only the deterministic preprocessing (interface
+// splitting, discretization, assembler setup) and the results stage run, so
+// for a sigma produced by Analyze of the same (g, model, cfg) scenario the
+// rebuilt Result reports bit-identical design parameters: Req and Current
+// are recomputed with exactly the expressions finishResults uses on the
+// fresh path. The density is validated against the mesh's DoF count and the
+// results stage's physicality check, so a corrupted sigma yields an error,
+// never a plausible-looking wrong answer.
+func Rehydrate(g *grid.Grid, model soil.Model, sigma []float64, cfg Config) (*Result, error) {
+	if err := validGPR(&cfg); err != nil {
+		return nil, err
+	}
+	mesh, warnings, err := BuildMesh(g, model, cfg)
+	if err != nil {
+		return nil, err
+	}
+	if len(sigma) != mesh.NumDoF {
+		return nil, fmt.Errorf("core: rehydrate: density has %d entries, mesh has %d DoF", len(sigma), mesh.NumDoF)
+	}
+	asm, err := bem.New(mesh, model, cfg.BEM)
+	if err != nil {
+		return nil, fmt.Errorf("core: preprocess: %w", err)
+	}
+	res := &Result{
+		Mesh:     mesh,
+		Model:    model,
+		Sigma:    sigma,
+		GPR:      cfg.GPR,
+		Warnings: warnings,
+		asm:      asm,
+	}
+	if err := finishResults(res, cfg.GPR); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// Footprint estimates the resident bytes a retained Result pins: the solved
+// density, the mesh (72 B per element, 24 B per node position) and the
+// assembler's precomputed quadrature and image data. An estimate for cache
+// byte-accounting, not an exact allocator census.
+func (r *Result) Footprint() int64 {
+	if r == nil {
+		return 256
+	}
+	n := int64(len(r.Sigma)) * 8
+	if r.Mesh != nil {
+		n += int64(len(r.Mesh.Elements))*72 + int64(len(r.Mesh.NodePos))*24
+	}
+	if r.asm != nil {
+		n += r.asm.Footprint()
+	}
+	return n + 256
+}
+
 // ScaledResult derives the solution for a soil model proportional to the
 // base result's (every conductivity multiplied by scale, identical layer
 // geometry) without re-assembly or re-solve: the BEM kernels scale by

@@ -75,6 +75,27 @@ const (
 	CacheGet Point = "server.cache.get"
 	// Admission fires on every server admission attempt (i = 0, data = nil).
 	Admission Point = "server.admission"
+	// StoreRead fires once per record decoded during scenario-store replay,
+	// with i = the record ordinal and data = a one-element scratch. Delay
+	// hooks open a deterministic mid-replay window for readiness tests.
+	StoreRead Point = "store.read"
+	// StoreWrite fires once per record the store's write-behind loop is
+	// about to commit, with i = the write ordinal and data = a one-element
+	// scratch: setting data[0] != 0 (e.g. PoisonNaN) simulates a failed
+	// disk write (ENOSPC), and a panicking hook is recovered and counted —
+	// either way the record survives in memory and no request is harmed.
+	StoreWrite Point = "store.write"
+	// ClusterPeerFetch fires once per peer-fetch attempt on the requesting
+	// node, with i = the attempt number (1-based) and data = a one-element
+	// scratch. Delay hooks simulate a slow peer to drive the per-attempt
+	// timeout, retry and local-solve fallback ladder.
+	ClusterPeerFetch Point = "cluster.peer.fetch"
+	// ClusterPeerRespond fires in the owning node's /internal/v1/entry
+	// handler before the encoded record goes on the wire, with i = 0 and
+	// data = a one-element scratch: setting data[0] != 0 (e.g. PoisonNaN)
+	// flips a byte of the transmitted copy, simulating a poisoned peer whose
+	// response must fail the requester's checksum verification.
+	ClusterPeerRespond Point = "cluster.peer.respond"
 )
 
 // Hook is an injected fault. i is a site-specific index (column, pair or

@@ -9,12 +9,16 @@ import (
 )
 
 // entry is one cached unit-GPR solve keyed by its canonical scenario key.
+// bytes is the Footprint estimate charged against the byte budget at insert
+// time (recomputing it at eviction would double-count a Result whose
+// assembler lazily grew post-processing state).
 type entry struct {
-	key string
-	res *earthing.Result
+	key   string
+	res   *earthing.Result
+	bytes int64
 }
 
-// lruCache is a size-bounded LRU of solved systems. A hit hands back the
+// lruCache is a bounded LRU of solved systems. A hit hands back the
 // factorized, solved *earthing.Result — everything downstream (resistance,
 // rasters, safety voltages) is pure post-processing over Sigma and the
 // assembler, so a hit skips both matrix generation and the Cholesky solve
@@ -24,30 +28,40 @@ type entry struct {
 // the imposed boundary potential (§2 of the paper), the response for any GPR
 // is the cached solution scaled — one entry serves every fault level.
 //
+// The cache is bounded two ways: by entry count and by resident bytes
+// (Result.Footprint). The byte bound is the one that matters in production —
+// a 64-entry cache of small survey grids is a few MiB while 64 interconnected
+// systems can be GiBs — and the entry bound keeps the map from growing
+// unbounded when every result is tiny.
+//
 // The cache is safe for concurrent use. Cached results are shared across
 // requests; callers must treat them as immutable (the post-processing
 // engines only read Sigma and the assembler's precomputed element data).
 type lruCache struct {
-	mu    sync.Mutex
-	max   int
-	order *list.List // front = most recently used; values are *entry
-	items map[string]*list.Element
+	mu         sync.Mutex
+	maxEntries int
+	maxBytes   int64
+	resident   int64
+	order      *list.List // front = most recently used; values are *entry
+	items      map[string]*list.Element
 }
 
-// newLRUCache returns a cache bounded to max entries (max ≤ 0 disables
-// caching: every get misses and put is a no-op).
-func newLRUCache(max int) *lruCache {
+// newLRUCache returns a cache bounded to maxEntries entries (maxEntries ≤ 0
+// disables caching: every get misses and put is a no-op) and maxBytes
+// resident bytes (maxBytes ≤ 0 leaves the byte bound off).
+func newLRUCache(maxEntries int, maxBytes int64) *lruCache {
 	return &lruCache{
-		max:   max,
-		order: list.New(),
-		items: make(map[string]*list.Element),
+		maxEntries: maxEntries,
+		maxBytes:   maxBytes,
+		order:      list.New(),
+		items:      make(map[string]*list.Element),
 	}
 }
 
 // get returns the cached result for key, promoting it to most recently used.
 func (c *lruCache) get(key string) (*earthing.Result, bool) {
 	faultinject.Fire(faultinject.CacheGet, 0, nil)
-	if c.max <= 0 {
+	if c.maxEntries <= 0 {
 		return nil, false
 	}
 	c.mu.Lock()
@@ -60,24 +74,36 @@ func (c *lruCache) get(key string) (*earthing.Result, bool) {
 	return el.Value.(*entry).res, true
 }
 
-// put inserts (or refreshes) key, evicting the least recently used entry
-// when over capacity.
+// put inserts (or refreshes) key, evicting least recently used entries while
+// either bound is exceeded. A single result larger than the whole byte budget
+// is not cached at all — admitting it would evict everything else and then
+// thrash.
 func (c *lruCache) put(key string, res *earthing.Result) {
-	if c.max <= 0 {
+	if c.maxEntries <= 0 {
+		return
+	}
+	fp := res.Footprint()
+	if c.maxBytes > 0 && fp > c.maxBytes {
 		return
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if el, ok := c.items[key]; ok {
-		el.Value.(*entry).res = res
+		e := el.Value.(*entry)
+		c.resident += fp - e.bytes
+		e.res, e.bytes = res, fp
 		c.order.MoveToFront(el)
-		return
+	} else {
+		c.items[key] = c.order.PushFront(&entry{key: key, res: res, bytes: fp})
+		c.resident += fp
 	}
-	c.items[key] = c.order.PushFront(&entry{key: key, res: res})
-	for c.order.Len() > c.max {
+	for c.order.Len() > 1 &&
+		(c.order.Len() > c.maxEntries || (c.maxBytes > 0 && c.resident > c.maxBytes)) {
 		tail := c.order.Back()
+		e := tail.Value.(*entry)
 		c.order.Remove(tail)
-		delete(c.items, tail.Value.(*entry).key)
+		delete(c.items, e.key)
+		c.resident -= e.bytes
 	}
 }
 
@@ -86,4 +112,11 @@ func (c *lruCache) len() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.order.Len()
+}
+
+// bytes reports the resident-byte estimate currently charged to the cache.
+func (c *lruCache) bytes() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.resident
 }

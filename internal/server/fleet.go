@@ -1,0 +1,421 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"sync"
+	"time"
+
+	"earthing"
+	"earthing/internal/backoff"
+	"earthing/internal/cluster"
+	"earthing/internal/faultinject"
+	"earthing/internal/grid"
+	"earthing/internal/store"
+)
+
+// FleetConfig enables groundd's cluster mode: a consistent-hash ring over the
+// fleet membership routes every scenario key to an owner node, and a local
+// miss asks the owner for its stored solution before paying for a solve. The
+// whole mechanism is an optimization tier — every failure mode (dead peer,
+// slow peer, poisoned peer, missing entry) degrades to the local solve the
+// node would have done alone, within the PeerDeadline bound.
+type FleetConfig struct {
+	// NodeID is this node's stable identity on the ring.
+	NodeID string
+	// Members is the full fleet membership, including the local node. Every
+	// node must be configured with the same ID set (URLs may differ per
+	// viewpoint); remote members need a reachable base URL.
+	Members []cluster.Member
+	// FetchTimeout bounds ONE peer-fetch attempt (default 500 ms).
+	FetchTimeout time.Duration
+	// PeerDeadline bounds the whole peer interaction — attempts plus the
+	// backoff between them — before the node gives up and solves locally
+	// (default 1.5 s).
+	PeerDeadline time.Duration
+	// RetryBase is the un-jittered backoff before the single retry
+	// (default 100 ms).
+	RetryBase time.Duration
+	// ProbeInterval is the cadence of the breaker prober goroutine
+	// (default 500 ms).
+	ProbeInterval time.Duration
+	// BreakerThreshold and BreakerCooldown tune the per-peer circuit breaker
+	// (defaults 3 consecutive failures, 2 s quarantine before a half-open
+	// probe).
+	BreakerThreshold int
+	BreakerCooldown  time.Duration
+	// VNodes is the virtual-node count per member (default 64).
+	VNodes int
+}
+
+func (c FleetConfig) withDefaults() FleetConfig {
+	if c.FetchTimeout <= 0 {
+		c.FetchTimeout = 500 * time.Millisecond
+	}
+	if c.PeerDeadline <= 0 {
+		c.PeerDeadline = 1500 * time.Millisecond
+	}
+	if c.RetryBase <= 0 {
+		c.RetryBase = 100 * time.Millisecond
+	}
+	if c.ProbeInterval <= 0 {
+		c.ProbeInterval = 500 * time.Millisecond
+	}
+	return c
+}
+
+// peer is one remote fleet member plus its circuit breaker.
+type peer struct {
+	member  cluster.Member
+	breaker *cluster.Breaker
+}
+
+// fleet is the runtime state of cluster mode: the ring, the remote peers and
+// the HTTP client they are fetched through.
+type fleet struct {
+	cfg    FleetConfig
+	ring   *cluster.Ring
+	peers  map[string]*peer
+	client cluster.Client
+
+	// rng decorrelates retry backoff across nodes; rand.Rand is not
+	// goroutine-safe, so it hides behind its own mutex.
+	rngMu sync.Mutex
+	rng   *rand.Rand
+}
+
+// newFleet validates the membership and builds the ring and breakers.
+func newFleet(cfg FleetConfig) (*fleet, error) {
+	cfg = cfg.withDefaults()
+	if cfg.NodeID == "" {
+		return nil, fmt.Errorf("fleet: NodeID must be set")
+	}
+	ring, err := cluster.NewRing(cfg.Members, cfg.VNodes)
+	if err != nil {
+		return nil, fmt.Errorf("fleet: %w", err)
+	}
+	f := &fleet{
+		cfg:    cfg,
+		ring:   ring,
+		peers:  make(map[string]*peer),
+		client: cluster.Client{HTTP: &http.Client{}},
+		rng:    rand.New(rand.NewSource(time.Now().UnixNano())),
+	}
+	self := false
+	for _, m := range cfg.Members {
+		if m.ID == cfg.NodeID {
+			self = true
+			continue
+		}
+		if m.URL == "" {
+			return nil, fmt.Errorf("fleet: peer %q needs a URL", m.ID)
+		}
+		f.peers[m.ID] = &peer{
+			member:  m,
+			breaker: cluster.NewBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown, nil),
+		}
+	}
+	if !self {
+		return nil, fmt.Errorf("fleet: members must include the local node %q", cfg.NodeID)
+	}
+	return f, nil
+}
+
+// jitter spreads w over [w/2, w) with the fleet's private rng.
+func (f *fleet) jitter(w time.Duration) time.Duration {
+	f.rngMu.Lock()
+	defer f.rngMu.Unlock()
+	return backoff.Jitter(w, f.rng)
+}
+
+// openBreakers counts peers currently quarantined (open or probing).
+func (f *fleet) openBreakers() int64 {
+	var n int64
+	for _, p := range f.peers {
+		if p.breaker.State() != cluster.BreakerClosed {
+			n++
+		}
+	}
+	return n
+}
+
+// --- internal peer API ---
+
+// handleInternalEntry serves the encoded store frame for a scenario key to a
+// fleet peer. 404 is the clean "never solved it" miss; 503 means the node is
+// still replaying its snapshot (the requester treats it as a failure and
+// falls back to solving locally). The frame goes on the wire exactly as it
+// was encoded at append time, so the CRC computed then is the CRC the
+// requester verifies — a flipped byte anywhere along the path is detected.
+func (s *Server) handleInternalEntry(w http.ResponseWriter, r *http.Request) {
+	if !s.replayDone() {
+		http.Error(w, "replaying", http.StatusServiceUnavailable)
+		return
+	}
+	key := r.URL.Query().Get("key")
+	if key == "" {
+		http.Error(w, "missing key", http.StatusBadRequest)
+		return
+	}
+	frame, ok := s.encodedEntry(key)
+	if !ok {
+		http.NotFound(w, r)
+		return
+	}
+	scratch := []float64{0}
+	faultinject.Fire(faultinject.ClusterPeerRespond, 0, scratch)
+	if scratch[0] != 0 {
+		// Poisoned-peer injection: flip one byte of a COPY so the shared
+		// frame stays intact and the requester's checksum must fail.
+		poisoned := append([]byte(nil), frame...)
+		poisoned[len(poisoned)/2] ^= 0x40
+		frame = poisoned
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	//lint:ignore errdrop a failed write to a peer is the peer's timeout to handle
+	w.Write(frame)
+}
+
+// encodedEntry finds the wire frame for key: the store's own frame when one
+// exists, otherwise a frame encoded fresh from the LRU (fleet mode without a
+// store still serves peers from memory).
+func (s *Server) encodedEntry(key string) ([]byte, bool) {
+	if s.store != nil {
+		if frame, ok := s.store.EncodedLookup(key); ok {
+			return frame, true
+		}
+	}
+	if res, ok := s.cache.get(key); ok {
+		enc, err := store.Encode(nil, store.Record{Key: key, Sigma: res.Sigma})
+		if err == nil {
+			return enc, true
+		}
+	}
+	return nil, false
+}
+
+// handleInternalPing answers the breaker's half-open probe: 200 only when the
+// node is ready to serve entry fetches.
+func (s *Server) handleInternalPing(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if !s.replayDone() || s.draining.Load() {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		//lint:ignore errdrop a failed probe write has no one left to report to
+		fmt.Fprintln(w, "not ready")
+		return
+	}
+	//lint:ignore errdrop a failed probe write has no one left to report to
+	fmt.Fprintln(w, "ok")
+}
+
+// --- degradation ladder: peer tier ---
+
+// peerGet walks the peer rungs of the degradation ladder for key: route to
+// the ring owner, fetch under a per-attempt timeout, retry once after a
+// jittered backoff, verify the checksum, and give up at the PeerDeadline.
+// false always means "solve locally" — a sick fleet costs bounded latency,
+// never an error.
+func (s *Server) peerGet(ctx context.Context, key string) (store.Record, bool) {
+	f := s.fleet
+	owner := f.ring.Owner(key)
+	if owner == f.cfg.NodeID {
+		// This node IS the authority for the key; a local miss means nobody
+		// has it.
+		return store.Record{}, false
+	}
+	p := f.peers[owner]
+	if p == nil || !p.breaker.Allow() {
+		// Quarantined owner: route around it. Recovery belongs to the prober.
+		s.metrics.PeerFallbacks.Add(1)
+		return store.Record{}, false
+	}
+	ctx, cancel := context.WithTimeout(ctx, f.cfg.PeerDeadline)
+	defer cancel()
+	for attempt := 1; attempt <= 2; attempt++ {
+		actx, acancel := context.WithTimeout(ctx, f.cfg.FetchTimeout)
+		data, err := f.client.FetchEntry(actx, p.member.URL, key, attempt)
+		acancel()
+		if err == nil {
+			rec, _, derr := store.Decode(data)
+			if derr != nil || rec.Key != key {
+				// The owner answered 200 with bytes that fail the append-time
+				// checksum (or carry the wrong key): it is lying or sick in a
+				// way retries cannot fix. Quarantine on the spot.
+				p.breaker.Trip()
+				s.metrics.PeerPoisoned.Add(1)
+				s.metrics.PeerFallbacks.Add(1)
+				return store.Record{}, false
+			}
+			p.breaker.Success()
+			s.metrics.PeerHits.Add(1)
+			return rec, true
+		}
+		if errors.Is(err, cluster.ErrNotFound) {
+			// Clean miss: the owner is healthy, the entry just does not exist.
+			// Not a failure — no retry, no breaker penalty.
+			p.breaker.Success()
+			return store.Record{}, false
+		}
+		p.breaker.Failure()
+		if attempt == 1 {
+			if backoff.Sleep(ctx, f.jitter(f.cfg.RetryBase)) != nil {
+				break // deadline consumed the backoff window
+			}
+			if !p.breaker.Allow() {
+				break // the failure streak crossed the threshold while we slept
+			}
+		}
+	}
+	s.metrics.PeerFallbacks.Add(1)
+	return store.Record{}, false
+}
+
+// probeLoop is the breaker-recovery goroutine: every ProbeInterval it pings
+// quarantined peers whose cooldown has elapsed, closing their breakers on
+// success. Recovery lives here — never on the request path — so request
+// latency never rides on a sick peer. Runs until s.stop closes.
+func (s *Server) probeLoop() {
+	t := time.NewTicker(s.fleet.cfg.ProbeInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case <-t.C:
+		}
+		for _, p := range s.fleet.peers {
+			if !p.breaker.ProbeDue() {
+				continue
+			}
+			//lint:ignore ctxflow the probe belongs to the server lifecycle, not to any request
+			if err := s.fleet.client.Ping(context.Background(), p.member.URL, s.fleet.cfg.FetchTimeout); err != nil {
+				p.breaker.Failure()
+			} else {
+				p.breaker.Success()
+			}
+		}
+	}
+}
+
+// --- degradation ladder: store tier ---
+
+// storeMeta is the JSON sidecar persisted with every record: enough to
+// rebuild (grid, soil, discretization) offline and re-derive the scenario
+// key, making each record self-describing for tooling and audit.
+type storeMeta struct {
+	Grid        string   `json:"grid"`
+	Soil        SoilSpec `json:"soil"`
+	MaxElemLen  float64  `json:"maxElemLen,omitempty"`
+	RodElements int      `json:"rodElements,omitempty"`
+	SeriesTol   float64  `json:"seriesTol,omitempty"`
+}
+
+// rehydrate rebuilds the solved Result for b from a stored unit-GPR density:
+// deterministic preprocessing plus the results stage, no assembly, no solve.
+// A density that fails validation (wrong DoF count, non-physical current)
+// reports false and the caller falls through to the solve rung.
+func (s *Server) rehydrate(b *built, sigma []float64) (*earthing.Result, bool) {
+	res, err := earthing.Rehydrate(b.grid, b.model, sigma, b.cfg)
+	if err != nil {
+		return nil, false
+	}
+	return res, true
+}
+
+// storeGet consults the durable tier for b's scenario.
+func (s *Server) storeGet(b *built) (*earthing.Result, bool) {
+	if s.store == nil {
+		return nil, false
+	}
+	rec, ok := s.store.Lookup(b.key)
+	if !ok {
+		return nil, false
+	}
+	res, ok := s.rehydrate(b, rec.Sigma)
+	if ok {
+		s.metrics.StoreHits.Add(1)
+	}
+	return res, ok
+}
+
+// storePut snapshots a freshly solved unit-GPR result into the durable
+// store. The append is write-behind: the index insert is synchronous and
+// cheap, the disk write happens on the store's own goroutine, so the request
+// path never blocks on disk.
+func (s *Server) storePut(b *built, res *earthing.Result) {
+	if s.store == nil {
+		return
+	}
+	var buf bytes.Buffer
+	if err := grid.Write(&buf, b.grid); err != nil {
+		return
+	}
+	meta, err := json.Marshal(storeMeta{
+		Grid:        buf.String(),
+		Soil:        b.soil,
+		MaxElemLen:  b.cfg.MaxElemLen,
+		RodElements: b.cfg.RodElements,
+		SeriesTol:   b.cfg.BEM.SeriesTol,
+	})
+	if err != nil {
+		return
+	}
+	//lint:ignore errdrop the store is an optimization tier; a failed append only costs a future cache miss
+	s.store.Append(store.Record{Key: b.key, Meta: meta, Sigma: res.Sigma})
+}
+
+// tierGet consults the tiers below the LRU — durable store, then ring owner —
+// after an LRU miss, promoting any hit into the LRU (and, for peer hits,
+// replicating the record into the local store so the next restart warm-starts
+// with it). The returned tier labels the serve for the response header.
+func (s *Server) tierGet(ctx context.Context, b *built) (*earthing.Result, string, bool) {
+	if r, ok := s.storeGet(b); ok {
+		s.cache.put(b.key, r)
+		return r, tierStore, true
+	}
+	if s.fleet != nil {
+		if rec, ok := s.peerGet(ctx, b.key); ok {
+			if r, ok := s.rehydrate(b, rec.Sigma); ok {
+				s.cache.put(b.key, r)
+				if s.store != nil {
+					//lint:ignore errdrop replication is best-effort; the result is already in hand
+					s.store.Append(rec)
+				}
+				return r, tierPeer, true
+			}
+		}
+	}
+	return nil, "", false
+}
+
+// replayDone reports whether snapshot replay has completed (immediately true
+// when the server has no store).
+func (s *Server) replayDone() bool {
+	select {
+	case <-s.replayReady:
+		return true
+	default:
+		return false
+	}
+}
+
+// Close stops the server's background machinery: the breaker prober, the
+// snapshot replay goroutine and the store's write-behind loop (flushing
+// queued appends). Idempotent; the HTTP side is expected to be drained
+// already (see RunUntilSignal).
+func (s *Server) Close() error {
+	var err error
+	s.closeOnce.Do(func() {
+		close(s.stop)
+		s.bg.Wait()
+		if s.store != nil {
+			err = s.store.Close()
+		}
+	})
+	return err
+}

@@ -52,6 +52,12 @@ func RunUntilSignal(s *Server, handler http.Handler, ln net.Listener, sig <-chan
 	if err := <-serveErr; !errors.Is(err, http.ErrServerClosed) {
 		return fmt.Errorf("groundd: serve: %w", err)
 	}
+	// With no requests left, stop the background goroutines and flush the
+	// durable store's write-behind queue so the next boot warm-starts from a
+	// complete snapshot.
+	if err := s.Close(); err != nil {
+		return fmt.Errorf("groundd: close: %w", err)
+	}
 	logf("groundd: drained cleanly")
 	return nil
 }

@@ -29,10 +29,22 @@ type Metrics struct {
 
 	// Cache accounting. Assemblies counts full pipeline runs (matrix
 	// generation + factorization); on a pure cache hit it does not move —
-	// the acceptance check for "cache hit performs no assembly".
+	// the acceptance check for "cache hit performs no assembly". CacheHits
+	// and CacheMisses are LRU-level; the tiers below it count separately.
 	CacheHits   atomic.Int64
 	CacheMisses atomic.Int64
 	Assemblies  atomic.Int64
+
+	// Degradation-ladder accounting. StoreHits counts scenarios rehydrated
+	// from the durable store (no assembly, no solve); PeerHits those served
+	// by the ring owner; PeerFallbacks scenarios that wanted a peer but
+	// ended in a local solve (dead, slow, quarantined or poisoned owner);
+	// PeerPoisoned the subset whose response failed checksum verification
+	// and tripped the owner's breaker.
+	StoreHits     atomic.Int64
+	PeerHits      atomic.Int64
+	PeerFallbacks atomic.Int64
+	PeerPoisoned  atomic.Int64
 
 	// Load-shedding outcomes.
 	RejectedQueueFull atomic.Int64 // 429: admission queue at capacity
@@ -71,7 +83,17 @@ type Snapshot struct {
 	CacheHits          int64 `json:"cacheHits"`
 	CacheMisses        int64 `json:"cacheMisses"`
 	CacheEntries       int   `json:"cacheEntries"`
+	CacheBytes         int64 `json:"cacheBytes"`
 	Assemblies         int64 `json:"assemblies"`
+	StoreHits          int64 `json:"storeHits"`
+	StoreRecords       int64 `json:"storeRecords"`
+	StoreSkipped       int64 `json:"storeSkippedRecords"`
+	StoreDropped       int64 `json:"storeDroppedWrites"`
+	StoreWriteErrors   int64 `json:"storeWriteErrors"`
+	PeerHits           int64 `json:"peerHits"`
+	PeerFallbacks      int64 `json:"peerFallbacks"`
+	PeerPoisoned       int64 `json:"peerPoisoned"`
+	BreakerOpen        int64 `json:"breakerOpen"`
 	RejectedQueueFull  int64 `json:"rejectedQueueFull"`
 	DeadlineExceeded   int64 `json:"deadlineExceeded"`
 	ClientCancelled    int64 `json:"clientCancelled"`
@@ -98,6 +120,10 @@ func (m *Metrics) snapshot(cacheEntries int) Snapshot {
 		CacheMisses:        m.CacheMisses.Load(),
 		CacheEntries:       cacheEntries,
 		Assemblies:         m.Assemblies.Load(),
+		StoreHits:          m.StoreHits.Load(),
+		PeerHits:           m.PeerHits.Load(),
+		PeerFallbacks:      m.PeerFallbacks.Load(),
+		PeerPoisoned:       m.PeerPoisoned.Load(),
 		RejectedQueueFull:  m.RejectedQueueFull.Load(),
 		DeadlineExceeded:   m.DeadlineExceeded.Load(),
 		ClientCancelled:    m.ClientCancelled.Load(),
@@ -109,6 +135,25 @@ func (m *Metrics) snapshot(cacheEntries int) Snapshot {
 		AssembleNanos:      m.AssembleNanos.Load(),
 		PostNanos:          m.PostNanos.Load(),
 	}
+}
+
+// snapshot assembles the full observability view: the atomic counters plus
+// live gauges from the cache, the durable store (when configured) and the
+// fleet's circuit breakers (when clustered).
+func (s *Server) snapshot() Snapshot {
+	snap := s.metrics.snapshot(s.cache.len())
+	snap.CacheBytes = s.cache.bytes()
+	if s.store != nil {
+		st := s.store.Stats()
+		snap.StoreRecords = int64(st.Records)
+		snap.StoreSkipped = st.SkippedRecords
+		snap.StoreDropped = st.DroppedWrites
+		snap.StoreWriteErrors = st.WriteErrors
+	}
+	if s.fleet != nil {
+		snap.BreakerOpen = s.fleet.openBreakers()
+	}
+	return snap
 }
 
 // PublishExpvar exposes the server's counters under the "groundd" expvar map
@@ -140,5 +185,22 @@ func (s *Server) PublishExpvar() {
 	pub("busyWorkers", s.metrics.BusyWorkers.Load)
 	pub("assembleNanos", s.metrics.AssembleNanos.Load)
 	pub("postNanos", s.metrics.PostNanos.Load)
+	pub("storeHits", s.metrics.StoreHits.Load)
+	pub("peerHits", s.metrics.PeerHits.Load)
+	pub("peerFallbacks", s.metrics.PeerFallbacks.Load)
+	pub("peerPoisoned", s.metrics.PeerPoisoned.Load)
 	m.Set("cacheEntries", expvar.Func(func() any { return s.cache.len() }))
+	m.Set("cacheBytes", expvar.Func(func() any { return s.cache.bytes() }))
+	m.Set("storeSkippedRecords", expvar.Func(func() any {
+		if s.store == nil {
+			return int64(0)
+		}
+		return s.store.Stats().SkippedRecords
+	}))
+	m.Set("breakerOpen", expvar.Func(func() any {
+		if s.fleet == nil {
+			return 0
+		}
+		return s.fleet.openBreakers()
+	}))
 }

@@ -100,10 +100,13 @@ type Scenario struct {
 	Schedule string `json:"schedule,omitempty"`
 }
 
-// built is a validated, constructed scenario ready to solve.
+// built is a validated, constructed scenario ready to solve. soil keeps the
+// validated spec so the durable store can persist a rehydratable description
+// of the scenario alongside the solution vector.
 type built struct {
 	grid  *earthing.Grid
 	model earthing.SoilModel
+	soil  SoilSpec
 	cfg   earthing.Config
 	gpr   float64
 	key   string
@@ -308,6 +311,7 @@ func (sc Scenario) build(defaultWorkers int) (*built, error) {
 	return &built{
 		grid:  g,
 		model: model,
+		soil:  sc.Soil,
 		cfg:   cfg,
 		gpr:   gpr,
 		key:   scenarioKey(g, sc.Soil, sc.MaxElemLen, sc.RodElements, cfg.BEM.SeriesTol),

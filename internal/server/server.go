@@ -10,6 +10,7 @@ import (
 	"net/http/pprof"
 	"runtime"
 	"strconv"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -17,6 +18,7 @@ import (
 	"earthing/internal/core"
 	"earthing/internal/faultinject"
 	"earthing/internal/sched"
+	"earthing/internal/store"
 )
 
 // StatusClientClosedRequest is the (de facto standard) status for requests
@@ -43,6 +45,12 @@ type Config struct {
 	// CacheEntries bounds the LRU of solved systems (default 64; negative
 	// disables caching).
 	CacheEntries int
+	// CacheBytes bounds the LRU by the resident-byte estimate of its results
+	// (Result.Footprint): a 64-entry cache of survey grids is a few MiB while
+	// 64 interconnected systems can be GiBs, so bytes — not entries — is the
+	// bound that protects the process. Default 256 MiB; negative disables the
+	// byte bound (entry bound still applies).
+	CacheBytes int64
 	// Workers is the parallel width for scenarios that do not set one
 	// (default GOMAXPROCS).
 	Workers int
@@ -52,6 +60,14 @@ type Config struct {
 	HealthCheck bool
 	// EnablePprof mounts net/http/pprof under /debug/pprof/.
 	EnablePprof bool
+	// Store, when non-nil, is the durable scenario store: solved unit-GPR
+	// densities are appended write-behind and replayed on the next start, so
+	// a redeploy warm-starts instead of re-solving its whole working set.
+	// The server owns the store from here on and closes it in Close.
+	Store *store.Store
+	// Fleet, when non-nil, enables cluster mode: scenario keys route to ring
+	// owners and local misses ask the owner before solving (see FleetConfig).
+	Fleet *FleetConfig
 }
 
 func (c Config) withDefaults() Config {
@@ -70,6 +86,9 @@ func (c Config) withDefaults() Config {
 	if c.CacheEntries == 0 {
 		c.CacheEntries = 64
 	}
+	if c.CacheBytes == 0 {
+		c.CacheBytes = 256 << 20
+	}
 	return c
 }
 
@@ -86,16 +105,52 @@ type Server struct {
 	// draining flips when shutdown starts: /readyz turns 503 and new work
 	// is refused while in-flight requests finish (see RunUntilSignal).
 	draining atomic.Bool
+
+	// Fleet-mode state (see fleet.go): the durable store, the ring/peer
+	// machinery, and the lifecycle plumbing of their background goroutines.
+	store *store.Store
+	fleet *fleet
+	// replayReady closes when snapshot replay finishes (immediately when
+	// there is no store); /readyz and the internal peer API gate on it.
+	replayReady chan struct{}
+	stop        chan struct{}
+	bg          sync.WaitGroup
+	closeOnce   sync.Once
 }
 
-// New constructs a Server.
+// New constructs a Server. It panics on an invalid fleet membership — fleet
+// deployments (cmd/groundd) use NewFleet, which reports the error instead.
 func New(cfg Config) *Server {
+	s, err := NewFleet(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// NewFleet constructs a Server, validating the fleet membership when cluster
+// mode is configured.
+func NewFleet(cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
+	cacheBytes := cfg.CacheBytes
+	if cacheBytes < 0 {
+		cacheBytes = 0
+	}
 	s := &Server{
-		cfg:   cfg,
-		cache: newLRUCache(cfg.CacheEntries),
-		slots: make(chan struct{}, cfg.MaxConcurrent),
-		mux:   http.NewServeMux(),
+		cfg:         cfg,
+		cache:       newLRUCache(cfg.CacheEntries, cacheBytes),
+		slots:       make(chan struct{}, cfg.MaxConcurrent),
+		mux:         http.NewServeMux(),
+		store:       cfg.Store,
+		replayReady: make(chan struct{}),
+		stop:        make(chan struct{}),
+	}
+	if cfg.Fleet != nil {
+		f, err := newFleet(*cfg.Fleet)
+		if err != nil {
+			return nil, err
+		}
+		s.fleet = f
 	}
 	s.mux.HandleFunc("POST /v1/solve", s.handleSolve)
 	s.mux.HandleFunc("POST /v1/sweep", s.handleSweep)
@@ -119,9 +174,20 @@ func New(cfg Config) *Server {
 			fmt.Fprintln(w, "draining")
 			return
 		}
+		// A node still replaying its snapshot must not receive traffic: its
+		// warm-start working set is incomplete, so it would cold-solve
+		// scenarios it is about to learn it already knows.
+		if !s.replayDone() {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			//lint:ignore errdrop a failed readiness-probe write has no one left to report to
+			fmt.Fprintln(w, "replaying")
+			return
+		}
 		//lint:ignore errdrop a failed readiness-probe write has no one left to report to
 		fmt.Fprintln(w, "ok")
 	})
+	s.mux.HandleFunc("GET /internal/v1/entry", s.handleInternalEntry)
+	s.mux.HandleFunc("GET /internal/v1/ping", s.handleInternalPing)
 	if cfg.EnablePprof {
 		s.mux.HandleFunc("/debug/pprof/", pprof.Index)
 		s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -129,7 +195,28 @@ func New(cfg Config) *Server {
 		s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 		s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	}
-	return s
+	if s.store != nil {
+		s.bg.Add(1)
+		go func() {
+			defer s.bg.Done()
+			defer close(s.replayReady)
+			// Replay errors only surface directory-level I/O failures; data
+			// damage is absorbed into the skipped-records counter, which
+			// /v1/stats exposes.
+			//lint:ignore errdrop replay failure leaves an empty (valid) index; the stats counters carry the evidence
+			s.store.Replay()
+		}()
+	} else {
+		close(s.replayReady)
+	}
+	if s.fleet != nil {
+		s.bg.Add(1)
+		go func() {
+			defer s.bg.Done()
+			s.probeLoop()
+		}()
+	}
+	return s, nil
 }
 
 // ServeHTTP implements http.Handler. It is the last line of panic defence:
@@ -234,17 +321,29 @@ func (s *Server) writeError(w http.ResponseWriter, he *httpError) {
 	json.NewEncoder(w).Encode(he.errorBody())
 }
 
-// writeJSON emits a 200 with v as the body and the cache disposition in a
-// header. The disposition deliberately travels out-of-band: response BODIES
-// are bit-identical between cache hits and fresh solves, which is the
-// determinism contract the test suite pins down.
-func (s *Server) writeJSON(w http.ResponseWriter, cacheHit bool, v any) {
+// Cache tiers of the degradation ladder, most to least preferred. tierSolve
+// is the floor every other tier degrades to.
+const (
+	tierLRU   = "lru"   // resident solved system
+	tierStore = "store" // rehydrated from the durable snapshot
+	tierPeer  = "peer"  // fetched from the ring owner, checksum-verified
+	tierSolve = "solve" // full pipeline run
+)
+
+// writeJSON emits a 200 with v as the body and the cache disposition in
+// headers: X-Groundd-Cache is hit/miss as always, X-Groundd-Cache-Tier names
+// the ladder rung that served it. The disposition deliberately travels
+// out-of-band: response BODIES are bit-identical between cache hits and fresh
+// solves — on any tier, on any node — which is the determinism contract the
+// test suite pins down.
+func (s *Server) writeJSON(w http.ResponseWriter, tier string, v any) {
 	w.Header().Set("Content-Type", "application/json")
-	if cacheHit {
+	if tier != tierSolve {
 		w.Header().Set("X-Groundd-Cache", "hit")
 	} else {
 		w.Header().Set("X-Groundd-Cache", "miss")
 	}
+	w.Header().Set("X-Groundd-Cache-Tier", tier)
 	//lint:ignore errdrop encode-to-client failure means the client is gone; nothing to do
 	json.NewEncoder(w).Encode(v)
 }
@@ -359,30 +458,34 @@ func (s *Server) mapSolveErr(err error) *httpError {
 	return &httpError{status: http.StatusUnprocessableEntity, msg: err.Error()}
 }
 
-// solved obtains the unit-GPR solution for a scenario: from the cache when
-// present, otherwise by admitting the request to a slot and running the full
-// pipeline. On the miss path the slot is HELD when solved returns, so the
-// caller's post-processing runs under the same admission token; on a hit the
-// returned release is a no-op (cached post-processing for /v1/solve is a few
-// arithmetic operations). needSlot forces slot acquisition even on a hit,
-// for endpoints whose post-processing is itself a parallel field evaluation.
-func (s *Server) solved(ctx context.Context, b *built, needSlot bool) (res *earthing.Result, hit bool, release func(), herr *httpError) {
+// solved obtains the unit-GPR solution for a scenario by walking the
+// degradation ladder: the resident LRU, the durable store, the ring owner
+// (fleet mode), and finally the full pipeline. The returned tier names the
+// rung that served it. On the solve path the slot is HELD when solved
+// returns, so the caller's post-processing runs under the same admission
+// token; on an LRU hit the returned release is a no-op (cached
+// post-processing for /v1/solve is a few arithmetic operations). The store
+// and peer rungs rehydrate under the slot too — rebuilding an assembler is
+// preprocessing-weight work, far cheaper than a solve but not free. needSlot
+// forces slot acquisition even on a hit, for endpoints whose post-processing
+// is itself a parallel field evaluation.
+func (s *Server) solved(ctx context.Context, b *built, needSlot bool) (res *earthing.Result, tier string, release func(), herr *httpError) {
 	noop := func() {}
 	if r, ok := s.cache.get(b.key); ok {
 		s.metrics.CacheHits.Add(1)
 		if !needSlot {
-			return r, true, noop, nil
+			return r, tierLRU, noop, nil
 		}
 		rel, herr := s.acquire(ctx)
 		if herr != nil {
-			return nil, true, noop, herr
+			return nil, tierLRU, noop, herr
 		}
-		return r, true, rel, nil
+		return r, tierLRU, rel, nil
 	}
 	s.metrics.CacheMisses.Add(1)
 	rel, herr := s.acquire(ctx)
 	if herr != nil {
-		return nil, false, noop, herr
+		return nil, tierSolve, noop, herr
 	}
 	// Double-check: another request may have solved this scenario while we
 	// queued for the slot.
@@ -390,9 +493,16 @@ func (s *Server) solved(ctx context.Context, b *built, needSlot bool) (res *eart
 		s.metrics.CacheHits.Add(1)
 		if !needSlot {
 			rel()
-			return r, true, noop, nil
+			return r, tierLRU, noop, nil
 		}
-		return r, true, rel, nil
+		return r, tierLRU, rel, nil
+	}
+	if r, t, ok := s.tierGet(ctx, b); ok {
+		if !needSlot {
+			rel()
+			return r, t, noop, nil
+		}
+		return r, t, rel, nil
 	}
 	start := time.Now()
 	b.cfg.HealthCheck = s.cfg.HealthCheck
@@ -400,14 +510,15 @@ func (s *Server) solved(ctx context.Context, b *built, needSlot bool) (res *eart
 	if err != nil {
 		rel()
 		if ctx.Err() != nil {
-			return nil, false, noop, s.mapCtxErr(ctx.Err())
+			return nil, tierSolve, noop, s.mapCtxErr(ctx.Err())
 		}
-		return nil, false, noop, s.mapSolveErr(err)
+		return nil, tierSolve, noop, s.mapSolveErr(err)
 	}
 	s.metrics.Assemblies.Add(1)
 	s.metrics.AssembleNanos.Add(int64(time.Since(start)))
 	s.cache.put(b.key, r)
-	return r, false, rel, nil
+	s.storePut(b, r)
+	return r, tierSolve, rel, nil
 }
 
 // --- /v1/solve ---
@@ -462,13 +573,13 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer cancel()
-	res, hit, release, herr := s.solved(ctx, b, false)
+	res, tier, release, herr := s.solved(ctx, b, false)
 	if herr != nil {
 		s.writeError(w, herr)
 		return
 	}
 	defer release()
-	s.writeJSON(w, hit, SolveResponse{
+	s.writeJSON(w, tier, SolveResponse{
 		Key:         b.key,
 		GPR:         b.gpr,
 		ReqOhms:     res.Req,
@@ -546,7 +657,7 @@ func (s *Server) handleRaster(w http.ResponseWriter, r *http.Request) {
 	defer cancel()
 	// Raster evaluation is a parallel field sweep comparable in weight to a
 	// small assembly, so even cache hits hold a slot.
-	res, hit, release, herr := s.solved(ctx, b, true)
+	res, tier, release, herr := s.solved(ctx, b, true)
 	if herr != nil {
 		s.writeError(w, herr)
 		return
@@ -574,7 +685,7 @@ func (s *Server) handleRaster(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.metrics.PostNanos.Add(int64(time.Since(start)))
-	s.writeJSON(w, hit, RasterResponse{
+	s.writeJSON(w, tier, RasterResponse{
 		Key: b.key, Kind: kind, GPR: b.gpr,
 		X0: raster.X0, Y0: raster.Y0, DX: raster.DX, DY: raster.DY,
 		NX: raster.NX, NY: raster.NY, V: raster.V,
@@ -670,7 +781,7 @@ func (s *Server) handleSafety(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer cancel()
-	res, hit, release, herr := s.solved(ctx, b, true)
+	res, tier, release, herr := s.solved(ctx, b, true)
 	if herr != nil {
 		s.writeError(w, herr)
 		return
@@ -692,7 +803,7 @@ func (s *Server) handleSafety(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.metrics.PostNanos.Add(int64(time.Since(start)))
-	s.writeJSON(w, hit, SafetyResponse{
+	s.writeJSON(w, tier, SafetyResponse{
 		Key: b.key, GPR: b.gpr,
 		StepV: volt.MaxStep, TouchV: volt.MaxTouch, MeshV: volt.MaxMesh,
 		StepLimitV: verdict.StepLimit, TouchLimitV: verdict.TouchLimit,
@@ -706,5 +817,5 @@ func (s *Server) handleSafety(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
 	//lint:ignore errdrop encode-to-client failure means the client is gone; nothing to do
-	json.NewEncoder(w).Encode(s.metrics.snapshot(s.cache.len()))
+	json.NewEncoder(w).Encode(s.snapshot())
 }

@@ -515,7 +515,7 @@ func TestRoutes(t *testing.T) {
 
 // TestLRUEviction: the cache is size-bounded; the oldest system leaves.
 func TestLRUEviction(t *testing.T) {
-	c := newLRUCache(2)
+	c := newLRUCache(2, 0)
 	c.put("a", nil)
 	c.put("b", nil)
 	if _, ok := c.get("a"); !ok {

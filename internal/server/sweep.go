@@ -150,19 +150,27 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	flusher, _ := w.(http.Flusher)
 	sw := &sweepWriter{w: w, f: flusher}
 
-	// Partition against the system cache (after acquiring the slot, so a
-	// concurrent request that just solved a shared system is visible). Hits
-	// stream immediately; the rest go to the sweep engine.
+	// Partition against the degradation ladder (after acquiring the slot, so
+	// a concurrent request that just solved a shared system is visible). LRU
+	// hits and store/peer rehydrations stream immediately as "hit" lines —
+	// the body is bit-identical regardless of which tier served it, and the
+	// serving tier is visible in the metrics — while the rest go to the
+	// sweep engine.
 	var missIdx []int
 	for i, b := range builts {
-		if res, ok := s.cache.get(b.key); ok {
+		res, ok := s.cache.get(b.key)
+		if ok {
 			s.metrics.CacheHits.Add(1)
+		} else {
+			s.metrics.CacheMisses.Add(1)
+			res, _, ok = s.tierGet(ctx, b)
+		}
+		if ok {
 			if err := sw.emit(s.sweepLine(i, req.Scenarios[i].ID, b, res, "hit", nil)); err != nil {
 				return // client gone; nothing to report to
 			}
 			continue
 		}
-		s.metrics.CacheMisses.Add(1)
 		missIdx = append(missIdx, i)
 	}
 	if len(missIdx) == 0 {
@@ -205,6 +213,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 			// cached: the cache only ever serves bit-reproducible solutions.
 			if unit, err := sr.Res.WithGPR(1); err == nil {
 				s.cache.put(b.key, unit)
+				s.storePut(b, unit)
 			}
 		}
 		return sw.emit(s.sweepLine(i, sr.ID, b, sr.Res, string(sr.Reuse), &sr))

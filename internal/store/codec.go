@@ -1,0 +1,134 @@
+package store
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"math"
+)
+
+// Record is one durable scenario entry: the content-addressed key the server
+// derived from the scenario inputs, an opaque metadata blob (the server
+// stores the canonical grid text, soil spec and discretization knobs — what
+// it needs to rebuild mesh and assembler), and the solved unit-GPR leakage
+// density. Sigma is stored bit-exactly (raw IEEE-754 little-endian), which
+// is what makes a warm-started response byte-identical to the original.
+type Record struct {
+	Key   string
+	Meta  []byte
+	Sigma []float64
+}
+
+// Frame layout, little-endian:
+//
+//	u32 payloadLen | u32 crc32c(payload) | payload
+//	payload = u16 keyLen | key | u32 metaLen | meta | u32 nSigma | nSigma × f64
+//
+// The CRC is computed over the payload only; a truncated or bit-flipped
+// record fails structurally or on the checksum, never by panicking, so a
+// damaged segment tail degrades to "skip and count" on replay.
+const (
+	frameHeaderLen = 8
+	maxKeyLen      = 1 << 10
+	maxMetaLen     = 16 << 20
+	maxSigmaLen    = 1 << 26 // 64 Mi entries ≈ 512 MiB, far above any real system
+)
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// ErrCorrupt reports a record that failed structural validation or its
+// checksum. Callers distinguish it from io errors to drive the
+// skip-and-count replay policy and the poisoned-peer quarantine.
+var ErrCorrupt = errors.New("store: corrupt record")
+
+// ErrShort reports a frame whose declared payload extends past the available
+// bytes — the signature of a torn tail write.
+var ErrShort = errors.New("store: truncated record")
+
+// EncodedLen returns the full frame size of r.
+func EncodedLen(r Record) int {
+	return frameHeaderLen + payloadLen(r)
+}
+
+func payloadLen(r Record) int {
+	return 2 + len(r.Key) + 4 + len(r.Meta) + 4 + 8*len(r.Sigma)
+}
+
+// Encode appends the framed record to dst and returns the extended slice.
+// It fails only on out-of-range field sizes, which indicate a caller bug.
+func Encode(dst []byte, r Record) ([]byte, error) {
+	if len(r.Key) == 0 || len(r.Key) > maxKeyLen {
+		return dst, fmt.Errorf("store: key length %d out of range (0, %d]", len(r.Key), maxKeyLen)
+	}
+	if len(r.Meta) > maxMetaLen {
+		return dst, fmt.Errorf("store: meta length %d exceeds %d", len(r.Meta), maxMetaLen)
+	}
+	if len(r.Sigma) > maxSigmaLen {
+		return dst, fmt.Errorf("store: sigma length %d exceeds %d", len(r.Sigma), maxSigmaLen)
+	}
+	plen := payloadLen(r)
+	start := len(dst)
+	dst = append(dst, make([]byte, frameHeaderLen+plen)...)
+	p := dst[start+frameHeaderLen:]
+	binary.LittleEndian.PutUint16(p, uint16(len(r.Key)))
+	copy(p[2:], r.Key)
+	off := 2 + len(r.Key)
+	binary.LittleEndian.PutUint32(p[off:], uint32(len(r.Meta)))
+	copy(p[off+4:], r.Meta)
+	off += 4 + len(r.Meta)
+	binary.LittleEndian.PutUint32(p[off:], uint32(len(r.Sigma)))
+	off += 4
+	for _, v := range r.Sigma {
+		binary.LittleEndian.PutUint64(p[off:], math.Float64bits(v))
+		off += 8
+	}
+	binary.LittleEndian.PutUint32(dst[start:], uint32(plen))
+	binary.LittleEndian.PutUint32(dst[start+4:], crc32.Checksum(p, crcTable))
+	return dst, nil
+}
+
+// Decode reads one framed record from the front of b, returning the record
+// and the number of bytes consumed. A frame extending past b returns
+// ErrShort; any structural or checksum mismatch returns ErrCorrupt. Decode
+// never panics on hostile input (FuzzStoreDecode pins this).
+func Decode(b []byte) (Record, int, error) {
+	var r Record
+	if len(b) < frameHeaderLen {
+		return r, 0, ErrShort
+	}
+	plen := int(binary.LittleEndian.Uint32(b))
+	if plen < 2+4+4 || plen > frameHeaderLen+maxKeyLen+maxMetaLen+8*maxSigmaLen {
+		return r, 0, fmt.Errorf("%w: implausible payload length %d", ErrCorrupt, plen)
+	}
+	if len(b) < frameHeaderLen+plen {
+		return r, 0, ErrShort
+	}
+	p := b[frameHeaderLen : frameHeaderLen+plen]
+	if got, want := crc32.Checksum(p, crcTable), binary.LittleEndian.Uint32(b[4:]); got != want {
+		return r, 0, fmt.Errorf("%w: checksum %08x, want %08x", ErrCorrupt, got, want)
+	}
+	keyLen := int(binary.LittleEndian.Uint16(p))
+	if keyLen == 0 || keyLen > maxKeyLen || 2+keyLen+4 > plen {
+		return r, 0, fmt.Errorf("%w: key length %d", ErrCorrupt, keyLen)
+	}
+	r.Key = string(p[2 : 2+keyLen])
+	off := 2 + keyLen
+	metaLen := int(binary.LittleEndian.Uint32(p[off:]))
+	if metaLen > maxMetaLen || off+4+metaLen+4 > plen {
+		return r, 0, fmt.Errorf("%w: meta length %d", ErrCorrupt, metaLen)
+	}
+	r.Meta = append([]byte(nil), p[off+4:off+4+metaLen]...)
+	off += 4 + metaLen
+	nSigma := int(binary.LittleEndian.Uint32(p[off:]))
+	off += 4
+	if nSigma > maxSigmaLen || off+8*nSigma != plen {
+		return r, 0, fmt.Errorf("%w: sigma length %d does not fill payload", ErrCorrupt, nSigma)
+	}
+	r.Sigma = make([]float64, nSigma)
+	for i := range r.Sigma {
+		r.Sigma[i] = math.Float64frombits(binary.LittleEndian.Uint64(p[off:]))
+		off += 8
+	}
+	return r, frameHeaderLen + plen, nil
+}

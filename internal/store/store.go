@@ -1,0 +1,407 @@
+// Package store is groundd's durable scenario store: a content-addressed,
+// append-only snapshot of solved unit-GPR systems keyed by the server's
+// SHA-256 scenario keys. The paper's economics motivate it directly — matrix
+// generation dominates a request (~99.9 %, Table 6.1), so the most expensive
+// thing a redeploy can do is forget solves it already paid for. With the
+// store, a restarted node replays its snapshot index and serves repeat
+// scenarios as cache hits instead of cold-starting.
+//
+// Design:
+//
+//   - Records are CRC-framed (codec.go) and appended to numbered segment
+//     files. A segment is never modified after rotation, and every process
+//     start opens a fresh segment, so pre-existing data is read-only.
+//   - Replay is skip-and-count: a truncated or bit-flipped tail aborts that
+//     segment with the SkippedRecords counter bumped — never a panic, never
+//     a failed startup. Durability is a cache property here, not a ledger
+//     property; correctness always has the local solve to fall back on.
+//   - Writes are write-behind: Append inserts into the in-memory index
+//     synchronously (so peers and later requests see it immediately) and
+//     queues the disk append to a single writer goroutine. The hot path
+//     never blocks on disk; a full queue drops the disk copy and counts it.
+//
+// Fault injection: the write loop fires faultinject.StoreWrite per record
+// (poison ⇒ simulated disk-full, panic ⇒ recovered and counted) and Replay
+// fires faultinject.StoreRead per decoded record (delay ⇒ a deterministic
+// mid-replay window for readiness tests).
+package store
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"earthing/internal/faultinject"
+)
+
+// segment file naming and header.
+const (
+	segPrefix = "seg-"
+	segSuffix = ".log"
+)
+
+var segMagic = []byte("GDSTOR1\n")
+
+// Options tunes a Store. The zero value rotates segments at 64 MiB with a
+// 256-record write-behind queue.
+type Options struct {
+	// MaxSegmentBytes rotates the active segment when it would exceed this
+	// size (default 64 MiB).
+	MaxSegmentBytes int64
+	// QueueDepth bounds the write-behind queue (default 256); beyond it the
+	// disk copy of an append is dropped and counted, never blocked on.
+	QueueDepth int
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxSegmentBytes <= 0 {
+		o.MaxSegmentBytes = 64 << 20
+	}
+	if o.QueueDepth <= 0 {
+		o.QueueDepth = 256
+	}
+	return o
+}
+
+// Stats is a point-in-time snapshot of the store's counters.
+type Stats struct {
+	// Records is the in-memory index size (replayed + appended this run).
+	Records int
+	// SkippedRecords counts corrupt or truncated tail events replay skipped.
+	SkippedRecords int64
+	// DroppedWrites counts appends whose disk copy was dropped because the
+	// write-behind queue was full.
+	DroppedWrites int64
+	// WriteErrors counts disk appends that failed (or were failed by fault
+	// injection); the record survives in memory only.
+	WriteErrors int64
+	// Appends counts records accepted into the index this run.
+	Appends int64
+}
+
+// Store is a durable scenario store. Create with Open, load pre-existing
+// segments with Replay, and Close when done. All methods are safe for
+// concurrent use.
+type Store struct {
+	dir string
+	opt Options
+
+	mu    sync.RWMutex
+	index map[string][]byte // key → encoded frame, immutable once inserted
+
+	// replayFiles is the read-only segment set found at Open, consumed by
+	// Replay exactly once.
+	replayFiles []string
+	replayOnce  sync.Once
+
+	// Writer state, owned by the write-behind goroutine after Open.
+	active     *os.File
+	activeSize int64
+	activeSeq  int
+
+	queue   chan []byte
+	flushCh chan chan struct{}
+	done    chan struct{}
+	wg      sync.WaitGroup
+
+	skipped   atomic.Int64
+	dropped   atomic.Int64
+	writeErrs atomic.Int64
+	appends   atomic.Int64
+}
+
+// Open prepares the store directory: existing segments are recorded for
+// Replay (not read yet), a fresh segment is created for this run's appends —
+// a prior torn tail can therefore never corrupt new data — and the
+// write-behind goroutine starts. Open is cheap; the disk scan happens in
+// Replay so servers can gate readiness on it explicitly.
+func Open(dir string, opt Options) (*Store, error) {
+	opt = opt.withDefaults()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: open %s: %w", dir, err)
+	}
+	names, err := filepath.Glob(filepath.Join(dir, segPrefix+"*"+segSuffix))
+	if err != nil {
+		return nil, fmt.Errorf("store: list segments: %w", err)
+	}
+	sort.Strings(names)
+	maxSeq := 0
+	for _, n := range names {
+		var seq int
+		if _, err := fmt.Sscanf(filepath.Base(n), segPrefix+"%06d"+segSuffix, &seq); err == nil && seq > maxSeq {
+			maxSeq = seq
+		}
+	}
+	s := &Store{
+		dir:         dir,
+		opt:         opt,
+		index:       make(map[string][]byte),
+		replayFiles: names,
+		activeSeq:   maxSeq,
+		queue:       make(chan []byte, opt.QueueDepth),
+		flushCh:     make(chan chan struct{}),
+		done:        make(chan struct{}),
+	}
+	if err := s.rotate(); err != nil {
+		return nil, err
+	}
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		s.writeLoop()
+	}()
+	return s, nil
+}
+
+// rotate atomically creates the next segment (header written and synced
+// under a temp name, then renamed into place) and makes it the active one.
+// Called by Open and then only by the writer goroutine.
+func (s *Store) rotate() error {
+	if s.active != nil {
+		//lint:ignore errdrop best-effort sync of a finished segment; replay tolerates a torn tail
+		s.active.Sync()
+		//lint:ignore errdrop the handle is abandoned either way
+		s.active.Close()
+	}
+	s.activeSeq++
+	final := filepath.Join(s.dir, fmt.Sprintf("%s%06d%s", segPrefix, s.activeSeq, segSuffix))
+	tmp := final + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: create segment: %w", err)
+	}
+	if _, err := f.Write(segMagic); err != nil {
+		//lint:ignore errdrop the create already failed; report that
+		f.Close()
+		return fmt.Errorf("store: write segment header: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		//lint:ignore errdrop the sync already failed; report that
+		f.Close()
+		return fmt.Errorf("store: sync segment header: %w", err)
+	}
+	if err := os.Rename(tmp, final); err != nil {
+		//lint:ignore errdrop the rename already failed; report that
+		f.Close()
+		return fmt.Errorf("store: publish segment: %w", err)
+	}
+	s.active = f
+	s.activeSize = int64(len(segMagic))
+	return nil
+}
+
+// Replay scans the segments that existed at Open into the index, skipping
+// and counting corrupt or truncated tails. Records appended after Open win
+// over replayed ones (they are newer). Replay returns only directory-level
+// I/O failures; data damage is always absorbed into SkippedRecords. It runs
+// at most once.
+func (s *Store) Replay() error {
+	var err error
+	s.replayOnce.Do(func() { err = s.replay() })
+	return err
+}
+
+func (s *Store) replay() error {
+	ord := 0
+	scratch := make([]float64, 1)
+	for _, name := range s.replayFiles {
+		data, err := os.ReadFile(name)
+		if err != nil {
+			return fmt.Errorf("store: replay %s: %w", name, err)
+		}
+		if len(data) == 0 {
+			// A segment created but never written (crash between create and
+			// header sync): nothing in it to skip.
+			continue
+		}
+		if !bytes.HasPrefix(data, segMagic) {
+			s.skipped.Add(1)
+			continue
+		}
+		rest := data[len(segMagic):]
+		off := 0
+		for off < len(rest) {
+			rec, n, derr := Decode(rest[off:])
+			if derr != nil {
+				// Torn or corrupted tail: everything from here on in this
+				// segment is untrustworthy. Skip it, count it, move on.
+				s.skipped.Add(1)
+				break
+			}
+			frame := append([]byte(nil), rest[off:off+n]...)
+			off += n
+			scratch[0] = 0
+			faultinject.Fire(faultinject.StoreRead, ord, scratch)
+			ord++
+			s.mu.Lock()
+			if _, ok := s.index[rec.Key]; !ok {
+				s.index[rec.Key] = frame
+			}
+			s.mu.Unlock()
+		}
+	}
+	return nil
+}
+
+// Lookup decodes the stored record for key, if present.
+func (s *Store) Lookup(key string) (Record, bool) {
+	enc, ok := s.EncodedLookup(key)
+	if !ok {
+		return Record{}, false
+	}
+	rec, _, err := Decode(enc)
+	if err != nil {
+		// An index entry is written by Encode and never mutated; a decode
+		// failure here means memory corruption — treat as absent.
+		return Record{}, false
+	}
+	return rec, true
+}
+
+// EncodedLookup returns the encoded frame for key. The returned slice is the
+// store's own copy and must not be mutated; it is what peer handlers put on
+// the wire, so the CRC computed at append time travels end-to-end.
+func (s *Store) EncodedLookup(key string) ([]byte, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	enc, ok := s.index[key]
+	return enc, ok
+}
+
+// Len reports the index size.
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.index)
+}
+
+// Append accepts a record: it is inserted into the in-memory index
+// synchronously (deduplicated on key — the key is content-addressed, so a
+// duplicate is byte-identical by construction) and its disk append is queued
+// to the write-behind goroutine. Append never blocks on disk; when the queue
+// is full the disk copy is dropped and counted.
+func (s *Store) Append(rec Record) error {
+	enc, err := Encode(nil, rec)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	if _, ok := s.index[rec.Key]; ok {
+		s.mu.Unlock()
+		return nil
+	}
+	s.index[rec.Key] = enc
+	s.mu.Unlock()
+	s.appends.Add(1)
+	select {
+	case s.queue <- enc:
+	default:
+		s.dropped.Add(1)
+	}
+	return nil
+}
+
+// Flush blocks until every append queued so far has been handed to the
+// filesystem (a test and shutdown aid; production writes stay behind).
+func (s *Store) Flush() {
+	ack := make(chan struct{})
+	select {
+	case s.flushCh <- ack:
+		<-ack
+	case <-s.done:
+	}
+}
+
+// Close drains the queue, syncs and closes the active segment, and stops the
+// writer goroutine. The store must not be used afterwards.
+func (s *Store) Close() error {
+	select {
+	case <-s.done:
+		return nil
+	default:
+	}
+	close(s.done)
+	s.wg.Wait()
+	if err := s.active.Sync(); err != nil {
+		//lint:ignore errdrop close still has to run; the sync error wins
+		s.active.Close()
+		return fmt.Errorf("store: close: %w", err)
+	}
+	return s.active.Close()
+}
+
+// Stats snapshots the counters.
+func (s *Store) Stats() Stats {
+	return Stats{
+		Records:        s.Len(),
+		SkippedRecords: s.skipped.Load(),
+		DroppedWrites:  s.dropped.Load(),
+		WriteErrors:    s.writeErrs.Load(),
+		Appends:        s.appends.Load(),
+	}
+}
+
+// writeLoop is the write-behind goroutine: it owns the active segment and
+// serializes all disk appends, so the request path never touches a file.
+func (s *Store) writeLoop() {
+	ord := 0
+	for {
+		select {
+		case enc := <-s.queue:
+			s.writeFrame(enc, &ord)
+		case ack := <-s.flushCh:
+			s.drainQueue(&ord)
+			close(ack)
+		case <-s.done:
+			s.drainQueue(&ord)
+			return
+		}
+	}
+}
+
+// drainQueue writes everything currently queued without blocking.
+func (s *Store) drainQueue(ord *int) {
+	for {
+		select {
+		case enc := <-s.queue:
+			s.writeFrame(enc, ord)
+		default:
+			return
+		}
+	}
+}
+
+// writeFrame appends one encoded record to the active segment, rotating
+// first when it would overflow. Failures — real ENOSPC, an injected poison,
+// even an injected panic — are absorbed into WriteErrors: a lost disk copy
+// costs warm-start coverage, never a request.
+func (s *Store) writeFrame(enc []byte, ord *int) {
+	defer func() {
+		if v := recover(); v != nil {
+			s.writeErrs.Add(1)
+		}
+	}()
+	scratch := []float64{0}
+	faultinject.Fire(faultinject.StoreWrite, *ord, scratch)
+	*ord++
+	if scratch[0] != 0 {
+		// Injected disk-full: behave exactly as a failed write would.
+		s.writeErrs.Add(1)
+		return
+	}
+	if s.activeSize+int64(len(enc)) > s.opt.MaxSegmentBytes && s.activeSize > int64(len(segMagic)) {
+		if err := s.rotate(); err != nil {
+			s.writeErrs.Add(1)
+			return
+		}
+	}
+	n, err := s.active.Write(enc)
+	s.activeSize += int64(n)
+	if err != nil {
+		s.writeErrs.Add(1)
+	}
+}

@@ -1,0 +1,364 @@
+package store
+
+import (
+	"bytes"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"earthing/internal/faultinject"
+)
+
+func resetFaults(t *testing.T) {
+	t.Helper()
+	t.Cleanup(faultinject.Reset)
+}
+
+func testRecord(key string, n int) Record {
+	sigma := make([]float64, n)
+	for i := range sigma {
+		sigma[i] = 1.5*float64(i) + 0.125
+	}
+	return Record{Key: key, Meta: []byte(`{"grid":"demo"}`), Sigma: sigma}
+}
+
+// TestCodecRoundTrip: Encode → Decode reproduces the record bit-exactly,
+// including non-finite and denormal sigma values.
+func TestCodecRoundTrip(t *testing.T) {
+	rec := Record{
+		Key:  "abcdef0123456789",
+		Meta: []byte("meta blob"),
+		Sigma: []float64{
+			0, 1, -1, math.Pi, math.Inf(1), math.Inf(-1), math.NaN(),
+			math.SmallestNonzeroFloat64, -math.MaxFloat64,
+		},
+	}
+	enc, err := Encode(nil, rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(enc) != EncodedLen(rec) {
+		t.Errorf("encoded length %d, want %d", len(enc), EncodedLen(rec))
+	}
+	got, n, err := Decode(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(enc) {
+		t.Errorf("consumed %d bytes, want %d", n, len(enc))
+	}
+	if got.Key != rec.Key || !bytes.Equal(got.Meta, rec.Meta) {
+		t.Errorf("key/meta mismatch: %+v", got)
+	}
+	if len(got.Sigma) != len(rec.Sigma) {
+		t.Fatalf("sigma length %d, want %d", len(got.Sigma), len(rec.Sigma))
+	}
+	for i := range rec.Sigma {
+		if math.Float64bits(got.Sigma[i]) != math.Float64bits(rec.Sigma[i]) {
+			t.Errorf("sigma[%d] = %x, want %x (bit-exact)", i,
+				math.Float64bits(got.Sigma[i]), math.Float64bits(rec.Sigma[i]))
+		}
+	}
+}
+
+// TestAppendFlushReplay: records appended in one store generation are
+// replayed by the next, bit-exactly, and dedup keeps a repeated key single.
+func TestAppendFlushReplay(t *testing.T) {
+	resetFaults(t)
+	dir := t.TempDir()
+	s, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Replay(); err != nil {
+		t.Fatal(err)
+	}
+	r1, r2 := testRecord("key-1", 8), testRecord("key-2", 3)
+	for _, r := range []Record{r1, r2, r1} { // the duplicate must not double up
+		if err := s.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Flush()
+	if st := s.Stats(); st.Records != 2 || st.Appends != 2 || st.WriteErrors != 0 {
+		t.Errorf("stats after append = %+v, want 2 records / 2 appends", st)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if err := s2.Replay(); err != nil {
+		t.Fatal(err)
+	}
+	if st := s2.Stats(); st.Records != 2 || st.SkippedRecords != 0 {
+		t.Errorf("stats after replay = %+v, want 2 records / 0 skipped", st)
+	}
+	got, ok := s2.Lookup("key-1")
+	if !ok {
+		t.Fatal("key-1 missing after replay")
+	}
+	for i := range r1.Sigma {
+		if math.Float64bits(got.Sigma[i]) != math.Float64bits(r1.Sigma[i]) {
+			t.Fatalf("replayed sigma[%d] differs", i)
+		}
+	}
+	if _, ok := s2.Lookup("key-2"); !ok {
+		t.Error("key-2 missing after replay")
+	}
+	if _, ok := s2.Lookup("absent"); ok {
+		t.Error("lookup of absent key reported present")
+	}
+}
+
+// TestSegmentRotation: a tiny segment cap forces rotation; every record
+// still replays and old segments are left untouched.
+func TestSegmentRotation(t *testing.T) {
+	resetFaults(t)
+	dir := t.TempDir()
+	s, err := Open(dir, Options{MaxSegmentBytes: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 10
+	for i := 0; i < n; i++ {
+		if err := s.Append(testRecord(string(rune('a'+i))+"-key", 6)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Flush()
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	segs, _ := filepath.Glob(filepath.Join(dir, segPrefix+"*"+segSuffix))
+	if len(segs) < 3 {
+		t.Fatalf("got %d segments, want rotation to have produced several", len(segs))
+	}
+
+	s2, err := Open(dir, Options{MaxSegmentBytes: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if err := s2.Replay(); err != nil {
+		t.Fatal(err)
+	}
+	if got := s2.Len(); got != n {
+		t.Errorf("replayed %d records across segments, want %d", got, n)
+	}
+}
+
+// corruptStore writes a one-record store to dir and then applies damage.
+func corruptStore(t *testing.T, dir string, damage func(t *testing.T, seg string)) {
+	t.Helper()
+	s, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Append(testRecord("victim", 12)); err != nil {
+		t.Fatal(err)
+	}
+	s.Flush()
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	segs, _ := filepath.Glob(filepath.Join(dir, segPrefix+"*"+segSuffix))
+	if len(segs) == 0 {
+		t.Fatal("no segment written")
+	}
+	damage(t, segs[len(segs)-1])
+}
+
+// TestReplayCorruption is the corruption table: truncated tail, bit-flipped
+// checksum and a zero-length segment each warm-start cleanly — skipped
+// records counted where there was something to skip, never a panic.
+func TestReplayCorruption(t *testing.T) {
+	cases := []struct {
+		name        string
+		damage      func(t *testing.T, seg string)
+		wantRecords int
+		wantSkipped int64
+	}{
+		{
+			name: "truncated tail",
+			damage: func(t *testing.T, seg string) {
+				data, err := os.ReadFile(seg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(seg, data[:len(data)-5], 0o644); err != nil {
+					t.Fatal(err)
+				}
+			},
+			wantRecords: 0, wantSkipped: 1,
+		},
+		{
+			name: "bit-flipped checksum",
+			damage: func(t *testing.T, seg string) {
+				data, err := os.ReadFile(seg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				data[len(data)-1] ^= 0x01 // flip a payload bit; CRC now disagrees
+				if err := os.WriteFile(seg, data, 0o644); err != nil {
+					t.Fatal(err)
+				}
+			},
+			wantRecords: 0, wantSkipped: 1,
+		},
+		{
+			name: "zero-length segment",
+			damage: func(t *testing.T, seg string) {
+				if err := os.WriteFile(seg, nil, 0o644); err != nil {
+					t.Fatal(err)
+				}
+			},
+			wantRecords: 0, wantSkipped: 0,
+		},
+		{
+			name: "garbage header",
+			damage: func(t *testing.T, seg string) {
+				if err := os.WriteFile(seg, []byte("not a segment at all"), 0o644); err != nil {
+					t.Fatal(err)
+				}
+			},
+			wantRecords: 0, wantSkipped: 1,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			resetFaults(t)
+			dir := t.TempDir()
+			corruptStore(t, dir, tc.damage)
+			s, err := Open(dir, Options{})
+			if err != nil {
+				t.Fatalf("warm start after %s: %v", tc.name, err)
+			}
+			defer s.Close()
+			if err := s.Replay(); err != nil {
+				t.Fatalf("replay after %s: %v", tc.name, err)
+			}
+			st := s.Stats()
+			if st.Records != tc.wantRecords || st.SkippedRecords != tc.wantSkipped {
+				t.Errorf("stats = %+v, want %d records / %d skipped",
+					st, tc.wantRecords, tc.wantSkipped)
+			}
+			// The store keeps working after damage: a fresh append survives.
+			if err := s.Append(testRecord("fresh", 4)); err != nil {
+				t.Fatal(err)
+			}
+			s.Flush()
+			if _, ok := s.Lookup("fresh"); !ok {
+				t.Error("append after corrupt replay not visible")
+			}
+		})
+	}
+}
+
+// TestReplayCorruptTailKeepsPrefix: damage mid-segment loses the tail but
+// keeps every record before it.
+func TestReplayCorruptTailKeepsPrefix(t *testing.T) {
+	resetFaults(t)
+	dir := t.TempDir()
+	s, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []string{"first", "second", "third"} {
+		if err := s.Append(testRecord(k, 5)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Flush()
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	segs, _ := filepath.Glob(filepath.Join(dir, segPrefix+"*"+segSuffix))
+	data, err := os.ReadFile(segs[len(segs)-1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cut into the last record's frame.
+	if err := os.WriteFile(segs[len(segs)-1], data[:len(data)-10], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if err := s2.Replay(); err != nil {
+		t.Fatal(err)
+	}
+	st := s2.Stats()
+	if st.Records != 2 || st.SkippedRecords != 1 {
+		t.Errorf("stats = %+v, want the 2 intact records and 1 skipped tail", st)
+	}
+	for _, k := range []string{"first", "second"} {
+		if _, ok := s2.Lookup(k); !ok {
+			t.Errorf("intact record %q lost with the tail", k)
+		}
+	}
+}
+
+// TestWriteFaultInjection: a poisoned store.write (simulated ENOSPC) and a
+// panicking one are both absorbed into WriteErrors; the in-memory index
+// keeps serving and later writes proceed.
+func TestWriteFaultInjection(t *testing.T) {
+	resetFaults(t)
+	dir := t.TempDir()
+	s, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	restore := faultinject.Set(faultinject.StoreWrite, faultinject.PoisonNaN())
+	if err := s.Append(testRecord("poisoned-write", 4)); err != nil {
+		t.Fatal(err)
+	}
+	s.Flush()
+	restore()
+	if st := s.Stats(); st.WriteErrors != 1 {
+		t.Errorf("writeErrors = %d after poisoned write, want 1", st.WriteErrors)
+	}
+	if _, ok := s.Lookup("poisoned-write"); !ok {
+		t.Error("record lost from memory index on disk-full")
+	}
+
+	restore = faultinject.Set(faultinject.StoreWrite, faultinject.Once(faultinject.Panic("disk exploded")))
+	if err := s.Append(testRecord("panicked-write", 4)); err != nil {
+		t.Fatal(err)
+	}
+	s.Flush()
+	restore()
+	if st := s.Stats(); st.WriteErrors != 2 {
+		t.Errorf("writeErrors = %d after panicking write, want 2", st.WriteErrors)
+	}
+
+	// Clean writes still land on disk afterwards.
+	if err := s.Append(testRecord("clean", 4)); err != nil {
+		t.Fatal(err)
+	}
+	s.Flush()
+	if st := s.Stats(); st.WriteErrors != 2 {
+		t.Errorf("writeErrors moved on a clean write: %+v", st)
+	}
+}
+
+// TestEncodeRejectsOutOfRange: caller bugs surface as errors, not frames
+// that would poison the log.
+func TestEncodeRejectsOutOfRange(t *testing.T) {
+	if _, err := Encode(nil, Record{Key: ""}); err == nil {
+		t.Error("empty key accepted")
+	}
+	if _, err := Encode(nil, Record{Key: string(make([]byte, maxKeyLen+1))}); err == nil {
+		t.Error("oversized key accepted")
+	}
+}
